@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper table/figure (DESIGN.md section 4)
+at a tractable grid scale, prints the regenerated rows/series, asserts
+the paper's qualitative claims, and records headline numbers in
+``extra_info`` so they land in the pytest-benchmark JSON.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the regenerated tables inline.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark an experiment exactly once (they are multi-second)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

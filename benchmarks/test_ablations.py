@@ -1,0 +1,137 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from conftest import run_once
+from repro.experiments import (
+    ablation_block_layout,
+    ablation_block_size,
+    ablation_check_freq,
+    ablation_diagnostic_field,
+    ablation_eigen_margin,
+    ablation_evp_simplified,
+    ablation_land_elimination,
+    ablation_land_epsilon,
+)
+
+
+def test_ablation_evp_simplified(benchmark):
+    """Simplified vs full EVP: cost halves (paper 14 vs 22 units/point);
+    convergence impact measured."""
+    result = run_once(benchmark,
+                      lambda: ablation_evp_simplified.run(scale=0.5))
+    print()
+    print(result.render(xlabel="variant"))
+    ratio = result.notes["cost ratio full/simplified (paper ~22/14)"]
+    assert 1.3 <= ratio <= 1.8
+    simp, full = result.series_by_label("ChronGear iterations").y
+    assert full <= simp  # full stencil preconditions at least as well
+    benchmark.extra_info["cost_ratio"] = ratio
+
+
+def test_ablation_check_freq(benchmark):
+    """The paper's remark: P-CSI may improve with less frequent checks."""
+    result = run_once(benchmark,
+                      lambda: ablation_check_freq.run(scale=0.125))
+    print()
+    print(result.render(xlabel="check freq"))
+    times = result.series_by_label("modeled seconds per solve").y
+    # checking every iteration is measurably worse than every 10
+    assert times[0] > times[3]
+    benchmark.extra_info["best_freq"] = \
+        result.notes["best check frequency (paper default 10)"]
+
+
+def test_ablation_block_size(benchmark):
+    """Marching stability caps the EVP tile size near the paper's 12."""
+    result = run_once(
+        benchmark,
+        lambda: ablation_block_size.run(scale=0.125,
+                                        tiles=(4, 8, 12, 14)))
+    print()
+    print(result.render(xlabel="tile size"))
+    roundoff = result.series_by_label("marching round-off").y
+    assert roundoff == sorted(roundoff)  # monotone growth
+    iters = result.series_by_label("ChronGear iterations").y
+    assert iters[2] < float("inf")  # 12 works
+    benchmark.extra_info["roundoff"] = [f"{r:.1e}" for r in roundoff]
+
+
+def test_ablation_eigen_margin(benchmark):
+    """nu placement asymmetry: below lambda_min is safe, above is not."""
+    result = run_once(
+        benchmark,
+        lambda: ablation_eigen_margin.run(
+            scale=0.125, nu_factors=(0.25, 0.5, 1.0, 3.0, 8.0),
+            max_iterations=8000))
+    print()
+    print(result.render(xlabel="nu factor", fmt="{:.0f}"))
+    iters = result.series_by_label("iterations (inf = no convergence)").y
+    at = dict(zip((0.25, 0.5, 1.0, 3.0, 8.0), iters))
+    assert at[1.0] <= at[0.5] <= at[0.25]      # conservative = slower
+    assert at[8.0] > 2.0 * at[1.0]             # aggressive = much worse
+    benchmark.extra_info["iterations_by_factor"] = at
+
+
+def test_ablation_land_elimination(benchmark):
+    """Land-block elimination saves ranks; Hilbert beats row-major."""
+    result = run_once(benchmark, lambda: ablation_land_elimination.run())
+    print()
+    print(result.render(xlabel="lattice"))
+    total = result.series_by_label("lattice blocks").y
+    active = result.series_by_label("active (ocean) blocks").y
+    assert all(a < t for a, t in zip(active, total))
+    ratio = result.series_by_label(
+        "land-block ratio (paper fixes 0.25)").y
+    assert all(0.05 < r < 0.5 for r in ratio)
+    hil = result.series_by_label("hilbert locality (lower=better)").y
+    row = result.series_by_label("rowmajor locality (lower=better)").y
+    assert all(h <= r for h, r in zip(hil, row))
+    benchmark.extra_info["land_ratios"] = [round(r, 2) for r in ratio]
+
+
+def test_ablation_land_epsilon(benchmark):
+    """The epsilon-land embedding has a usable plateau around 0.1."""
+    result = run_once(
+        benchmark,
+        lambda: ablation_land_epsilon.run(scale=0.125,
+                                          epsilons=(0.05, 0.1, 0.2, 0.5)))
+    print()
+    print(result.render(xlabel="epsilon"))
+    iters = result.series_by_label("ChronGear iterations").y
+    at = dict(zip((0.05, 0.1, 0.2, 0.5), iters))
+    assert at[0.1] < float("inf")
+    benchmark.extra_info["iterations_by_epsilon"] = {
+        str(k): v for k, v in at.items()
+    }
+
+
+def test_ablation_diagnostic_field(benchmark):
+    """The paper's section-6 choice: temperature reveals solver
+    differences more decisively than SSH."""
+    result = run_once(
+        benchmark,
+        lambda: ablation_diagnostic_field.run(months=3, size=6,
+                                              days_per_month=10))
+    print()
+    print(result.render(xlabel="month"))
+    margins = result.notes["median margin"]
+    # both fields flag the loose candidate decisively...
+    assert margins["temperature"] > 2.0 and margins["SSH"] > 2.0
+    benchmark.extra_info["median_margins"] = margins
+    benchmark.extra_info["winner"] = \
+        result.notes["more discriminating field here"]
+
+
+def test_ablation_block_layout(benchmark):
+    """Paper section 5.2: block size/layout has a large impact -- finer
+    blocks balance better and expose more land, at a halo cost."""
+    result = run_once(
+        benchmark,
+        lambda: ablation_block_layout.run(scale=0.25, cores=256))
+    print()
+    print(result.render(xlabel="block size"))
+    land = result.series_by_label("land-block ratio").y
+    imbalance = result.series_by_label("load imbalance (max/mean)").y
+    assert land[0] > land[-1]            # finer blocks expose more land
+    assert imbalance[0] < imbalance[-2]  # ...and balance better
+    benchmark.extra_info["best_block_size"] = \
+        result.notes["best block size (this model)"]

@@ -1,0 +1,26 @@
+"""Bench E1 -- paper Figure 1: barotropic share of 0.1-degree POP time.
+
+Paper: ~5% at 470 cores (the calibration anchor) growing to ~50% past
+sixteen thousand cores with the ChronGear+diagonal baseline.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import fig01_time_fraction
+
+CORES = (470, 940, 1880, 2700, 4220, 8440, 16875)
+
+
+def test_fig01_barotropic_fraction(benchmark):
+    result = run_once(
+        benchmark, lambda: fig01_time_fraction.run(cores=CORES, scale=0.25))
+    print()
+    print(result.render(xlabel="cores", fmt="{:.1f}"))
+
+    frac = result.series_by_label("barotropic %").y
+    assert frac[0] == pytest.approx(5.0, abs=1.0)      # anchor
+    assert frac[-1] > 35.0                             # paper ~50%
+    assert frac == sorted(frac)                        # monotone growth
+    benchmark.extra_info["fraction_at_470"] = round(frac[0], 1)
+    benchmark.extra_info["fraction_at_16875"] = round(frac[-1], 1)

@@ -1,0 +1,28 @@
+"""Bench E2 -- paper Figure 2: ChronGear communication breakdown.
+
+Paper: halo time shrinks with core count while the global-reduction
+time (the ``global_sum`` timer: masking + all-reduce) dips below a
+couple thousand cores and then dominates.
+"""
+
+from conftest import run_once
+from repro.experiments import fig02_comm_breakdown
+
+CORES = (470, 940, 1880, 2700, 4220, 8440, 16875)
+
+
+def test_fig02_reduction_vs_halo(benchmark):
+    result = run_once(
+        benchmark, lambda: fig02_comm_breakdown.run(cores=CORES, scale=0.25))
+    print()
+    print(result.render(xlabel="cores"))
+
+    red = result.series_by_label("global reduction [s/day]").y
+    halo = result.series_by_label("halo updating [s/day]").y
+    # halo decreases overall; reduction dips then grows to dominance.
+    assert halo[-1] < halo[0]
+    assert min(red) < red[0]            # the sub-2k dip
+    assert red[-1] > 3.0 * red[0]
+    assert red[-1] > 10.0 * halo[-1]
+    benchmark.extra_info["reduction_at_16875_s"] = round(red[-1], 2)
+    benchmark.extra_info["halo_at_16875_s"] = round(halo[-1], 2)

@@ -1,0 +1,18 @@
+"""Bench E4 -- paper Figure 4: nine-diagonal block matrix structure."""
+
+from conftest import run_once
+from repro.experiments import fig04_sparsity
+
+
+def test_fig04_block_structure(benchmark):
+    result = run_once(benchmark,
+                      lambda: fig04_sparsity.run(ny=48, nx=48, blocks=3))
+    print()
+    print(result.render(xlabel="block", fmt="{:.0f}"))
+
+    assert result.notes["max coupled blocks (paper: 9)"] == 9
+    assert result.notes["corner-coupling entries (paper: exactly 1 each)"] \
+        == [1]
+    assert result.notes["max edge-coupling entries (paper: <= 3n)"] <= \
+        result.notes["3n for this block size"]
+    benchmark.extra_info["max_coupled_blocks"] = 9

@@ -1,0 +1,29 @@
+"""Bench E5 -- paper Figure 5 / section 4.2: EVP marching accuracy/cost.
+
+Paper: EVP solves Dirichlet blocks with acceptable round-off up to
+~12x12 in double precision, at O(n^2) solve cost versus LU's O(n^4).
+"""
+
+from conftest import run_once
+from repro.experiments import fig05_evp_marching
+
+SIZES = (4, 6, 8, 10, 12, 14, 16)
+
+
+def test_fig05_marching_roundoff_and_cost(benchmark):
+    result = run_once(benchmark, lambda: fig05_evp_marching.run(sizes=SIZES))
+    print()
+    print(result.render(xlabel="block size", fmt="{:.3g}"))
+
+    roundoff = result.series_by_label("relative round-off").y
+    ratio = result.series_by_label("LU/EVP cost ratio").y
+    by_size = dict(zip(SIZES, roundoff))
+    # usable at 12, exponentially worse beyond
+    assert by_size[12] < 1e-2
+    assert by_size[16] > 100 * by_size[12]
+    # EVP's cost advantage grows with block size (O(n^2) vs O(n^4))
+    assert ratio == sorted(ratio)
+    assert ratio[SIZES.index(12)] > 15.0
+    benchmark.extra_info["roundoff_at_12"] = f"{by_size[12]:.1e}"
+    benchmark.extra_info["lu_over_evp_at_12"] = round(
+        ratio[SIZES.index(12)], 1)

@@ -1,0 +1,34 @@
+"""Bench E7 -- paper Figure 7: 1-degree barotropic scaling.
+
+Paper at 768 cores: ChronGear+diagonal 0.58 s/day; P-CSI+diagonal 0.41
+(1.4x); P-CSI+EVP 0.37 (1.6x).  Our reproduction lands ChronGear at the
+same magnitude with a stronger P-CSI advantage (see EXPERIMENTS.md).
+"""
+
+from conftest import run_once
+from repro.experiments import fig07_lowres_scaling
+
+CORES = (16, 48, 96, 192, 384, 768)
+
+
+def test_fig07_lowres_barotropic(benchmark):
+    result = run_once(benchmark,
+                      lambda: fig07_lowres_scaling.run(cores=CORES))
+    print()
+    print(result.render(xlabel="cores"))
+
+    cg = result.series_by_label("ChronGear+Diagonal").y
+    pcsi = result.series_by_label("P-CSI+Diagonal").y
+    pcsi_evp = result.series_by_label("P-CSI+EVP").y
+    # P-CSI wins at the top core count; ChronGear lands near the paper's
+    # 0.58 s/day magnitude.
+    assert pcsi[-1] < cg[-1]
+    assert pcsi_evp[-1] < cg[-1]
+    assert 0.2 < cg[-1] < 2.0
+    # every configuration improves monotonically out to 768 cores except
+    # the baseline, whose reduction costs flatten it out
+    assert pcsi_evp == sorted(pcsi_evp, reverse=True)
+    assert cg[-1] > 0.9 * min(cg)
+    benchmark.extra_info["chrongear_diag_768_s"] = round(cg[-1], 3)
+    benchmark.extra_info["speedup_pcsi_evp_768"] = round(
+        cg[-1] / pcsi_evp[-1], 2)

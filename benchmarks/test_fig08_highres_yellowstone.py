@@ -1,0 +1,43 @@
+"""Bench E9 -- paper Figure 8: 0.1-degree scaling + rates, Yellowstone.
+
+Paper at 16,875 cores: P-CSI+diagonal 4.3x over ChronGear+diagonal
+(19.0 -> 4.4 s/day); ChronGear+EVP 1.4x; P-CSI+EVP 5.2x; simulation
+rate 6.2 -> 10.5 SYPD (1.7x).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import fig08_highres_yellowstone
+
+CORES = (470, 940, 1880, 2700, 4220, 8440, 16875)
+
+
+def test_fig08_highres_scaling_and_rates(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig08_highres_yellowstone.run(cores=CORES, scale=0.25))
+    print()
+    print(result.render(xlabel="cores"))
+
+    cg = result.series_by_label("ChronGear+Diagonal [s/day]").y
+    pcsi = result.series_by_label("P-CSI+Diagonal [s/day]").y
+    pcsi_evp = result.series_by_label("P-CSI+EVP [s/day]").y
+    # ChronGear degrades past its sweet spot; P-CSI keeps improving.
+    assert cg[-1] > min(cg)
+    assert pcsi[-1] == min(pcsi) or pcsi[-1] < 1.2 * min(pcsi)
+    # Headline speedups in the paper's range.
+    speedup_diag = cg[-1] / pcsi[-1]
+    speedup_evp = cg[-1] / pcsi_evp[-1]
+    assert 3.0 < speedup_diag < 10.0       # paper 4.3x
+    assert 3.5 < speedup_evp < 10.0        # paper 5.2x
+    # ChronGear magnitude matches the paper's 19 s/day scale.
+    assert 10.0 < cg[-1] < 30.0
+    # Simulation rate gain ~1.7x.
+    sypd_base = result.series_by_label("ChronGear+Diagonal [SYPD]").y[-1]
+    sypd_best = result.series_by_label("P-CSI+EVP [SYPD]").y[-1]
+    assert sypd_best / sypd_base == pytest.approx(1.7, abs=0.4)
+    benchmark.extra_info["speedup_pcsi_diag"] = round(speedup_diag, 2)
+    benchmark.extra_info["speedup_pcsi_evp"] = round(speedup_evp, 2)
+    benchmark.extra_info["sypd"] = (round(sypd_base, 2),
+                                    round(sypd_best, 2))

@@ -1,0 +1,27 @@
+"""Bench E10 -- paper Figure 9: time fraction with P-CSI+EVP.
+
+Paper: the barotropic mode stays around 16% of total POP time at
+16,875 cores with the new solver (vs ~50% for the baseline).
+"""
+
+from conftest import run_once
+from repro.experiments import fig01_time_fraction, fig09_time_fraction_pcsi
+
+CORES = (470, 940, 1880, 2700, 4220, 8440, 16875)
+
+
+def test_fig09_fraction_stays_low(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig09_time_fraction_pcsi.run(cores=CORES, scale=0.25))
+    print()
+    print(result.render(xlabel="cores", fmt="{:.1f}"))
+
+    frac = result.series_by_label("barotropic %").y
+    assert frac[-1] < 25.0  # paper: ~16%
+
+    baseline = fig01_time_fraction.run(cores=(16875,), scale=0.25)
+    base_frac = baseline.series_by_label("barotropic %").y[0]
+    assert frac[-1] < 0.5 * base_frac
+    benchmark.extra_info["fraction_at_16875"] = round(frac[-1], 1)
+    benchmark.extra_info["baseline_fraction_at_16875"] = round(base_frac, 1)

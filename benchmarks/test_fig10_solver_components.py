@@ -1,0 +1,34 @@
+"""Bench E11 -- paper Figure 10: component times per solver.
+
+Paper: P-CSI's advantage is the near-elimination of the global
+reduction; EVP halves boundary-communication time by cutting the
+iteration count; ChronGear's reduction time dips below ~1200 cores
+before growing.
+"""
+
+from conftest import run_once
+from repro.experiments import fig10_solver_components
+
+CORES = (470, 940, 1880, 2700, 4220, 8440, 16875)
+
+
+def test_fig10_component_times(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig10_solver_components.run(cores=CORES, scale=0.25))
+    print()
+    print(result.render(xlabel="cores"))
+
+    cg_red = result.series_by_label("ChronGear+Diagonal reduction").y
+    pcsi_red = result.series_by_label("P-CSI+Diagonal reduction").y
+    cg_halo = result.series_by_label("ChronGear+Diagonal boundary").y
+    evp_halo = result.series_by_label("ChronGear+EVP boundary").y
+
+    # P-CSI all-but-eliminates the reduction component.
+    assert pcsi_red[-1] < 0.2 * cg_red[-1]
+    # EVP cuts boundary time via fewer iterations.
+    assert evp_halo[-1] < cg_halo[-1]
+    # ChronGear's reduction dips before growing (paper: below ~1200).
+    dip = result.notes["ChronGear reduction-time minimum at cores"]
+    assert dip in CORES and dip <= 2700
+    benchmark.extra_info["reduction_dip_cores"] = dip

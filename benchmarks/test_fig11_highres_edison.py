@@ -1,0 +1,36 @@
+"""Bench E12 -- paper Figure 11: 0.1-degree on Edison with run noise.
+
+Paper: same qualitative behavior as Yellowstone with larger absolute
+times; ChronGear runs vary strongly (network contention), so the
+average of the best three runs is reported; P-CSI is nearly noise-free.
+Speedups at 16,875 cores: 3.7x (diagonal), 5.6x (EVP).
+"""
+
+from conftest import run_once
+from repro.experiments import fig11_highres_edison
+
+CORES = (470, 1880, 4220, 8440, 16875)
+
+
+def test_fig11_edison(benchmark):
+    result = run_once(
+        benchmark, lambda: fig11_highres_edison.run(cores=CORES, scale=0.25))
+    print()
+    print(result.render(xlabel="cores"))
+
+    cg = result.series_by_label("ChronGear+Diagonal [s/day]").y
+    pcsi = result.series_by_label("P-CSI+Diagonal [s/day]").y
+    pcsi_evp = result.series_by_label("P-CSI+EVP [s/day]").y
+    spread_cg = result.series_by_label(
+        "ChronGear+Diagonal run spread [s]").y
+    spread_pcsi = result.series_by_label("P-CSI+EVP run spread [s]").y
+
+    assert 3.0 < cg[-1] / pcsi[-1] < 10.0      # paper 3.7x
+    assert 3.5 < cg[-1] / pcsi_evp[-1] < 10.0  # paper 5.6x
+    # Edison slower than the paper-quoted Yellowstone baseline scale.
+    assert cg[-1] > 12.0
+    # ChronGear is the noisy one.
+    assert spread_cg[-1] > 2.0 * spread_pcsi[-1]
+    benchmark.extra_info["speedup_pcsi_evp"] = round(
+        cg[-1] / pcsi_evp[-1], 2)
+    benchmark.extra_info["chrongear_spread_s"] = round(spread_cg[-1], 2)

@@ -1,0 +1,34 @@
+"""Bench E13 -- paper Figure 12: RMSE cannot separate solver tolerances.
+
+Paper: monthly temperature RMSE against the strictest-tolerance run
+shows no consistent ordering by tolerance once chaotic divergence
+saturates -- the loosest case sometimes has almost the smallest RMSE.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import fig12_rmse
+
+TOLERANCES = (1e-10, 1e-11, 1e-12, 1e-13, 1e-15)
+
+
+def test_fig12_rmse_saturates(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig12_rmse.run(months=10, tolerances=TOLERANCES,
+                               days_per_month=24))
+    print()
+    print(result.render(xlabel="month", fmt="{:.3e}"))
+
+    finals = {s.label: s.y[-1] for s in result.series}
+    values = np.array(list(finals.values()))
+    # After saturation all cases sit within ~2 orders of magnitude of
+    # each other -- nothing like the 5-decade tolerance spread.
+    assert values.max() / values.min() < 300.0
+    # And the loosest case is NOT cleanly the worst in the final month.
+    loosest = finals["tol=1e-10"]
+    assert loosest < 10.0 * np.median(values)
+    benchmark.extra_info["final_month_rmse"] = {
+        k: f"{v:.2e}" for k, v in finals.items()
+    }

@@ -1,0 +1,32 @@
+"""Bench E14 -- paper Figure 13: ensemble RMSZ flags loose tolerances.
+
+Paper: against a perturbed-initial-condition ensemble, the 1e-10 and
+1e-11 tolerance cases score far outside the member-RMSZ envelope, while
+the default/stricter tolerances and the new P-CSI solver are consistent
+-- the evaluation that admitted P-CSI+EVP into the POP release.
+
+The bench runs a reduced ensemble (the full 40-member, 12-month
+protocol is available via ``python -m repro.experiments.fig13_rmsz``).
+"""
+
+from conftest import run_once
+from repro.experiments import fig13_rmsz
+
+TOLERANCES = (1e-10, 1e-11, 1e-13, 1e-15)
+
+
+def test_fig13_rmsz_verdicts(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig13_rmsz.run(months=6, size=10, tolerances=TOLERANCES,
+                               days_per_month=20))
+    print()
+    print(result.render(xlabel="month", fmt="{:.3g}"))
+
+    verdicts = result.notes["verdicts"]
+    assert verdicts["tol=1e-10"] == "INCONSISTENT"
+    assert verdicts["tol=1e-11"] == "INCONSISTENT"
+    assert verdicts["tol=1e-13"] == "consistent"
+    assert verdicts["tol=1e-15"] == "consistent"
+    assert verdicts["P-CSI+EVP"] == "consistent"
+    benchmark.extra_info["verdicts"] = verdicts

@@ -1,0 +1,33 @@
+"""Bench E8 -- paper Table 1: whole-POP improvement at 1 degree.
+
+Paper rows grow from near zero at 48 cores (P-CSI+EVP even slightly
+negative, -2.4%: the computation-bound regime where EVP's extra flops
+are not yet paid back) to 12-17% at 768 cores.  Our EVP preconditioner
+cuts P-CSI iterations somewhat harder than the paper's, which keeps the
+48-core cell slightly positive here; the orderings and the growth with
+core count reproduce (EXPERIMENTS.md).
+"""
+
+from conftest import run_once
+from repro.experiments import table1_pop_improvement
+
+CORES = (48, 96, 192, 384, 768)
+
+
+def test_table1_total_improvement(benchmark):
+    result = run_once(benchmark,
+                      lambda: table1_pop_improvement.run(cores=CORES))
+    print()
+    print(result.render(xlabel="cores", fmt="{:+.1f}"))
+
+    pcsi_evp = result.series_by_label("P-CSI+EVP").y
+    cg_evp = result.series_by_label("ChronGear+EVP").y
+    pcsi_diag = result.series_by_label("P-CSI+Diagonal").y
+
+    # The low-core regime is computation-bound: small improvements only.
+    assert pcsi_evp[0] < 8.0 and pcsi_diag[0] < 8.0
+    # ...and every configuration clearly positive at 768.
+    assert pcsi_evp[-1] > 8.0 and cg_evp[-1] > 5.0 and pcsi_diag[-1] > 8.0
+    # Improvements grow with core count for the P-CSI rows.
+    assert pcsi_evp == sorted(pcsi_evp)
+    benchmark.extra_info["pcsi_evp_row"] = [round(v, 1) for v in pcsi_evp]

@@ -1,0 +1,59 @@
+"""Distributed execution on the virtual machine, step by step.
+
+Shows the substrate the timing results stand on: decompose the grid
+(land blocks eliminated, Hilbert-curve placement), run ChronGear once
+through the *distributed* context -- real halo exchanges between block
+arrays, rank-ordered reductions -- and once through the serial context,
+and demonstrate that the iterates and the recorded communication events
+agree exactly.
+
+Run:  python examples/distributed_execution.py
+"""
+
+import numpy as np
+
+from repro.grid import test_config
+from repro.operators import apply_stencil
+from repro.parallel import VirtualMachine, decompose
+from repro.precond import make_preconditioner
+from repro.solvers import ChronGearSolver, DistributedContext, SerialContext
+
+
+def main():
+    config = test_config(48, 64, seed=7)
+    print(config.describe())
+
+    decomp = decompose(config.ny, config.nx, 4, 6, mask=config.mask)
+    print(decomp.describe())
+
+    rng = np.random.default_rng(1)
+    b = apply_stencil(config.stencil,
+                      rng.standard_normal(config.shape) * config.mask)
+
+    # --- distributed: one simulated rank per ocean block --------------
+    vm = VirtualMachine(decomp, mask=config.mask)
+    pre_d = make_preconditioner("diagonal", config.stencil, decomp=decomp)
+    dist = ChronGearSolver(DistributedContext(config.stencil, pre_d, vm),
+                           tol=1e-12).solve(b)
+
+    # --- serial reference ----------------------------------------------
+    pre_s = make_preconditioner("diagonal", config.stencil, decomp=decomp)
+    serial = ChronGearSolver(
+        SerialContext(config.stencil, pre_s, decomp=decomp),
+        tol=1e-12).solve(b)
+
+    diff = np.abs((dist.x - serial.x) * config.mask).max()
+    print(f"\ndistributed vs serial: {dist.iterations} vs "
+          f"{serial.iterations} iterations, max |dx| = {diff:.2e}")
+
+    print("\nevent streams (per phase):")
+    for phase in ("computation", "preconditioning", "boundary", "reduction"):
+        d = dist.events.get(phase)
+        s = serial.events.get(phase)
+        match = "MATCH" if d == s else "DIFFER"
+        print(f"  {phase:16s} {match}   flops={d.flops:>9d} "
+              f"halos={d.halo_exchanges:>4d} allreduces={d.allreduces:>4d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: assemble a POP-like grid, solve the barotropic system.
+
+Builds the 1-degree configuration, solves the implicit free-surface
+elliptic system with all four solver/preconditioner combinations the
+paper evaluates, and prices one solve on 16,875 Yellowstone cores with
+the machine model -- the whole public API in ~40 effective lines.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.experiments.common import geometry_decomposition, rescale_events
+from repro.grid import pop_1deg
+from repro.operators import apply_stencil
+from repro.perfmodel import YELLOWSTONE, phase_times
+from repro.precond import make_preconditioner
+from repro.precond.evp import evp_for_config
+from repro.solvers import ChronGearSolver, PCSISolver, SerialContext
+
+
+def main():
+    config = pop_1deg(scale=0.5)  # half-size for a fast demo
+    print(config.describe())
+
+    # A right-hand side with a known solution.
+    rng = np.random.default_rng(42)
+    x_true = rng.standard_normal(config.shape) * config.mask
+    b = apply_stencil(config.stencil, x_true)
+
+    combos = [
+        (ChronGearSolver, "diagonal"),
+        (ChronGearSolver, "evp"),
+        (PCSISolver, "diagonal"),
+        (PCSISolver, "evp"),
+    ]
+    decomp = geometry_decomposition((2400, 3600), 16875)
+
+    print(f"\n{'solver':24s} {'iters':>6s} {'error':>10s} "
+          f"{'modeled s/solve @16875':>24s}")
+    for cls, precond in combos:
+        if precond == "evp":
+            pre = evp_for_config(config)
+        else:
+            pre = make_preconditioner(precond, config.stencil)
+        ctx = SerialContext(config.stencil, pre)
+        result = cls(ctx, tol=1e-13).solve(b)
+        err = np.abs((result.x - x_true) * config.mask).max()
+        events = rescale_events(result.events, config.ny * config.nx, decomp)
+        modeled = phase_times(events, YELLOWSTONE, decomp.num_active).total
+        label = f"{result.solver}+{result.preconditioner}"
+        print(f"{label:24s} {result.iterations:6d} {err:10.2e} "
+              f"{modeled:24.4f}")
+
+    print("\nThe paper's story in one table: P-CSI needs more iterations,")
+    print("but with (almost) no global reductions it wins decisively at")
+    print("scale, and the EVP preconditioner compounds the win.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Scaling study: regenerate the paper's headline figure end to end.
+
+Runs the Figure-8 pipeline (0.1-degree barotropic time and simulation
+rate across core counts on the Yellowstone model) at a reduced grid
+scale so it finishes in about a minute, prints the table, and summarizes
+the speedups against what the paper reports.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.experiments import fig08_highres_yellowstone
+
+
+def main():
+    result = fig08_highres_yellowstone.run(
+        cores=(470, 1880, 4220, 16875),
+        scale=0.125,  # smaller grid -> faster demo; shapes unchanged
+    )
+    print(result.render(xlabel="cores"))
+    print()
+    print("Paper reference points at 16,875 cores:")
+    print("  ChronGear+Diagonal 19.0 s/day -> P-CSI+Diagonal 4.4 s/day (4.3x)")
+    print("  P-CSI+EVP 5.2x; simulation rate 6.2 -> 10.5 SYPD (1.7x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro: reproduction of the CESM-POP barotropic solver paper (SC '15).
+
+Top-level convenience re-exports; the full API lives in the subpackages:
+
+* :mod:`repro.grid` -- grids, topography, the elliptic operator,
+* :mod:`repro.solvers` -- ChronGear, P-CSI, PCG, Lanczos bounds,
+* :mod:`repro.precond` -- diagonal, block-EVP, block-LU,
+* :mod:`repro.parallel` -- the simulated parallel machine,
+* :mod:`repro.perfmodel` -- Yellowstone/Edison timing models,
+* :mod:`repro.barotropic` -- implicit free-surface stepping + MiniPOP,
+* :mod:`repro.verification` -- ensemble RMSZ consistency testing,
+* :mod:`repro.experiments` -- one module per paper table/figure.
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+from repro.grid import get_config, pop_0p1deg, pop_1deg, test_config
+from repro.precond import make_preconditioner
+from repro.precond.evp import evp_for_config
+from repro.solvers import (
+    ChronGearSolver,
+    DistributedContext,
+    PCGSolver,
+    PCSISolver,
+    SerialContext,
+    make_solver,
+)
+
+__all__ = [
+    "__version__",
+    "get_config",
+    "pop_1deg",
+    "pop_0p1deg",
+    "test_config",
+    "make_preconditioner",
+    "evp_for_config",
+    "make_solver",
+    "ChronGearSolver",
+    "PCSISolver",
+    "PCGSolver",
+    "SerialContext",
+    "DistributedContext",
+]

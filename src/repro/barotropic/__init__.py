@@ -1,0 +1,46 @@
+"""The barotropic mode: implicit free-surface stepping and a mini-POP.
+
+* :mod:`repro.barotropic.rhs` -- the right-hand side ``psi`` of the
+  implicit free-surface system (paper Eq. 1),
+* :mod:`repro.barotropic.forcing` -- analytic wind-stress fields with a
+  seasonal cycle,
+* :mod:`repro.barotropic.stepper` -- :class:`BarotropicStepper`, the
+  per-step solve driver with pluggable solver/preconditioner,
+* :mod:`repro.barotropic.model` -- :class:`MiniPOP`, a simplified
+  ocean model (barotropic SSH dynamics + nonlinearly advected
+  temperature with feedback) exhibiting the chaotic sensitivity the
+  section-6 verification machinery requires.
+"""
+
+from repro.barotropic.rhs import build_rhs, free_surface_rhs
+from repro.barotropic.forcing import (
+    double_gyre_wind,
+    zonal_wind,
+    seasonal_factor,
+)
+from repro.barotropic.stepper import BarotropicStepper, StepStats
+from repro.barotropic.model import MiniPOP, ModelState
+from repro.barotropic.diagnostics import (
+    gyre_transport,
+    health_report,
+    kinetic_energy,
+    ssh_statistics,
+    temperature_statistics,
+)
+
+__all__ = [
+    "build_rhs",
+    "free_surface_rhs",
+    "double_gyre_wind",
+    "zonal_wind",
+    "seasonal_factor",
+    "BarotropicStepper",
+    "StepStats",
+    "MiniPOP",
+    "ModelState",
+    "kinetic_energy",
+    "ssh_statistics",
+    "gyre_transport",
+    "temperature_statistics",
+    "health_report",
+]

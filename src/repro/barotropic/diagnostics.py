@@ -1,0 +1,86 @@
+"""Physical diagnostics of the barotropic model state.
+
+The quantities an oceanographer would glance at after a spin-up: basin
+kinetic energy, SSH statistics, gyre transport.  Used by the examples
+and by the stability tests (a healthy run has bounded, nonzero values
+for all of them).
+"""
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+
+
+def kinetic_energy(model):
+    """Area-integrated kinetic energy of the diagnosed surface flow.
+
+    ``KE = 1/2 * rho0 * H * integral (u^2 + v^2) dA`` in joules, using
+    the model's SSH-derived velocities and the local depth.
+    """
+    from repro.core.constants import RHO_SW_KG_M3
+
+    u, v = model.velocities()
+    area = model.config.metrics.tarea
+    depth = model.config.topo.depth
+    speed2 = (u * u + v * v) * model.mask
+    return float(0.5 * RHO_SW_KG_M3 * np.sum(depth * speed2 * area))
+
+
+def ssh_statistics(model):
+    """Mean, standard deviation and extremes of SSH over ocean points."""
+    eta = model.state.eta
+    mask = model.config.mask
+    wet = eta[mask]
+    if wet.size == 0:
+        raise ConfigurationError("no ocean points")
+    return {
+        "mean": float(wet.mean()),
+        "std": float(wet.std()),
+        "min": float(wet.min()),
+        "max": float(wet.max()),
+    }
+
+
+def gyre_transport(model):
+    """Peak barotropic transport of the circulation, in Sverdrups.
+
+    Integrates the zonal flow ``u * H`` over latitude rows and reports
+    the largest magnitude of the cumulative (streamfunction-like) sum --
+    a scalar proxy for gyre strength.  1 Sv = 1e6 m^3/s.
+    """
+    u, _ = model.velocities()
+    depth = model.config.topo.depth
+    dy = model.config.metrics.dyt
+    row_transport = np.sum(u * depth * dy * model.mask, axis=1)
+    psi = np.cumsum(row_transport)
+    return float(np.abs(psi).max() / 1.0e6)
+
+
+def temperature_statistics(model):
+    """Mean/extremes of the temperature field over ocean points."""
+    t = model.state.temperature
+    mask = model.config.mask
+    wet = t[mask]
+    return {
+        "mean": float(wet.mean()),
+        "min": float(wet.min()),
+        "max": float(wet.max()),
+        "anomaly_rms": float(np.sqrt(np.mean(
+            (wet - model._t_star[mask]) ** 2))),
+    }
+
+
+def health_report(model):
+    """One-call sanity summary: finite, bounded, circulating."""
+    ke = kinetic_energy(model)
+    ssh = ssh_statistics(model)
+    temp = temperature_statistics(model)
+    return {
+        "kinetic_energy_J": ke,
+        "ssh": ssh,
+        "temperature": temp,
+        "gyre_transport_Sv": gyre_transport(model),
+        "finite": bool(np.isfinite(ke)
+                       and all(np.isfinite(v) for v in ssh.values())
+                       and all(np.isfinite(v) for v in temp.values())),
+    }

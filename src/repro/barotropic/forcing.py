@@ -1,0 +1,35 @@
+"""Analytic wind forcing fields.
+
+The substitute for CESM's data atmosphere (the paper's G_NORMAL_YEAR
+component set drives the ocean with prescribed "normal year" forcing):
+smooth analytic wind-stress-curl patterns with an annual cycle, enough
+to spin up gyre circulations in the mini model.
+"""
+
+import numpy as np
+
+
+def double_gyre_wind(ny, nx, amplitude=1.0):
+    """The classic double-gyre wind-stress-curl pattern.
+
+    ``curl(tau) ~ -A * pi/L * sin(2 pi y / L)`` produces a subtropical
+    and a subpolar gyre; returned as a ``(ny, nx)`` forcing field with
+    peak magnitude ``amplitude``.
+    """
+    y = np.linspace(0.0, 1.0, ny)[:, None]
+    x = np.linspace(0.0, 1.0, nx)[None, :]
+    field = -np.sin(2.0 * np.pi * y) * (1.0 + 0.1 * np.cos(2.0 * np.pi * x))
+    return amplitude * np.broadcast_to(field, (ny, nx)).copy()
+
+
+def zonal_wind(ny, nx, amplitude=1.0):
+    """Single-signed zonal wind curl (one basin-scale gyre)."""
+    y = np.linspace(0.0, 1.0, ny)[:, None]
+    field = -np.sin(np.pi * y)
+    return amplitude * np.broadcast_to(field, (ny, nx)).copy()
+
+
+def seasonal_factor(day_of_year, phase_days=0.0, amplitude=0.3):
+    """Annual modulation factor ``1 + a * cos(2 pi (d - phase)/365)``."""
+    angle = 2.0 * np.pi * (day_of_year - phase_days) / 365.0
+    return 1.0 + amplitude * np.cos(angle)

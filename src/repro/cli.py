@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show every regenerable paper artifact and ablation.
+``run <experiment> [--arg value ...]``
+    Regenerate one artifact (e.g. ``run fig08`` or ``run table1``);
+    extra ``--key value`` pairs are forwarded to the experiment's
+    ``run()`` (ints/floats parsed, tuples comma-separated).
+``solve``
+    One-off barotropic solve on a named configuration with a chosen
+    solver/preconditioner; prints iterations and modeled times.
+``machines``
+    Print the calibrated machine models.
+``report [--out DIR] [--verification]``
+    Run the whole evaluation plan and print the paper-vs-measured
+    comparison (the automated backbone of EXPERIMENTS.md).
+"""
+
+import argparse
+import importlib
+import sys
+
+#: experiment name -> module path (the per-paper-artifact registry).
+EXPERIMENTS = {
+    "fig01": "repro.experiments.fig01_time_fraction",
+    "fig02": "repro.experiments.fig02_comm_breakdown",
+    "fig03": "repro.experiments.fig03_lanczos",
+    "fig04": "repro.experiments.fig04_sparsity",
+    "fig05": "repro.experiments.fig05_evp_marching",
+    "fig06": "repro.experiments.fig06_iterations",
+    "fig07": "repro.experiments.fig07_lowres_scaling",
+    "table1": "repro.experiments.table1_pop_improvement",
+    "fig08": "repro.experiments.fig08_highres_yellowstone",
+    "fig09": "repro.experiments.fig09_time_fraction_pcsi",
+    "fig10": "repro.experiments.fig10_solver_components",
+    "fig11": "repro.experiments.fig11_highres_edison",
+    "fig12": "repro.experiments.fig12_rmse",
+    "fig13": "repro.experiments.fig13_rmsz",
+    "ablation-evp-simplified": "repro.experiments.ablation_evp_simplified",
+    "ablation-check-freq": "repro.experiments.ablation_check_freq",
+    "ablation-block-size": "repro.experiments.ablation_block_size",
+    "ablation-eigen-margin": "repro.experiments.ablation_eigen_margin",
+    "ablation-land-elimination":
+        "repro.experiments.ablation_land_elimination",
+    "ablation-land-epsilon": "repro.experiments.ablation_land_epsilon",
+    "ablation-diagnostic-field":
+        "repro.experiments.ablation_diagnostic_field",
+    "ablation-block-layout": "repro.experiments.ablation_block_layout",
+    "ext-solver-strategies": "repro.experiments.ext_solver_strategies",
+}
+
+
+def _parse_value(text):
+    """Best-effort literal parsing for forwarded CLI overrides."""
+    if "," in text:
+        return tuple(_parse_value(part) for part in text.split(",") if part)
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def cmd_list(_args):
+    print("regenerable paper artifacts (python -m repro run <name>):")
+    for name, module in EXPERIMENTS.items():
+        print(f"  {name:26s} {module}")
+    return 0
+
+
+def cmd_run(args):
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"try: python -m repro list", file=sys.stderr)
+        return 2
+    module = importlib.import_module(EXPERIMENTS[args.experiment])
+    overrides = {}
+    for item in args.overrides:
+        if "=" not in item:
+            print(f"override {item!r} must look like key=value",
+                  file=sys.stderr)
+            return 2
+        key, value = item.split("=", 1)
+        overrides[key.lstrip("-")] = _parse_value(value)
+    result = module.run(**overrides)
+    print(result.render())
+    return 0
+
+
+def cmd_solve(args):
+    import numpy as np
+
+    from repro.experiments.common import (
+        FULL_SHAPES,
+        geometry_decomposition,
+        get_cached_config,
+        rescale_events,
+    )
+    from repro.operators import apply_stencil
+    from repro.perfmodel import get_machine, phase_times
+    from repro.precond import make_preconditioner
+    from repro.precond.evp import evp_for_config
+    from repro.solvers import SerialContext, make_solver
+
+    config = get_cached_config(args.config, scale=args.scale)
+    print(config.describe())
+    if args.precond == "evp":
+        pre = evp_for_config(config)
+    else:
+        pre = make_preconditioner(args.precond, config.stencil)
+    ctx = SerialContext(config.stencil, pre)
+    solver = make_solver(args.solver, ctx, tol=args.tol)
+    rng = np.random.default_rng(args.seed)
+    b = apply_stencil(config.stencil,
+                      rng.standard_normal(config.shape) * config.mask)
+    result = solver.solve(b)
+    print(result.describe())
+
+    machine = get_machine(args.machine)
+    base = args.config.split("@")[0]
+    shape = FULL_SHAPES.get(base, config.shape)
+    for cores in args.cores:
+        decomp = geometry_decomposition(shape, cores)
+        events = rescale_events(result.events,
+                                config.ny * config.nx, decomp)
+        t = phase_times(events, machine, decomp.num_active)
+        print(f"  modeled @ {cores:>6d} cores on {machine.name}: "
+              f"{t.total * config.steps_per_day:8.3f} s/simulated-day "
+              f"(comp {t.computation:.2e}  precond {t.preconditioning:.2e}  "
+              f"halo {t.boundary:.2e}  reduce {t.reduction:.2e} per solve)")
+    return 0
+
+
+def cmd_report(args):
+    from repro.reporting import run_all
+
+    report = run_all(
+        output_dir=args.out,
+        include_verification=args.verification,
+        progress=lambda name: print(f"running {name} ..."),
+    )
+    print()
+    print(report["rendered"])
+    return 0
+
+
+def cmd_machines(_args):
+    from repro.perfmodel.machines import EDISON, YELLOWSTONE
+
+    for machine in (YELLOWSTONE, EDISON):
+        print(machine.describe())
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction harness for the SC'15 POP barotropic "
+                    "solver paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list regenerable artifacts")
+
+    p_run = sub.add_parser("run", help="regenerate one artifact")
+    p_run.add_argument("experiment")
+    p_run.add_argument("overrides", nargs="*",
+                       help="key=value overrides forwarded to run()")
+
+    p_solve = sub.add_parser("solve", help="one-off barotropic solve")
+    p_solve.add_argument("--config", default="pop_1deg",
+                         choices=["pop_1deg", "pop_0.1deg", "test"])
+    p_solve.add_argument("--scale", type=float, default=1.0)
+    p_solve.add_argument("--solver", default="pcsi")
+    p_solve.add_argument("--precond", default="evp")
+    p_solve.add_argument("--tol", type=float, default=1e-13)
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument("--machine", default="yellowstone")
+    p_solve.add_argument("--cores", type=int, nargs="*",
+                         default=[470, 16875])
+
+    sub.add_parser("machines", help="print machine models")
+
+    p_report = sub.add_parser(
+        "report", help="run the evaluation plan + paper comparison")
+    p_report.add_argument("--out", default=None,
+                          help="directory for per-figure JSON results")
+    p_report.add_argument("--verification", action="store_true",
+                          help="include the slow fig13 ensemble run")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "solve": cmd_solve,
+        "machines": cmd_machines,
+        "report": cmd_report,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Shared low-level utilities used by every subsystem.
+
+The :mod:`repro.core` package deliberately contains no ocean-modeling or
+solver logic.  It provides the numeric conventions everything else builds
+on:
+
+* :mod:`repro.core.constants` -- physical and numerical constants,
+* :mod:`repro.core.errors` -- the exception hierarchy,
+* :mod:`repro.core.fields` -- 2-D field helpers (padding, shifting, masking),
+* :mod:`repro.core.norms` -- masked inner products and norms,
+* :mod:`repro.core.rng` -- deterministic random-generator plumbing,
+* :mod:`repro.core.validation` -- argument-checking helpers.
+
+Array convention
+----------------
+Every 2-D field in this code base is a C-contiguous ``numpy`` array of
+shape ``(ny, nx)`` indexed as ``field[j, i]`` where ``j`` increases
+*northward* and ``i`` increases *eastward*.  Neighbor shorthands follow
+compass directions: ``N`` is ``j+1``, ``S`` is ``j-1``, ``E`` is ``i+1``
+and ``W`` is ``i-1``.
+"""
+
+from repro.core.constants import (
+    EARTH_RADIUS_M,
+    GRAVITY_M_S2,
+    SECONDS_PER_DAY,
+    DEFAULT_DTYPE,
+)
+from repro.core.errors import (
+    ReproError,
+    ConfigurationError,
+    ConvergenceError,
+    DecompositionError,
+    GridError,
+    SolverError,
+)
+from repro.core.fields import (
+    pad_with_zeros,
+    shift,
+    interior,
+    apply_mask,
+    allclose_masked,
+)
+from repro.core.norms import (
+    masked_dot,
+    masked_norm2,
+    masked_norm_inf,
+    masked_rms,
+)
+from repro.core.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "GRAVITY_M_S2",
+    "SECONDS_PER_DAY",
+    "DEFAULT_DTYPE",
+    "ReproError",
+    "ConfigurationError",
+    "ConvergenceError",
+    "DecompositionError",
+    "GridError",
+    "SolverError",
+    "pad_with_zeros",
+    "shift",
+    "interior",
+    "apply_mask",
+    "allclose_masked",
+    "masked_dot",
+    "masked_norm2",
+    "masked_norm_inf",
+    "masked_rms",
+    "make_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,55 @@
+"""Physical and numerical constants shared across the code base.
+
+The values here follow the conventions of the Parallel Ocean Program (POP)
+reference manual (Smith et al., 2010) where applicable; they are grouped so
+that the rest of the code never hard-codes magic numbers.
+"""
+
+import numpy as np
+
+#: Mean Earth radius in meters (spherical Earth, POP convention).
+EARTH_RADIUS_M = 6.371e6
+
+#: Gravitational acceleration in m/s^2.
+GRAVITY_M_S2 = 9.806
+
+#: Seconds in one simulated day.
+SECONDS_PER_DAY = 86400.0
+
+#: Reference sea-water density in kg/m^3 (Boussinesq reference).
+RHO_SW_KG_M3 = 1026.0
+
+#: Default floating-point dtype for all fields.  POP runs in double
+#: precision; the EVP marching method in particular *requires* double
+#: precision to keep round-off near 1e-8 on small blocks (paper section 4.3).
+DEFAULT_DTYPE = np.float64
+
+#: Default solver convergence tolerance used by CESM POP
+#: (paper section 6: default is 1e-13, explored range 1e-10 .. 1e-16).
+DEFAULT_SOLVER_TOLERANCE = 1.0e-13
+
+#: Default interval, in iterations, between solver convergence checks
+#: (paper section 5.2: "for all solvers we checked for convergence every
+#: 10 iterations").
+DEFAULT_CONVERGENCE_CHECK_FREQ = 10
+
+#: Lanczos convergence tolerance for eigenvalue-bound estimation
+#: (paper section 3: "setting the Lanczos convergence tolerance to 0.15
+#: works efficiently in both 1 degree and 0.1 degree POP").
+DEFAULT_LANCZOS_TOLERANCE = 0.15
+
+#: Magnitude of the initial ocean-temperature perturbation used to build
+#: verification ensembles (paper section 6: "an order 1e-14 perturbation").
+ENSEMBLE_PERTURBATION = 1.0e-14
+
+#: Default ensemble size for the RMSZ consistency test (paper section 6:
+#: "an ensemble of size 40 was sufficient").
+DEFAULT_ENSEMBLE_SIZE = 40
+
+#: Relative depth assigned to land cells when an elliptic sub-problem must
+#: remain non-degenerate (used by the EVP preconditioner; see
+#: ``repro.precond.evp`` and DESIGN.md section 6).
+LAND_EPSILON_DEPTH = 1.0e-3
+
+#: Bytes per double-precision word, used by the communication cost models.
+BYTES_PER_WORD = 8

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+Every exception raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one type to handle all
+library-level failures while letting genuine bugs (``TypeError`` etc.)
+propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent user-supplied configuration."""
+
+
+class GridError(ReproError):
+    """A grid, mask, or stencil could not be constructed as requested."""
+
+
+class DecompositionError(ReproError):
+    """A block decomposition of the global domain is impossible or invalid."""
+
+
+class SolverError(ReproError):
+    """A linear solver was misused (bad operator, bad preconditioner, ...)."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative method failed to converge within its iteration budget.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual_norm:
+        Final residual norm achieved.
+    """
+
+    def __init__(self, message, iterations=None, residual_norm=None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual_norm = residual_norm

@@ -1,0 +1,114 @@
+"""Helpers for 2-D fields of shape ``(ny, nx)``.
+
+These helpers encode the array conventions described in
+:mod:`repro.core`: ``field[j, i]`` with ``j`` northward and ``i``
+eastward.  The hot-path helpers (:func:`shift`, :func:`pad_with_zeros`)
+are pure ``numpy`` slicing -- no Python-level loops -- because they sit
+inside every stencil application.
+"""
+
+import numpy as np
+
+from repro.core.errors import GridError
+
+#: Compass offsets ``(dj, di)`` for each of the eight neighbor directions.
+NEIGHBOR_OFFSETS = {
+    "n": (1, 0),
+    "s": (-1, 0),
+    "e": (0, 1),
+    "w": (0, -1),
+    "ne": (1, 1),
+    "nw": (1, -1),
+    "se": (-1, 1),
+    "sw": (-1, -1),
+}
+
+#: The direction opposite each compass direction.
+OPPOSITE_DIRECTION = {
+    "n": "s",
+    "s": "n",
+    "e": "w",
+    "w": "e",
+    "ne": "sw",
+    "nw": "se",
+    "se": "nw",
+    "sw": "ne",
+}
+
+
+def pad_with_zeros(field, width=1):
+    """Return ``field`` surrounded by ``width`` rings of zeros.
+
+    Zero padding implements the closed (no-flux / land) lateral boundary
+    used by the barotropic operator: values outside the domain never
+    contribute to a stencil application.
+
+    Parameters
+    ----------
+    field:
+        Array of shape ``(ny, nx)``.
+    width:
+        Number of ghost rings to add on every side.
+
+    Returns
+    -------
+    numpy.ndarray of shape ``(ny + 2*width, nx + 2*width)``.
+    """
+    if width < 0:
+        raise GridError(f"padding width must be >= 0, got {width}")
+    if field.ndim != 2:
+        raise GridError(f"expected a 2-D field, got shape {field.shape}")
+    ny, nx = field.shape
+    out = np.zeros((ny + 2 * width, nx + 2 * width), dtype=field.dtype)
+    out[width:width + ny, width:width + nx] = field
+    return out
+
+
+def shift(field, direction):
+    """Return the neighbor values of every grid point in ``direction``.
+
+    ``shift(x, "n")[j, i] == x[j + 1, i]`` where it exists and ``0``
+    outside the domain -- i.e. the returned array holds, at each point,
+    the value of its neighbor to the given compass direction, with the
+    closed-boundary convention that out-of-domain neighbors are zero.
+
+    This is the building block of the 9-point stencil application and is
+    implemented with a single padded copy plus a view.
+    """
+    try:
+        dj, di = NEIGHBOR_OFFSETS[direction]
+    except KeyError:
+        raise GridError(
+            f"unknown direction {direction!r}; expected one of "
+            f"{sorted(NEIGHBOR_OFFSETS)}"
+        ) from None
+    ny, nx = field.shape
+    padded = pad_with_zeros(field, 1)
+    return padded[1 + dj:1 + dj + ny, 1 + di:1 + di + nx]
+
+
+def interior(field, width=1):
+    """Return a view of ``field`` with ``width`` rings stripped."""
+    if width == 0:
+        return field
+    return field[width:-width, width:-width]
+
+
+def apply_mask(field, mask, out=None):
+    """Zero ``field`` outside ``mask`` (``mask`` truthy on ocean points).
+
+    Returns ``out`` (allocated if ``None``).  The masking multiply is
+    deliberately explicit rather than using ``numpy.ma`` so the flop cost
+    it represents (part of POP's masked global reduction, Eq. 2 of the
+    paper) is visible to the instrumentation layer.
+    """
+    if out is None:
+        out = np.empty_like(field)
+    np.multiply(field, mask, out=out)
+    return out
+
+
+def allclose_masked(a, b, mask, rtol=1e-12, atol=1e-14):
+    """``numpy.allclose`` restricted to points where ``mask`` is truthy."""
+    m = np.asarray(mask, dtype=bool)
+    return np.allclose(a[m], b[m], rtol=rtol, atol=atol)

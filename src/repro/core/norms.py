@@ -1,0 +1,38 @@
+"""Masked inner products and norms.
+
+POP's global reductions always run the masking multiply before summation
+so that land points never contribute (paper section 2.2: the global
+reduction "contains a MPI_allreduce and a masking operation to exclude
+land points").  The helpers here are the *serial* mathematical kernels;
+the event-counting versions live in the solver contexts
+(:mod:`repro.solvers.context`).
+"""
+
+import numpy as np
+
+
+def masked_dot(a, b, mask):
+    """Masked inner product ``sum(a * b)`` over ocean points only."""
+    return float(np.sum(a * b * mask))
+
+
+def masked_norm2(a, mask):
+    """Masked Euclidean norm ``sqrt(sum(a^2))`` over ocean points."""
+    return float(np.sqrt(np.sum(a * a * mask)))
+
+
+def masked_norm_inf(a, mask):
+    """Masked max-norm over ocean points (0 for an all-land mask)."""
+    masked = np.abs(a * mask)
+    return float(masked.max()) if masked.size else 0.0
+
+
+def masked_rms(a, mask):
+    """Root-mean-square of ``a`` over ocean points.
+
+    Used by the port-verification RMSE diagnostic (paper section 6).
+    """
+    count = int(np.count_nonzero(mask))
+    if count == 0:
+        return 0.0
+    return float(np.sqrt(np.sum(a * a * mask) / count))

@@ -1,0 +1,54 @@
+"""Small argument-validation helpers used across public APIs.
+
+These raise :class:`repro.core.errors.ConfigurationError` with messages
+that name the offending parameter, keeping validation terse at call
+sites.
+"""
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+
+
+def require_positive_int(value, name):
+    """Validate that ``value`` is an integer >= 1 and return it as int."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    if value < 1:
+        raise ConfigurationError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def require_positive_float(value, name):
+    """Validate that ``value`` is a finite float > 0 and return it."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ConfigurationError(f"{name} must be a finite positive number, got {value}")
+    return value
+
+
+def require_fraction(value, name):
+    """Validate that ``value`` lies in ``[0, 1]`` and return it as float."""
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def require_shape(array, shape, name):
+    """Validate that ``array`` has exactly ``shape``."""
+    array = np.asarray(array)
+    if array.shape != tuple(shape):
+        raise ConfigurationError(
+            f"{name} must have shape {tuple(shape)}, got {array.shape}"
+        )
+    return array
+
+
+def require_choice(value, choices, name):
+    """Validate that ``value`` is one of ``choices``."""
+    if value not in choices:
+        raise ConfigurationError(
+            f"{name} must be one of {sorted(choices)}, got {value!r}"
+        )
+    return value

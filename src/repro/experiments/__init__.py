@@ -1,0 +1,32 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes ``run(**kwargs) -> ExperimentResult`` plus a
+``main()`` entry point, so each figure regenerates from the command
+line::
+
+    python -m repro.experiments.fig08_highres_yellowstone
+
+The mapping of modules to paper artifacts lives in DESIGN.md section 4;
+paper-vs-measured numbers are recorded in EXPERIMENTS.md.  The
+``benchmarks/`` tree wraps each module in a pytest-benchmark target.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    measure_solver,
+    rescale_events,
+    geometry_decomposition,
+    solver_label,
+    SOLVER_CONFIGS,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "measure_solver",
+    "rescale_events",
+    "geometry_decomposition",
+    "solver_label",
+    "SOLVER_CONFIGS",
+]

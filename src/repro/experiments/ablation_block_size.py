@@ -1,0 +1,66 @@
+"""Ablation: EVP tile size vs stability, quality and cost.
+
+The paper caps EVP domains at ~12x12 because marching round-off grows
+exponentially with the marching distance (section 4.3).  We sweep the
+tile size on a moderate grid and record marching round-off, solver
+iterations, preconditioner cost, and whether the solve converged at all
+-- beyond the stability edge the preconditioner stops being SPD-like
+and ChronGear diverges, which is itself a faithful reproduction of why
+the 12x12 bound exists.
+"""
+
+from repro.core.errors import SolverError
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    get_cached_config,
+    print_result,
+    reference_rhs,
+)
+from repro.precond.evp import evp_for_config
+from repro.solvers import ChronGearSolver, SerialContext
+
+DEFAULT_TILES = (4, 6, 8, 10, 12, 14)
+
+
+def run(config_name="pop_0.1deg", scale=0.125, tiles=DEFAULT_TILES,
+        tol=1.0e-13, max_iterations=2000):
+    """Round-off, iterations and cost per EVP tile size."""
+    config = get_cached_config(config_name, scale=scale)
+    b = reference_rhs(config)
+    points = config.ny * config.nx
+
+    roundoffs, iters, flops = [], [], []
+    for tile in tiles:
+        pre = evp_for_config(config, tile_size=tile)
+        roundoffs.append(pre.roundoff_estimate())
+        flops.append(pre.apply_flops() / points)
+        try:
+            res = ChronGearSolver(SerialContext(config.stencil, pre),
+                                  tol=tol, max_iterations=max_iterations,
+                                  raise_on_failure=False).solve(b)
+            iters.append(float(res.iterations) if res.converged
+                         else float("inf"))
+        except SolverError:
+            iters.append(float("inf"))
+
+    result = ExperimentResult(
+        name="ablation_block_size",
+        title=f"EVP tile-size sweep on {config.name} "
+              "(inf = diverged)",
+        series=[
+            Series("marching round-off", list(tiles), roundoffs),
+            Series("ChronGear iterations", list(tiles), iters),
+            Series("apply flop units per point", list(tiles), flops),
+        ],
+        notes={"paper stability bound": "12x12"},
+    )
+    return result
+
+
+def main():
+    print_result(run(), xlabel="tile size", fmt="{:.3g}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Ablation: convergence-check frequency vs P-CSI cost.
+
+Paper remark (section 5.2): "because P-CSI iterations are relatively
+inexpensive (compared to performing the POP convergence check), P-CSI
+performance may improve if the check for convergence occurs less
+frequently" -- the check is P-CSI's *only* global reduction.
+
+We sweep the check interval and report (a) iterations executed (a
+coarser check can overshoot by up to ``freq - 1`` iterations) and (b)
+modeled time per solve at a large core count, where the trade-off
+between wasted iterations and saved reductions plays out.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    geometry_decomposition,
+    get_cached_config,
+    print_result,
+    reference_rhs,
+    rescale_events,
+    FULL_SHAPES,
+)
+from repro.perfmodel import YELLOWSTONE, phase_times
+from repro.precond.evp import evp_for_config
+from repro.solvers import PCSISolver, SerialContext
+
+DEFAULT_FREQS = (1, 2, 5, 10, 20, 50)
+
+
+def run(config_name="pop_0.1deg", scale=0.25, cores=16875,
+        freqs=DEFAULT_FREQS, machine=YELLOWSTONE, tol=1.0e-13):
+    """P-CSI iterations and modeled solve time vs check frequency."""
+    config = get_cached_config(config_name, scale=scale)
+    b = reference_rhs(config)
+    pre = evp_for_config(config)
+    decomp = geometry_decomposition(
+        FULL_SHAPES[config_name.split("@")[0]], cores)
+
+    iters = []
+    times = []
+    for freq in freqs:
+        ctx = SerialContext(config.stencil, pre)
+        res = PCSISolver(ctx, tol=tol, check_freq=freq,
+                         max_iterations=60000).solve(b)
+        iters.append(float(res.iterations))
+        events = rescale_events(res.events,
+                                config.ny * config.nx, decomp)
+        times.append(phase_times(events, machine, decomp.num_active).total)
+
+    result = ExperimentResult(
+        name="ablation_check_freq",
+        title=f"P-CSI+EVP check-frequency trade-off at {cores} cores "
+              f"({config.name})",
+        series=[
+            Series("iterations", list(freqs), iters),
+            Series("modeled seconds per solve", list(freqs), times),
+        ],
+    )
+    best = min(range(len(freqs)), key=lambda i: times[i])
+    result.notes["best check frequency (paper default 10)"] = freqs[best]
+    return result
+
+
+def main():
+    print_result(run(), xlabel="check freq", fmt="{:.4g}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Extension: the three reduction-latency strategies head to head.
+
+The paper's related work lays out three ways to deal with CG's global
+reductions at scale; this repository implements all of them, so the
+comparison the paper only discusses can be run:
+
+* **fuse** the reductions       -> ChronGear (one blocking all-reduce),
+* **overlap** the reduction     -> pipelined CG (Ghysels & Vanroose
+  2014; the all-reduce hides behind the preconditioner + matvec),
+* **eliminate** the reductions  -> P-CSI (the paper's choice).
+
+The sweep reports modeled per-solve seconds across core counts on the
+0.1-degree geometry.  The expected shape: PipeCG tracks ChronGear's
+iteration count while removing most of its synchronization cost, but at
+extreme core counts the all-reduce outgrows the shrinking per-rank
+computation it must hide behind -- only elimination keeps scaling.
+"""
+
+from repro.experiments.common import (
+    CORES_0P1DEG,
+    ExperimentResult,
+    FULL_SHAPES,
+    Series,
+    geometry_decomposition,
+    get_cached_config,
+    get_cached_preconditioner,
+    print_result,
+    reference_rhs,
+    rescale_events,
+)
+from repro.perfmodel import YELLOWSTONE, phase_times, phase_times_overlapped
+from repro.solvers import ChronGearSolver, PCSISolver, PipeCGSolver, SerialContext
+
+STRATEGIES = (
+    ("fuse (ChronGear)", ChronGearSolver, phase_times),
+    ("overlap (PipeCG)", PipeCGSolver, phase_times_overlapped),
+    ("eliminate (P-CSI)", PCSISolver, phase_times),
+)
+
+
+def run(config_name="pop_0.1deg", scale=0.25, cores=CORES_0P1DEG,
+        machine=YELLOWSTONE, precond="evp", tol=1.0e-13):
+    """Modeled per-solve seconds for the three strategies."""
+    config = get_cached_config(config_name, scale=scale)
+    b = reference_rhs(config)
+    pre = get_cached_preconditioner(config, precond)
+    shape = FULL_SHAPES[config_name.split("@")[0]]
+    decomps = {p: geometry_decomposition(shape, p) for p in cores}
+    points = config.ny * config.nx
+
+    result = ExperimentResult(
+        name="ext_solver_strategies",
+        title="Reduction strategies: fuse vs overlap vs eliminate "
+              f"({config.name}, {precond}, {machine.name}; s/solve)",
+    )
+    for label, cls, pricer in STRATEGIES:
+        solve = cls(SerialContext(config.stencil, pre), tol=tol,
+                    max_iterations=60000).solve(b)
+        times = []
+        for p in cores:
+            decomp = decomps[p]
+            events = rescale_events(solve.events, points, decomp)
+            times.append(pricer(events, machine, decomp.num_active).total)
+        result.series.append(Series(label=label, x=list(cores), y=times))
+        result.notes[f"iterations {label}"] = solve.iterations
+
+    fuse = result.series_by_label("fuse (ChronGear)").y
+    overlap = result.series_by_label("overlap (PipeCG)").y
+    eliminate = result.series_by_label("eliminate (P-CSI)").y
+    result.notes["overlap beats fuse at max cores"] = \
+        overlap[-1] < fuse[-1]
+    result.notes["eliminate beats overlap at max cores"] = \
+        eliminate[-1] < overlap[-1]
+    return result
+
+
+def main():
+    print_result(run(), xlabel="cores")
+
+
+if __name__ == "__main__":
+    main()

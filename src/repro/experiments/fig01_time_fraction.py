@@ -1,0 +1,53 @@
+"""Figure 1: fraction of 0.1-degree POP time in each mode (baseline).
+
+Paper result with diagonal-preconditioned ChronGear: the barotropic
+solver is ~5% of core POP time at 470 cores (baroclinic ~90%) but grows
+to nearly 50% past sixteen thousand cores, while the baroclinic share
+falls -- the motivating observation of the whole paper.
+
+The 470-core barotropic share is the model's calibration anchor (see
+:mod:`repro.experiments.calibration`); everything else is emergent.
+"""
+
+from repro.experiments.common import (
+    CORES_0P1DEG,
+    ExperimentResult,
+    Series,
+    print_result,
+)
+from repro.experiments.perf_sweeps import whole_model_sweep
+from repro.perfmodel import YELLOWSTONE
+
+
+def run(cores=CORES_0P1DEG, machine=YELLOWSTONE, scale=0.25,
+        combo=("chrongear", "diagonal")):
+    """Percentage of modeled core-POP time per mode vs core count."""
+    sweep = whole_model_sweep("pop_0.1deg", cores, machine=machine,
+                              scale=scale, combos=[combo])
+    data = sweep[combo]
+    barotropic_pct = [100.0 * bt / t for bt, t in zip(data["barotropic"],
+                                                      data["total"])]
+    baroclinic_pct = [100.0 * bc / t for bc, t in zip(data["baroclinic"],
+                                                      data["total"])]
+    result = ExperimentResult(
+        name="fig01" if combo == ("chrongear", "diagonal") else "fig09",
+        title=f"0.1-degree time fraction per mode, {combo[0]}+{combo[1]} "
+              f"({machine.name})",
+        series=[
+            Series("barotropic %", list(cores), barotropic_pct),
+            Series("baroclinic %", list(cores), baroclinic_pct),
+        ],
+        notes={
+            "barotropic % at lowest cores": round(barotropic_pct[0], 1),
+            "barotropic % at highest cores": round(barotropic_pct[-1], 1),
+        },
+    )
+    return result
+
+
+def main():
+    print_result(run(), xlabel="cores")
+
+
+if __name__ == "__main__":
+    main()

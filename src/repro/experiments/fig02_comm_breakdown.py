@@ -1,0 +1,67 @@
+"""Figure 2: ChronGear communication breakdown at 0.1 degree.
+
+Paper result: for the baseline solver, halo-update time decreases with
+core count while global-reduction time becomes dominant beyond a couple
+thousand cores -- the observation Eq. (2) formalizes.
+"""
+
+from repro.experiments.common import (
+    CORES_0P1DEG,
+    ExperimentResult,
+    Series,
+    print_result,
+)
+from repro.experiments.common import (
+    FULL_SHAPES,
+    geometry_decomposition,
+    get_cached_config,
+    measure_solver,
+    rescaled_result_events,
+)
+from repro.perfmodel import YELLOWSTONE
+from repro.perfmodel.timing import halo_seconds, phase_times
+
+
+def run(cores=CORES_0P1DEG, machine=YELLOWSTONE, scale=0.25):
+    """Global-reduction vs halo-update seconds per simulated day.
+
+    The "global reduction" timer wraps POP's ``global_sum`` routine, so
+    it carries both the masking flops (``2 N^2/p`` per iteration, which
+    shrink with p) and the synchronizing all-reduce (which grows with
+    p) -- producing the dip-then-rise the paper observes.
+    """
+    config = get_cached_config("pop_0.1deg", scale=scale)
+    result_solve = measure_solver(config, "chrongear", "diagonal")
+    reductions = []
+    halos = []
+    for p in cores:
+        decomp = geometry_decomposition(FULL_SHAPES["pop_0.1deg"], p)
+        events, _ = rescaled_result_events(result_solve, decomp)
+        steps = config.steps_per_day
+        reductions.append(
+            phase_times(events, machine, decomp.num_active).reduction * steps)
+        halos.append(
+            halo_seconds(events, machine, decomp.num_active) * steps)
+    result = ExperimentResult(
+        name="fig02",
+        title="ChronGear communication components, 0.1-degree "
+              f"({machine.name})",
+        series=[
+            Series("global reduction [s/day]", list(cores), reductions),
+            Series("halo updating [s/day]", list(cores), halos),
+        ],
+    )
+    red = result.series[0].y
+    halo = result.series[1].y
+    crossover = next((c for c, r, h in zip(cores, red, halo) if r > h),
+                     None)
+    result.notes["reduction overtakes halo at cores"] = crossover
+    return result
+
+
+def main():
+    print_result(run(), xlabel="cores")
+
+
+if __name__ == "__main__":
+    main()

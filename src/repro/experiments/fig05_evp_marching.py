@@ -1,0 +1,71 @@
+"""Figure 5 / section 4.2: EVP marching accuracy and cost.
+
+The paper states that EVP solves Dirichlet blocks "with an acceptable
+round-off error of O(1e-8)" up to 12x12 in double precision, at a solve
+cost of ``C_evp = 2*9 n^2 + (2n-5)^2`` versus LU's ``O(n^4)``.
+
+We measure both: the relative round-off of EVP block solves as a
+function of block size (it grows exponentially with the marching
+distance -- the reason tiles are capped), and the flop-unit cost ratio
+EVP/LU.
+"""
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, Series, print_result
+from repro.grid import test_config
+from repro.operators import apply_stencil
+from repro.precond import BlockLUPreconditioner
+from repro.precond.evp import EVPBlockPreconditioner
+
+DEFAULT_SIZES = (4, 6, 8, 10, 12, 14, 16)
+
+
+def run(sizes=DEFAULT_SIZES, seed=3, trials=5):
+    """Round-off and cost of single-tile EVP solves vs block size."""
+    roundoffs = []
+    evp_flops = []
+    lu_flops = []
+    for n in sizes:
+        config = test_config(n, n, seed=seed, aquaplanet=True)
+        pre = EVPBlockPreconditioner(config.stencil, tile_size=n,
+                                     simplified=False)
+        lu = BlockLUPreconditioner(config.stencil, tile_size=n)
+        rng = np.random.default_rng(seed)
+        worst = 0.0
+        for _ in range(trials):
+            x_true = rng.standard_normal((n, n))
+            y = apply_stencil(config.stencil, x_true)
+            x = pre.apply_global(y)
+            worst = max(worst, float(np.abs(x - x_true).max()
+                                     / np.abs(x_true).max()))
+        roundoffs.append(worst)
+        evp_flops.append(float(pre.apply_flops()))
+        lu_flops.append(float(lu.apply_flops()))
+
+    result = ExperimentResult(
+        name="fig05",
+        title="EVP marching: solve round-off and cost vs block size",
+        series=[
+            Series("relative round-off", list(sizes), roundoffs),
+            Series("EVP solve flop units", list(sizes), evp_flops),
+            Series("LU solve flop units", list(sizes), lu_flops),
+            Series("LU/EVP cost ratio", list(sizes),
+                   [l / e for l, e in zip(lu_flops, evp_flops)]),
+        ],
+        notes={
+            "round-off at 12x12 (paper: ~1e-8)":
+                f"{roundoffs[sizes.index(12)]:.1e}" if 12 in sizes else "n/a",
+            "paper formula at n=12 (2*9n^2 + (2n-5)^2)":
+                2 * 9 * 144 + 19 * 19,
+        },
+    )
+    return result
+
+
+def main():
+    print_result(run(), xlabel="block size n", fmt="{:.3g}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Figure 6: average solver iterations per configuration.
+
+Paper results: block-EVP preconditioning "reduces the iteration count by
+about two-thirds for both the 1-degree and 0.1-degree resolutions" for
+both solvers, and the 0.1-degree case needs *fewer* iterations than the
+1-degree case because its grid-spacing ratio is closer to 1 (smaller
+condition number).
+"""
+
+from repro.experiments.common import (
+    SOLVER_CONFIGS,
+    ExperimentResult,
+    Series,
+    get_cached_config,
+    measure_solver,
+    print_result,
+    solver_label,
+)
+
+CONFIG_SCALES = (("pop_1deg", 1.0), ("pop_0.1deg", 0.25))
+
+
+def run(configs=CONFIG_SCALES, tol=1.0e-13, combos=SOLVER_CONFIGS):
+    """Measured iterations to tolerance for every combination."""
+    labels = [solver_label(*combo) for combo in combos]
+    result = ExperimentResult(
+        name="fig06",
+        title=f"Average iterations to |r| <= {tol:g} |b|",
+    )
+    per_combo = {label: [] for label in labels}
+    xs = []
+    for name, scale in configs:
+        config = get_cached_config(name, scale=scale)
+        xs.append(config.name)
+        for combo, label in zip(combos, labels):
+            res = measure_solver(config, combo[0], combo[1], tol=tol)
+            per_combo[label].append(res.iterations)
+    for label in labels:
+        result.series.append(Series(label=label, x=xs, y=per_combo[label]))
+
+    # Headline ratios.
+    for solver in ("chrongear", "pcsi"):
+        if (solver, "diagonal") in combos and (solver, "evp") in combos:
+            diag = per_combo[solver_label(solver, "diagonal")]
+            evp = per_combo[solver_label(solver, "evp")]
+            ratios = [round(d / e, 2) for d, e in zip(diag, evp)]
+            result.notes[f"EVP iteration reduction, {solver} "
+                         "(paper ~3x)"] = ratios
+    cg = per_combo[solver_label("chrongear", "diagonal")]
+    if len(cg) == 2:
+        result.notes["0.1-degree needs fewer iterations than 1-degree"] = \
+            cg[1] < cg[0]
+    return result
+
+
+def main():
+    print_result(run(), xlabel="config", fmt="{:.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Figure 7: barotropic execution time in 1-degree POP vs core count.
+
+Paper result: with diagonal preconditioning P-CSI beats ChronGear at all
+core counts (0.58 s -> 0.41 s per simulated day at 768 cores, 1.4x);
+block-EVP improves both at the higher core counts, and P-CSI+EVP
+reaches 0.37 s (1.6x over the baseline) at 768 cores.
+"""
+
+from repro.experiments.common import (
+    CORES_1DEG,
+    SOLVER_CONFIGS,
+    ExperimentResult,
+    Series,
+    print_result,
+    solver_label,
+)
+from repro.experiments.perf_sweeps import barotropic_sweep
+from repro.perfmodel import YELLOWSTONE
+
+
+def run(cores=CORES_1DEG, machine=YELLOWSTONE, scale=1.0, tol=1.0e-13):
+    """Regenerate the figure; returns seconds/simulated-day series."""
+    sweep = barotropic_sweep("pop_1deg", cores, machine=machine,
+                             scale=scale, tol=tol)
+    result = ExperimentResult(
+        name="fig07",
+        title="1-degree barotropic seconds per simulated day "
+              f"({machine.name})",
+    )
+    for combo in SOLVER_CONFIGS:
+        data = sweep[combo]
+        result.series.append(Series(
+            label=solver_label(*combo),
+            x=list(cores),
+            y=[t.total for t in data["times"]],
+        ))
+        result.notes[f"iterations {solver_label(*combo)}"] = \
+            data["result"].iterations
+    base = result.series_by_label("ChronGear+Diagonal").y
+    best = result.series_by_label("P-CSI+EVP").y
+    result.notes["speedup at max cores (P-CSI+EVP vs ChronGear+Diagonal)"] = \
+        round(base[-1] / best[-1], 2)
+    return result
+
+
+def main():
+    print_result(run(), xlabel="cores")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Figure 8: 0.1-degree barotropic time and simulation rate, Yellowstone.
+
+Paper results at 16,875 cores: ChronGear+diagonal degrades past ~2,700
+cores while P-CSI stays flat; P-CSI+diagonal accelerates the barotropic
+mode 4.3x (19.0 s -> 4.4 s per simulated day), EVP preconditioning
+brings ChronGear to 1.4x and P-CSI to 5.2x; the core simulation rate
+rises from 6.2 to 10.5 simulated years per wall-clock day (1.7x).
+"""
+
+from repro.experiments.common import (
+    CORES_0P1DEG,
+    SOLVER_CONFIGS,
+    ExperimentResult,
+    Series,
+    print_result,
+    solver_label,
+)
+from repro.experiments.perf_sweeps import whole_model_sweep
+from repro.perfmodel import YELLOWSTONE
+
+
+def run(cores=CORES_0P1DEG, machine=YELLOWSTONE, scale=0.25, tol=1.0e-13):
+    """Regenerate both panels; barotropic s/day and SYPD series."""
+    sweep = whole_model_sweep("pop_0.1deg", cores, machine=machine,
+                              scale=scale, tol=tol)
+    result = ExperimentResult(
+        name="fig08",
+        title="0.1-degree barotropic s/day (left) and simulated years "
+              f"per day (right), {machine.name}",
+    )
+    for combo in SOLVER_CONFIGS:
+        data = sweep[combo]
+        label = solver_label(*combo)
+        result.series.append(Series(label=f"{label} [s/day]",
+                                    x=list(cores), y=data["barotropic"]))
+    for combo in SOLVER_CONFIGS:
+        data = sweep[combo]
+        label = solver_label(*combo)
+        result.series.append(Series(label=f"{label} [SYPD]",
+                                    x=list(cores), y=data["sypd"]))
+
+    base = sweep[("chrongear", "diagonal")]
+    best = sweep[("pcsi", "evp")]
+    pdiag = sweep[("pcsi", "diagonal")]
+    cgevp = sweep[("chrongear", "evp")]
+    result.notes["barotropic speedup P-CSI+Diagonal (paper 4.3x)"] = round(
+        base["barotropic"][-1] / pdiag["barotropic"][-1], 2)
+    result.notes["barotropic speedup ChronGear+EVP (paper 1.4x)"] = round(
+        base["barotropic"][-1] / cgevp["barotropic"][-1], 2)
+    result.notes["barotropic speedup P-CSI+EVP (paper 5.2x)"] = round(
+        base["barotropic"][-1] / best["barotropic"][-1], 2)
+    result.notes["SYPD baseline -> P-CSI+EVP (paper 6.2 -> 10.5)"] = (
+        round(base["sypd"][-1], 2), round(best["sypd"][-1], 2))
+    return result
+
+
+def main():
+    print_result(run(), xlabel="cores")
+
+
+if __name__ == "__main__":
+    main()

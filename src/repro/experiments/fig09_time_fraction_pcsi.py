@@ -1,0 +1,24 @@
+"""Figure 9: 0.1-degree time fraction with the new P-CSI+EVP solver.
+
+Paper result: with the more scalable EVP-preconditioned P-CSI solver,
+the barotropic mode is only about 16% of the total execution time at
+16,875 cores (versus ~50% for the ChronGear baseline of Figure 1).
+"""
+
+from repro.experiments.common import CORES_0P1DEG, print_result
+from repro.experiments.fig01_time_fraction import run as _run_fraction
+from repro.perfmodel import YELLOWSTONE
+
+
+def run(cores=CORES_0P1DEG, machine=YELLOWSTONE, scale=0.25):
+    """Same computation as Figure 1 with the P-CSI+EVP combination."""
+    return _run_fraction(cores=cores, machine=machine, scale=scale,
+                         combo=("pcsi", "evp"))
+
+
+def main():
+    print_result(run(), xlabel="cores")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Figure 10: per-component solver times at 0.1 degree on Yellowstone.
+
+Paper results: global-reduction time dominates ChronGear at scale and
+*decreases below ~1200 cores* before growing (consistent with Eqs. 2-3:
+the masking flops shrink with p while the all-reduce latency grows);
+P-CSI has almost no reduction time (convergence checks only).  Boundary
+(halo) time decreases for everyone, and EVP halves it by cutting the
+iteration count.
+"""
+
+from repro.experiments.common import (
+    CORES_0P1DEG,
+    SOLVER_CONFIGS,
+    ExperimentResult,
+    Series,
+    print_result,
+    solver_label,
+)
+from repro.experiments.common import (
+    FULL_SHAPES,
+    geometry_decomposition,
+    get_cached_config,
+    measure_solver,
+    rescaled_result_events,
+)
+from repro.perfmodel import YELLOWSTONE
+from repro.perfmodel.timing import halo_seconds, phase_times
+
+
+def run(cores=CORES_0P1DEG, machine=YELLOWSTONE, scale=0.25):
+    """Per-day communication-component seconds for every configuration.
+
+    The reduction component is the full ``global_sum`` cost (masking
+    flops + all-reduce), matching POP's timers; the boundary component
+    is the halo messages and payload.
+    """
+    config = get_cached_config("pop_0.1deg", scale=scale)
+    steps = config.steps_per_day
+    decomps = {p: geometry_decomposition(FULL_SHAPES["pop_0.1deg"], p)
+               for p in cores}
+    result = ExperimentResult(
+        name="fig10",
+        title="0.1-degree barotropic component seconds per simulated day "
+              f"({machine.name})",
+    )
+    component_series = {"reduction": {}, "boundary": {}}
+    for combo in SOLVER_CONFIGS:
+        solve = measure_solver(config, combo[0], combo[1])
+        reds, halos = [], []
+        for p in cores:
+            decomp = decomps[p]
+            events, _ = rescaled_result_events(solve, decomp)
+            reds.append(
+                phase_times(events, machine, decomp.num_active).reduction
+                * steps)
+            halos.append(
+                halo_seconds(events, machine, decomp.num_active) * steps)
+        component_series["reduction"][combo] = reds
+        component_series["boundary"][combo] = halos
+    for component in ("reduction", "boundary"):
+        for combo in SOLVER_CONFIGS:
+            result.series.append(Series(
+                label=f"{solver_label(*combo)} {component}",
+                x=list(cores),
+                y=component_series[component][combo],
+            ))
+    cg = component_series["reduction"][("chrongear", "diagonal")]
+    dips = min(range(len(cores)), key=lambda i: cg[i])
+    result.notes["ChronGear reduction-time minimum at cores"] = cores[dips]
+    return result
+
+
+def main():
+    print_result(run(), xlabel="cores")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Figure 11: 0.1-degree performance on Edison (noise protocol).
+
+Paper results: the four configurations behave as on Yellowstone, but
+the Aries-dragonfly network's job-placement contention makes ChronGear's
+global-reduction times highly variable run to run, so the paper reports
+"the average of the best three results" per point.  P-CSI, having almost
+no reductions, shows little variability.  At 16,875 cores: 3.7x speedup
+with P-CSI+diagonal (26.2 s -> 7.0 s) and 5.6x with P-CSI+EVP.
+"""
+
+from repro.experiments.common import (
+    CORES_0P1DEG,
+    SOLVER_CONFIGS,
+    ExperimentResult,
+    Series,
+    print_result,
+    solver_label,
+)
+from repro.experiments.perf_sweeps import noisy_barotropic_sweep
+from repro.perfmodel import EDISON
+from repro.perfmodel.pop import simulation_rate_sypd
+from repro.experiments.calibration import calibrated_pop_model
+from repro.experiments.common import FULL_SHAPES
+
+
+def run(cores=CORES_0P1DEG, machine=EDISON, scale=0.25, seed=2015,
+        n_runs=5, best_k=3):
+    """Best-3-average barotropic s/day plus run-to-run spread and SYPD."""
+    sweep = noisy_barotropic_sweep("pop_0.1deg", cores, machine,
+                                   scale=scale, seed=seed, n_runs=n_runs,
+                                   best_k=best_k)
+    pop_model = calibrated_pop_model(machine=machine)
+    ny, nx = FULL_SHAPES["pop_0.1deg"]
+    result = ExperimentResult(
+        name="fig11",
+        title="0.1-degree barotropic s/day on Edison "
+              f"(avg of best {best_k} of {n_runs} noisy runs)",
+    )
+    for combo in SOLVER_CONFIGS:
+        data = sweep[combo]
+        result.series.append(Series(
+            label=f"{solver_label(*combo)} [s/day]",
+            x=list(cores), y=data["reported"]))
+    for combo in SOLVER_CONFIGS:
+        data = sweep[combo]
+        result.series.append(Series(
+            label=f"{solver_label(*combo)} run spread [s]",
+            x=list(cores), y=data["spread"]))
+    for combo in SOLVER_CONFIGS:
+        data = sweep[combo]
+        steps = 500
+        sypd = [
+            simulation_rate_sypd(
+                bt + pop_model.baroclinic_day_time(ny * nx, steps, p, machine))
+            for bt, p in zip(data["reported"], cores)
+        ]
+        result.series.append(Series(
+            label=f"{solver_label(*combo)} [SYPD]", x=list(cores), y=sypd))
+
+    base = sweep[("chrongear", "diagonal")]["reported"]
+    pdiag = sweep[("pcsi", "diagonal")]["reported"]
+    pevp = sweep[("pcsi", "evp")]["reported"]
+    result.notes["speedup P-CSI+Diagonal (paper 3.7x)"] = round(
+        base[-1] / pdiag[-1], 2)
+    result.notes["speedup P-CSI+EVP (paper 5.6x)"] = round(
+        base[-1] / pevp[-1], 2)
+    spread_cg = sweep[("chrongear", "diagonal")]["spread"][-1]
+    spread_pcsi = sweep[("pcsi", "evp")]["spread"][-1]
+    result.notes["run-to-run spread at max cores (ChronGear vs P-CSI)"] = (
+        round(spread_cg, 2), round(spread_pcsi, 2))
+    return result
+
+
+def main():
+    print_result(run(), xlabel="cores")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Core-count performance sweeps shared by the scaling figures.
+
+Produces, for each (solver, preconditioner) combination and each core
+count, the modeled per-simulated-day :class:`PhaseTimes` of the
+barotropic mode on the paper's full-size grid -- the quantity Figures
+7, 8, 10 and 11 plot -- plus the whole-model totals Figures 1, 8
+(right), 9 and Table 1 derive from.
+"""
+
+from repro.experiments.calibration import calibrated_pop_model
+from repro.experiments.common import (
+    FULL_SHAPES,
+    SOLVER_CONFIGS,
+    geometry_decomposition,
+    get_cached_config,
+    measure_solver,
+    rescaled_result_events,
+)
+from repro.perfmodel import YELLOWSTONE, phase_times
+from repro.perfmodel.pop import (
+    average_best,
+    noisy_run_times,
+    simulation_rate_sypd,
+)
+
+
+def barotropic_sweep(config_name, cores_list, machine=YELLOWSTONE,
+                     scale=None, combos=SOLVER_CONFIGS, tol=1.0e-13,
+                     check_freq=10):
+    """Modeled barotropic day times across core counts.
+
+    Returns ``{(solver, precond): {"times": [PhaseTimes], "result":
+    SolveResult}}`` with one entry per core count in ``cores_list``.
+    """
+    base = config_name.split("@")[0]
+    if scale is None:
+        scale = 1.0 if base == "pop_1deg" else 0.25
+    config = get_cached_config(base, scale=scale)
+    full_shape = FULL_SHAPES[base]
+    decomps = {p: geometry_decomposition(full_shape, p) for p in cores_list}
+
+    out = {}
+    for solver, precond in combos:
+        result = measure_solver(config, solver, precond, tol=tol,
+                                check_freq=check_freq)
+        times = []
+        for p in cores_list:
+            decomp = decomps[p]
+            events, _setup = rescaled_result_events(result, decomp)
+            per_solve = phase_times(events, machine, decomp.num_active)
+            times.append(per_solve.scaled(config.steps_per_day))
+        out[(solver, precond)] = {"times": times, "result": result,
+                                  "config": config}
+    return out
+
+
+def whole_model_sweep(config_name, cores_list, machine=YELLOWSTONE,
+                      scale=None, combos=SOLVER_CONFIGS, tol=1.0e-13):
+    """Barotropic + baroclinic day times and simulation rates.
+
+    Returns ``{(solver, precond): {"barotropic": [s], "baroclinic": [s],
+    "total": [s], "sypd": [...]}}``.
+    """
+    base = config_name.split("@")[0]
+    sweep = barotropic_sweep(config_name, cores_list, machine=machine,
+                             scale=scale, combos=combos, tol=tol)
+    pop_model = calibrated_pop_model(machine=machine)
+    shape = FULL_SHAPES[base]
+    n_global = shape[0] * shape[1]
+    config = next(iter(sweep.values()))["config"]
+    steps = config.steps_per_day
+
+    out = {}
+    for combo, data in sweep.items():
+        barotropic = [t.total for t in data["times"]]
+        baroclinic = [
+            pop_model.baroclinic_day_time(n_global, steps, p, machine)
+            for p in cores_list
+        ]
+        total = [bt + bc for bt, bc in zip(barotropic, baroclinic)]
+        out[combo] = {
+            "barotropic": barotropic,
+            "baroclinic": baroclinic,
+            "total": total,
+            "sypd": [simulation_rate_sypd(t) for t in total],
+            "times": data["times"],
+            "result": data["result"],
+        }
+    return out
+
+
+def noisy_barotropic_sweep(config_name, cores_list, machine, seed=2015,
+                           n_runs=5, best_k=3, **kwargs):
+    """Barotropic day times under run-to-run noise (the Edison protocol).
+
+    Each configuration/core count is "run" ``n_runs`` times with
+    multiplicative log-normal noise on communication phases; reported
+    time is the mean of the best ``best_k`` -- the paper's section-5.3
+    procedure for ChronGear on Edison.
+    """
+    sweep = barotropic_sweep(config_name, cores_list, machine=machine,
+                             **kwargs)
+    out = {}
+    for combo_idx, (combo, data) in enumerate(sorted(sweep.items())):
+        reported = []
+        spreads = []
+        for p_idx, times in enumerate(data["times"]):
+            runs = noisy_run_times(times, machine,
+                                   seed=seed + 1000 * combo_idx + p_idx,
+                                   n_runs=n_runs)
+            reported.append(average_best(runs, k=best_k))
+            spreads.append(max(runs) - min(runs))
+        out[combo] = {"reported": reported, "spread": spreads,
+                      "times": data["times"], "result": data["result"]}
+    return out

@@ -1,0 +1,67 @@
+"""Table 1: percent whole-POP improvement at 1 degree.
+
+Paper values (improvement of total execution time over the
+diagonal-ChronGear baseline)::
+
+    cores            48     96    192    384    768
+    ChronGear+EVP    5%   1.1%   6.5%  10.8%  12.1%
+    P-CSI+Diagonal  .7%   3.9%   9.3%  11.0%  12.6%
+    P-CSI+EVP     -2.4%    .4%   7.4%  14.4%  16.7%
+
+The signature cell is the *negative* entry: at 48 cores the run is
+computation-bound, and P-CSI+EVP does more flops per solve than the
+baseline (26 vs 18 units/point times more iterations), so the total gets
+slightly worse -- exactly the regime trade-off Eqs. (2)/(6) predict.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    print_result,
+    solver_label,
+)
+from repro.experiments.perf_sweeps import whole_model_sweep
+from repro.perfmodel import YELLOWSTONE
+
+TABLE1_CORES = (48, 96, 192, 384, 768)
+
+#: The three non-baseline rows of the paper's table.
+TABLE1_ROWS = (
+    ("chrongear", "evp"),
+    ("pcsi", "diagonal"),
+    ("pcsi", "evp"),
+)
+
+#: Paper-reported percentages for EXPERIMENTS.md comparisons.
+PAPER_VALUES = {
+    ("chrongear", "evp"): (5.0, 1.1, 6.5, 10.8, 12.1),
+    ("pcsi", "diagonal"): (0.7, 3.9, 9.3, 11.0, 12.6),
+    ("pcsi", "evp"): (-2.4, 0.4, 7.4, 14.4, 16.7),
+}
+
+
+def run(cores=TABLE1_CORES, machine=YELLOWSTONE, scale=1.0):
+    """Percent improvement of modeled total POP time at 1 degree."""
+    sweep = whole_model_sweep("pop_1deg", cores, machine=machine,
+                              scale=scale)
+    base_total = sweep[("chrongear", "diagonal")]["total"]
+    result = ExperimentResult(
+        name="table1",
+        title="1-degree whole-POP improvement over ChronGear+Diagonal "
+              f"({machine.name})",
+    )
+    for combo in TABLE1_ROWS:
+        total = sweep[combo]["total"]
+        pct = [100.0 * (b - t) / b for b, t in zip(base_total, total)]
+        result.series.append(Series(
+            label=solver_label(*combo), x=list(cores), y=pct))
+        result.notes[f"paper {solver_label(*combo)}"] = PAPER_VALUES[combo]
+    return result
+
+
+def main():
+    print_result(run(), xlabel="cores", fmt="{:+.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""POP-like grid substrate.
+
+Everything the elliptic barotropic operator needs to exist: orthogonal
+curvilinear grid metrics with a displaced (dipole) north pole
+(:mod:`repro.grid.metrics`), synthetic Earth-like bathymetry and land
+masks (:mod:`repro.grid.topography`), the nine-point stencil
+discretization of ``[-div(H grad) + phi]`` (:mod:`repro.grid.stencil`),
+and named grid configurations matching the paper's two resolutions
+(:mod:`repro.grid.config`).
+"""
+
+from repro.grid.metrics import (
+    GridMetrics,
+    uniform_metrics,
+    spherical_metrics,
+    dipole_metrics,
+)
+from repro.grid.topography import (
+    Topography,
+    earthlike_topography,
+    aquaplanet_topography,
+    channel_topography,
+    double_gyre_topography,
+    remove_isolated_seas,
+    ocean_basins,
+)
+from repro.grid.stencil import StencilCoeffs, build_stencil, mass_coefficient
+from repro.grid.config import (
+    GridConfig,
+    pop_1deg,
+    pop_0p1deg,
+    scaled_config,
+    test_config,
+    NAMED_CONFIGS,
+    get_config,
+)
+
+__all__ = [
+    "GridMetrics",
+    "uniform_metrics",
+    "spherical_metrics",
+    "dipole_metrics",
+    "Topography",
+    "earthlike_topography",
+    "aquaplanet_topography",
+    "channel_topography",
+    "double_gyre_topography",
+    "remove_isolated_seas",
+    "ocean_basins",
+    "StencilCoeffs",
+    "build_stencil",
+    "mass_coefficient",
+    "GridConfig",
+    "pop_1deg",
+    "pop_0p1deg",
+    "scaled_config",
+    "test_config",
+    "NAMED_CONFIGS",
+    "get_config",
+]

@@ -1,0 +1,206 @@
+"""Orthogonal curvilinear grid metrics.
+
+POP discretizes the ocean on a logically rectangular, orthogonal
+curvilinear B-grid.  Scalar quantities (sea surface height, depth,
+temperature) live at *T-points*; velocities and corner depths live at
+*U-points*, the northeast cell corners.  The metric information the
+barotropic operator needs is just the physical cell extents:
+
+* ``dxt[j, i]``, ``dyt[j, i]`` -- width/height (m) of T-cell ``(j, i)``,
+* ``dxu[j, i]``, ``dyu[j, i]`` -- spacing (m) around the U-point at the
+  NE corner of T-cell ``(j, i)`` (arrays hold ``ny x nx`` values; only
+  the interior ``(ny-1) x (nx-1)`` corners participate in the stencil).
+
+Three generators are provided:
+
+* :func:`uniform_metrics` -- constant spacing; the analytically
+  tractable case the unit tests lean on.
+* :func:`spherical_metrics` -- regular latitude-longitude grid on the
+  sphere: ``dx`` shrinks as ``cos(lat)`` toward the poles, which is the
+  source of the high-latitude anisotropy that degrades the elliptic
+  operator's conditioning.
+* :func:`dipole_metrics` -- spherical metrics with the north pole
+  *displaced* onto land (Greenland), following the spirit of POP's
+  dipole grids (Smith et al., 2010): the ``cos(lat)`` collapse of ``dx``
+  is capped away from the geographic pole and replaced by a smooth
+  convergence toward the displaced pole, so ocean cells never degenerate.
+  This reproduces the conditioning-relevant *shape* of the production
+  grids without the full Murray (1996) conformal construction; see
+  DESIGN.md section 3.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.constants import EARTH_RADIUS_M
+from repro.core.errors import GridError
+from repro.core.validation import require_positive_int, require_positive_float
+
+
+@dataclass
+class GridMetrics:
+    """Physical cell extents of a logically rectangular ocean grid.
+
+    All arrays have shape ``(ny, nx)`` and are in meters.  ``lat`` and
+    ``lon`` give nominal T-point coordinates in degrees (used by
+    topography generation and diagnostics, not by the operator itself).
+    """
+
+    dxt: np.ndarray
+    dyt: np.ndarray
+    dxu: np.ndarray
+    dyu: np.ndarray
+    lat: np.ndarray
+    lon: np.ndarray
+
+    def __post_init__(self):
+        shape = self.dxt.shape
+        for name in ("dyt", "dxu", "dyu", "lat", "lon"):
+            arr = getattr(self, name)
+            if arr.shape != shape:
+                raise GridError(
+                    f"metric {name} has shape {arr.shape}, expected {shape}"
+                )
+        for name in ("dxt", "dyt", "dxu", "dyu"):
+            arr = getattr(self, name)
+            if not np.all(arr > 0):
+                raise GridError(f"metric {name} must be strictly positive")
+
+    @property
+    def shape(self):
+        """Grid shape ``(ny, nx)``."""
+        return self.dxt.shape
+
+    @property
+    def tarea(self):
+        """T-cell areas in m^2, shape ``(ny, nx)``."""
+        return self.dxt * self.dyt
+
+    def anisotropy(self):
+        """Per-cell ``dx/dy`` ratio -- the conditioning driver.
+
+        The paper (section 4.3) observes that the 0.1-degree grid's
+        ratio is closer to 1 than the 1-degree grid's, which is why the
+        high-resolution operator converges in *fewer* iterations.
+        """
+        return self.dxt / self.dyt
+
+    def mean_anisotropy(self):
+        """Area-weighted mean of ``max(dx/dy, dy/dx)``."""
+        ratio = self.anisotropy()
+        sym = np.maximum(ratio, 1.0 / ratio)
+        w = self.tarea
+        return float(np.sum(sym * w) / np.sum(w))
+
+
+def uniform_metrics(ny, nx, dx=1.0e5, dy=1.0e5):
+    """Constant-spacing metrics (``dx`` by ``dy`` meters per cell)."""
+    ny = require_positive_int(ny, "ny")
+    nx = require_positive_int(nx, "nx")
+    dx = require_positive_float(dx, "dx")
+    dy = require_positive_float(dy, "dy")
+    ones = np.ones((ny, nx))
+    lat = np.broadcast_to(np.linspace(-70.0, 70.0, ny)[:, None], (ny, nx)).copy()
+    lon = np.broadcast_to(np.linspace(0.0, 360.0, nx, endpoint=False)[None, :],
+                          (ny, nx)).copy()
+    return GridMetrics(dxt=ones * dx, dyt=ones * dy, dxu=ones * dx,
+                       dyu=ones * dy, lat=lat, lon=lon)
+
+
+def _lat_lon_axes(ny, nx, lat_min, lat_max):
+    lat_1d = np.linspace(lat_min, lat_max, ny)
+    lon_1d = np.linspace(0.0, 360.0, nx, endpoint=False)
+    lat = np.broadcast_to(lat_1d[:, None], (ny, nx)).copy()
+    lon = np.broadcast_to(lon_1d[None, :], (ny, nx)).copy()
+    return lat, lon
+
+
+def spherical_metrics(ny, nx, lat_min=-78.0, lat_max=87.0, min_cos=0.05):
+    """Regular latitude-longitude metrics on the sphere.
+
+    ``dx = R * dlon * cos(lat)`` (floored at ``min_cos`` to avoid the
+    polar singularity in the raw generator -- POP avoids it with the
+    dipole construction instead, see :func:`dipole_metrics`), and
+    ``dy = R * dlat``.
+    """
+    ny = require_positive_int(ny, "ny")
+    nx = require_positive_int(nx, "nx")
+    if not (-90.0 <= lat_min < lat_max <= 90.0):
+        raise GridError(f"invalid latitude range [{lat_min}, {lat_max}]")
+    lat, lon = _lat_lon_axes(ny, nx, lat_min, lat_max)
+    dlat = np.deg2rad((lat_max - lat_min) / max(ny - 1, 1))
+    dlon = np.deg2rad(360.0 / nx)
+    coslat = np.maximum(np.cos(np.deg2rad(lat)), min_cos)
+    dxt = EARTH_RADIUS_M * dlon * coslat
+    dyt = np.full((ny, nx), EARTH_RADIUS_M * dlat)
+    # U-point spacings: average of the adjacent T-cells to the NE.
+    dxu = _ne_average(dxt)
+    dyu = _ne_average(dyt)
+    return GridMetrics(dxt=dxt, dyt=dyt, dxu=dxu, dyu=dyu, lat=lat, lon=lon)
+
+
+def _ne_average(field):
+    """Average a T-point field onto NE-corner U-points.
+
+    The last row/column (corners on the domain edge) reuse the edge
+    values; they never enter the operator because edge corners carry
+    zero depth.
+    """
+    ny, nx = field.shape
+    out = field.copy()
+    out[:-1, :-1] = 0.25 * (
+        field[:-1, :-1] + field[:-1, 1:] + field[1:, :-1] + field[1:, 1:]
+    )
+    return out
+
+
+def dipole_metrics(ny, nx, lat_min=-78.0, lat_max=87.0,
+                   pole_lat=75.0, pole_lon=320.0, cap_lat=55.0,
+                   min_cos=0.35):
+    """Spherical metrics with a displaced northern pole.
+
+    South of ``cap_lat`` this is identical to :func:`spherical_metrics`.
+    North of it, the ``cos(lat)`` shrinkage of ``dx`` is progressively
+    replaced by convergence toward a *displaced pole* at
+    ``(pole_lat, pole_lon)`` -- nominally over Greenland, i.e. land --
+    so that ocean cells keep usable aspect ratios all the way to the
+    grid's northern edge.  ``dy`` is locally stretched near the displaced
+    pole as the real dipole grids do, producing the characteristic
+    non-uniform, anisotropic northern-hemisphere cells that make simple
+    geometric multigrid awkward (paper section 4.1).
+    """
+    base = spherical_metrics(ny, nx, lat_min, lat_max, min_cos=min_cos)
+    lat, lon = base.lat, base.lon
+
+    # Blend factor: 0 south of cap_lat, -> 1 toward the northern edge.
+    t = np.clip((lat - cap_lat) / max(lat_max - cap_lat, 1e-9), 0.0, 1.0)
+    blend = t * t * (3.0 - 2.0 * t)  # smoothstep
+
+    # Inside the cap, the cos(lat) collapse toward the *geographic* pole
+    # is progressively frozen at its cap-latitude value: the grid no
+    # longer has a pole there.
+    dlon = np.deg2rad(360.0 / nx)
+    coslat = np.maximum(np.cos(np.deg2rad(lat)), min_cos)
+    cos_eff = coslat * (1.0 - blend) + np.cos(np.deg2rad(cap_lat)) * blend
+
+    # ... and cells converge toward the *displaced* pole instead.
+    dlon_wrapped = (lon - pole_lon + 180.0) % 360.0 - 180.0
+    ang = np.sqrt(
+        (lat - pole_lat) ** 2
+        + (np.cos(np.deg2rad(np.clip(lat, -89.0, 89.0))) * dlon_wrapped) ** 2
+    )
+    # Convergence factor: floored because the displaced pole sits under
+    # land, and real dipole grids keep cell areas within a modest factor
+    # of mid-latitude cells (which bounds how much the diagonal-scaled
+    # spectrum can spread).
+    conv = np.clip(ang / 35.0, 0.5, 1.0)
+    shrink = conv * blend + (1.0 - blend)
+
+    dxt = EARTH_RADIUS_M * dlon * cos_eff * shrink
+    # Slight meridional stretching opposite the pole, as in dipole grids.
+    dyt = base.dyt * (1.0 + 0.1 * blend * (1.0 - conv))
+
+    dxu = _ne_average(dxt)
+    dyu = _ne_average(dyt)
+    return GridMetrics(dxt=dxt, dyt=dyt, dxu=dxu, dyu=dyu, lat=lat, lon=lon)

@@ -1,0 +1,63 @@
+"""Virtual parallel machine: the substrate the solvers run on.
+
+POP distributes the global ocean grid over MPI ranks as rectangular
+blocks, exchanges halos after stencil operations, and performs masked
+global reductions for inner products.  This package reimplements that
+substrate *in process*: the distributed algorithms execute for real over
+the block decomposition (one simulated rank per block), and every
+communication and computation event is recorded in an
+:class:`~repro.parallel.events.EventLedger`.  The
+:mod:`repro.perfmodel` package later converts those event counts into
+modeled wall-clock time on a target machine (Yellowstone, Edison).
+
+Contents
+--------
+* :mod:`repro.parallel.events` -- per-phase event counting,
+* :mod:`repro.parallel.sfc` -- space-filling curves for rank placement,
+* :mod:`repro.parallel.decomposition` -- block partition, land-block
+  elimination, rank assignment,
+* :mod:`repro.parallel.halo` -- halo exchange over block-local arrays,
+* :mod:`repro.parallel.reduction` -- masked global sums with a binomial
+  reduction-tree cost shape,
+* :mod:`repro.parallel.vm` -- the :class:`VirtualMachine` façade
+  (scatter / gather / exchange / reduce).
+"""
+
+from repro.parallel.events import EventLedger, EventCounts
+from repro.parallel.sfc import hilbert_order, morton_order, sfc_sort_blocks
+from repro.parallel.decomposition import (
+    Block,
+    Decomposition,
+    decompose,
+    decomposition_for_core_count,
+)
+from repro.parallel.halo import HaloExchanger
+from repro.parallel.reduction import (
+    binomial_tree_depth,
+    masked_global_sum_blocks,
+)
+from repro.parallel.placement import (
+    PlacementReport,
+    balanced_rank_assignment,
+    placement_for_block_size,
+)
+from repro.parallel.vm import VirtualMachine
+
+__all__ = [
+    "EventLedger",
+    "EventCounts",
+    "hilbert_order",
+    "morton_order",
+    "sfc_sort_blocks",
+    "Block",
+    "Decomposition",
+    "decompose",
+    "decomposition_for_core_count",
+    "HaloExchanger",
+    "binomial_tree_depth",
+    "masked_global_sum_blocks",
+    "VirtualMachine",
+    "PlacementReport",
+    "balanced_rank_assignment",
+    "placement_for_block_size",
+]

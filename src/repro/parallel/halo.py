@@ -1,0 +1,192 @@
+"""Halo (ghost-cell) exchange over block-local arrays.
+
+Each simulated rank owns one block, stored as a local array of shape
+``(bny + 2h, bnx + 2h)`` where ``h`` is the halo width (POP default 2).
+After a stencil operation, the halo rings must be refreshed from
+neighboring blocks before the next operation can read them -- that is
+POP's ``update_halo`` (Algorithm 1 step 6 / Algorithm 2 step 10 of the
+paper).
+
+Two implementations are provided and tested against each other:
+
+* :meth:`HaloExchanger.exchange` -- true point-to-point semantics: every
+  block copies edge strips directly from each of its eight neighbors
+  (four messages per rank in POP's counting, since corner data rides
+  along with the edge strips).
+* :meth:`HaloExchanger.exchange_via_global` -- a bulk-synchronous
+  shortcut that reassembles the global field and re-slices every block's
+  padded window from it.  Semantically identical under BSP, considerably
+  faster in this in-process simulation, and used by default for large
+  block counts.
+
+Out-of-domain halos (beyond the global grid edge, or adjacent to an
+eliminated all-land block) are filled with zeros: the closed lateral
+boundary of the barotropic operator.
+"""
+
+import numpy as np
+
+from repro.core.errors import DecompositionError
+
+
+class BlockField:
+    """Per-rank local arrays (with halos) for one distributed 2-D field.
+
+    Attributes
+    ----------
+    decomp:
+        The :class:`~repro.parallel.decomposition.Decomposition` this
+        field is distributed over.
+    locals_:
+        List indexed by rank of local arrays, each of shape
+        ``(block.ny + 2h, block.nx + 2h)``.
+    """
+
+    def __init__(self, decomp, locals_):
+        self.decomp = decomp
+        self.locals_ = locals_
+
+    @classmethod
+    def zeros(cls, decomp, dtype=np.float64):
+        """A zero-valued block field over ``decomp``."""
+        h = decomp.halo_width
+        locals_ = [
+            np.zeros((b.ny + 2 * h, b.nx + 2 * h), dtype=dtype)
+            for b in decomp.active_blocks
+        ]
+        return cls(decomp, locals_)
+
+    def local(self, rank):
+        """The full padded local array of ``rank``."""
+        return self.locals_[rank]
+
+    def interior(self, rank):
+        """View of ``rank``'s owned (non-halo) points."""
+        h = self.decomp.halo_width
+        block = self.decomp.active_blocks[rank]
+        return self.locals_[rank][h:h + block.ny, h:h + block.nx]
+
+    def copy(self):
+        """Deep copy of the block field."""
+        return BlockField(self.decomp, [arr.copy() for arr in self.locals_])
+
+
+class HaloExchanger:
+    """Fills halo rings of a :class:`BlockField` from neighboring blocks."""
+
+    def __init__(self, decomp):
+        self.decomp = decomp
+        h = decomp.halo_width
+        for block in decomp.active_blocks:
+            if block.ny < h or block.nx < h:
+                raise DecompositionError(
+                    f"block {block.index} is {block.ny}x{block.nx}, smaller than "
+                    f"the halo width {h}; choose fewer blocks or a thinner halo"
+                )
+        # Precompute, per rank, the neighbor block in each direction so the
+        # per-exchange loop does no lattice lookups.
+        self._neighbor_ranks = []
+        for block in decomp.active_blocks:
+            neigh = decomp.neighbors(block)
+            self._neighbor_ranks.append({
+                d: (n.rank if (n is not None and n.is_active) else None)
+                for d, n in neigh.items()
+            })
+
+    # ------------------------------------------------------------------
+    def scatter(self, global_field, dtype=None):
+        """Distribute a global ``(ny, nx)`` array into a new BlockField.
+
+        Halo rings are zero-initialized; call an exchange method to fill
+        them.
+        """
+        decomp = self.decomp
+        if global_field.shape != (decomp.ny, decomp.nx):
+            raise DecompositionError(
+                f"field shape {global_field.shape} does not match grid "
+                f"({decomp.ny}, {decomp.nx})"
+            )
+        field = BlockField.zeros(decomp, dtype=dtype or global_field.dtype)
+        for rank, block in enumerate(decomp.active_blocks):
+            field.interior(rank)[...] = global_field[block.slices]
+        return field
+
+    def gather(self, field, fill=0.0, dtype=None):
+        """Reassemble a global array from block interiors.
+
+        Points belonging to eliminated land blocks get ``fill``.
+        """
+        decomp = self.decomp
+        out = np.full((decomp.ny, decomp.nx), fill,
+                      dtype=dtype or field.locals_[0].dtype)
+        for rank, block in enumerate(decomp.active_blocks):
+            out[block.slices] = field.interior(rank)
+        return out
+
+    # ------------------------------------------------------------------
+    def exchange(self, field):
+        """Point-to-point halo update (direct neighbor strip copies)."""
+        decomp = self.decomp
+        h = decomp.halo_width
+        for rank, block in enumerate(decomp.active_blocks):
+            local = field.local(rank)
+            bny, bnx = block.ny, block.nx
+            neigh = self._neighbor_ranks[rank]
+
+            # --- edges -------------------------------------------------
+            # north halo rows <- north neighbor's southernmost interior rows
+            self._fill_edge(field, local[h + bny:h + bny + h, h:h + bnx],
+                            neigh["n"], lambda nb, nh: nb[nh:2 * nh, nh:nb.shape[1] - nh])
+            # south halo rows <- south neighbor's northernmost interior rows
+            self._fill_edge(field, local[0:h, h:h + bnx],
+                            neigh["s"], lambda nb, nh: nb[nb.shape[0] - 2 * nh:nb.shape[0] - nh,
+                                                          nh:nb.shape[1] - nh])
+            # east halo cols <- east neighbor's westernmost interior cols
+            self._fill_edge(field, local[h:h + bny, h + bnx:h + bnx + h],
+                            neigh["e"], lambda nb, nh: nb[nh:nb.shape[0] - nh, nh:2 * nh])
+            # west halo cols <- west neighbor's easternmost interior cols
+            self._fill_edge(field, local[h:h + bny, 0:h],
+                            neigh["w"], lambda nb, nh: nb[nh:nb.shape[0] - nh,
+                                                          nb.shape[1] - 2 * nh:nb.shape[1] - nh])
+
+            # --- corners -----------------------------------------------
+            self._fill_edge(field, local[h + bny:h + bny + h, h + bnx:h + bnx + h],
+                            neigh["ne"], lambda nb, nh: nb[nh:2 * nh, nh:2 * nh])
+            self._fill_edge(field, local[h + bny:h + bny + h, 0:h],
+                            neigh["nw"], lambda nb, nh: nb[nh:2 * nh,
+                                                           nb.shape[1] - 2 * nh:nb.shape[1] - nh])
+            self._fill_edge(field, local[0:h, h + bnx:h + bnx + h],
+                            neigh["se"], lambda nb, nh: nb[nb.shape[0] - 2 * nh:nb.shape[0] - nh,
+                                                           nh:2 * nh])
+            self._fill_edge(field, local[0:h, 0:h],
+                            neigh["sw"], lambda nb, nh: nb[nb.shape[0] - 2 * nh:nb.shape[0] - nh,
+                                                           nb.shape[1] - 2 * nh:nb.shape[1] - nh])
+        return field
+
+    def _fill_edge(self, field, dest, neighbor_rank, take):
+        h = self.decomp.halo_width
+        if neighbor_rank is None:
+            dest[...] = 0.0
+        else:
+            dest[...] = take(field.local(neighbor_rank), h)
+
+    # ------------------------------------------------------------------
+    def exchange_via_global(self, field):
+        """Bulk-synchronous halo update through a padded global assembly.
+
+        Produces bit-identical halos to :meth:`exchange` (asserted by the
+        test suite) but costs two block copies per rank instead of eight
+        strip copies, which matters when simulating thousands of ranks.
+        """
+        decomp = self.decomp
+        h = decomp.halo_width
+        padded = np.zeros((decomp.ny + 2 * h, decomp.nx + 2 * h),
+                          dtype=field.locals_[0].dtype)
+        for rank, block in enumerate(decomp.active_blocks):
+            padded[h + block.j0:h + block.j1, h + block.i0:h + block.i1] = \
+                field.interior(rank)
+        for rank, block in enumerate(decomp.active_blocks):
+            field.local(rank)[...] = padded[
+                block.j0:block.j1 + 2 * h, block.i0:block.i1 + 2 * h
+            ]
+        return field

@@ -1,0 +1,116 @@
+"""Scaling-analysis utilities over modeled (or measured) time series.
+
+Small, composable helpers the experiments and downstream users share:
+parallel efficiency, crossover finding (at what core count does solver B
+overtake solver A?), sweet-spot detection, and Amdahl-style fraction
+fitting -- the quantitative vocabulary of the paper's scaling plots.
+"""
+
+import math
+
+from repro.core.errors import ConfigurationError
+
+
+def speedup_series(times, baseline_index=0):
+    """Speedups relative to the entry at ``baseline_index``."""
+    if not times:
+        raise ConfigurationError("empty time series")
+    base = times[baseline_index]
+    if base <= 0:
+        raise ConfigurationError("baseline time must be positive")
+    return [base / t for t in times]
+
+
+def parallel_efficiency(cores, times):
+    """Strong-scaling efficiency vs the first point.
+
+    ``eff(p) = (t0 * p0) / (t(p) * p)`` -- 1.0 means perfect scaling.
+    """
+    if len(cores) != len(times):
+        raise ConfigurationError("cores and times must align")
+    if not cores:
+        raise ConfigurationError("empty series")
+    t0, p0 = times[0], cores[0]
+    return [(t0 * p0) / (t * p) for p, t in zip(cores, times)]
+
+
+def crossover_cores(cores, times_a, times_b):
+    """First core count at which series B becomes faster than series A.
+
+    Returns ``None`` if B never wins.  Interpolates log-linearly between
+    sweep points for a smoother estimate when the flip happens between
+    samples.
+    """
+    if not (len(cores) == len(times_a) == len(times_b)):
+        raise ConfigurationError("series must align")
+    prev = None
+    for i, (p, a, b) in enumerate(zip(cores, times_a, times_b)):
+        if b < a:
+            if i == 0 or prev is None:
+                return p
+            # log-linear interpolation of the sign change of (a - b)
+            p0, d0 = prev
+            d1 = a - b
+            if d0 == d1:
+                return p
+            frac = -d0 / (d1 - d0)
+            logp = math.log(p0) + frac * (math.log(p) - math.log(p0))
+            return math.exp(logp)
+        prev = (p, a - b)
+    return None
+
+
+def sweet_spot(cores, times):
+    """The core count minimizing time (the scaling curve's bottom).
+
+    Returns ``(cores, time)``; for monotonically improving series this is
+    simply the last point.
+    """
+    if not cores:
+        raise ConfigurationError("empty series")
+    best = min(range(len(cores)), key=lambda i: times[i])
+    return cores[best], times[best]
+
+
+def degradation_onset(cores, times, slack=1.0):
+    """First core count where time starts *increasing* past the minimum.
+
+    ``slack`` > 1 ignores noise-level upticks.  Returns ``None`` for
+    monotone series.  This is the quantity behind the paper's
+    "ChronGear performance begins to degrade after about 2,700 cores".
+    """
+    best = float("inf")
+    for p, t in zip(cores, times):
+        if t < best:
+            best = t
+        elif t > slack * best:
+            return p
+    return None
+
+
+def amdahl_serial_fraction(cores, times):
+    """Least-squares fit of Amdahl's law ``t(p) = t1 (s + (1-s)/p)``.
+
+    Returns the serial fraction ``s`` in [0, 1].  Useful as a one-number
+    summary of how much non-scaling work (read: global reductions) a
+    configuration carries.
+    """
+    if len(cores) < 2:
+        raise ConfigurationError("need at least two points to fit")
+    # Linear least squares in the basis {1, 1/p}: t = a + b/p with
+    # a = t1*s, b = t1*(1-s).
+    n = len(cores)
+    xs = [1.0 / p for p in cores]
+    sx = sum(xs)
+    sxx = sum(x * x for x in xs)
+    sy = sum(times)
+    sxy = sum(x * t for x, t in zip(xs, times))
+    denom = n * sxx - sx * sx
+    if denom == 0:
+        raise ConfigurationError("degenerate core counts")
+    b = (n * sxy - sx * sy) / denom
+    a = (sy - b * sx) / n
+    t1 = a + b
+    if t1 <= 0:
+        return 1.0
+    return min(max(a / t1, 0.0), 1.0)

@@ -1,0 +1,133 @@
+"""Machine parameter sets for the timing models.
+
+Parameters follow the paper's cost decomposition (section 2.2):
+
+* ``theta`` -- seconds per flop *unit* (one stencil coefficient MAC in
+  the paper's ``9 n^2`` bookkeeping).  An effective, not peak, rate.
+* ``alpha`` -- point-to-point message latency (halo strips).
+* ``beta`` -- seconds per byte of point-to-point payload.
+* all-reduce time -- modeled as
+  ``ar_alpha * ceil(log2 p) + ar_linear * p``.
+  The first term is the binomial reduction tree of the paper's Eq. (2);
+  the second is the straggler/synchronization penalty that grows with
+  rank count (OS noise and network contention -- the paper cites
+  Ferreira et al. 2008 and observes exactly this effect dominating at
+  large ``p``).  A pure ``log p`` model cannot reproduce the measured
+  ~20x growth of reduction cost from ~1k to ~16k cores that the paper's
+  own Figure 2/10 timings show; an additional per-rank penalty can
+  (every extra rank adds another chance of a delayed arrival the
+  synchronizing collective must wait out).
+* ``noise_cv`` -- coefficient of variation of multiplicative run-to-run
+  noise on *communication* phases.  Edison's Aries/dragonfly placement
+  variability (Wang et al., SC14 poster) gives it a much larger value;
+  experiments reproduce the paper's §5.3 protocol of averaging the best
+  three runs for ChronGear on Edison.
+
+Calibration: constants were fit so the modeled curves land in the range
+the paper reports (Figures 7, 8, 10, 11) for the full-size grids; they
+are *effective* parameters of those machines' behavior under POP, not
+datasheet numbers.  One systematic compensation is folded in: our
+iteration counts are measured from cold-started solves, roughly twice
+what warm-started production solves need, so the effective per-event
+times sit below raw hardware values.  EXPERIMENTS.md records
+paper-vs-modeled values.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Effective performance parameters of one machine."""
+
+    name: str
+    #: Seconds per flop unit (stencil-MAC equivalent).
+    theta: float
+    #: Point-to-point latency, seconds per message.
+    alpha: float
+    #: Seconds per byte of point-to-point payload.
+    beta: float
+    #: All-reduce: seconds per binomial-tree level.
+    ar_alpha: float
+    #: All-reduce: straggler/contention coefficient (seconds per rank).
+    ar_linear: float
+    #: Run-to-run multiplicative noise (coefficient of variation) on
+    #: communication phases.
+    noise_cv: float = 0.0
+
+    # ------------------------------------------------------------------
+    def allreduce_time(self, p, words=2):
+        """Seconds for one all-reduce over ``p`` ranks.
+
+        ``words`` is the payload per rank (1-2 doubles here): it rides
+        inside a single packet, so only latency terms matter -- the
+        paper notes the reduction has "virtually no data exchange".
+        """
+        if p < 1:
+            raise ConfigurationError(f"rank count must be >= 1, got {p}")
+        if p == 1:
+            return 0.0
+        depth = math.ceil(math.log2(p))
+        return self.ar_alpha * depth + self.ar_linear * p
+
+    def halo_time(self, words, messages=4):
+        """Seconds for one halo update moving ``words`` 8-byte words."""
+        return messages * self.alpha + words * 8 * self.beta
+
+    def compute_time(self, flops):
+        """Seconds for ``flops`` flop units on one rank."""
+        return flops * self.theta
+
+    def describe(self):
+        """One-line summary."""
+        return (
+            f"{self.name}: theta={self.theta:.2e}s/flop, "
+            f"alpha={self.alpha:.2e}s, beta={self.beta:.2e}s/B, "
+            f"allreduce={self.ar_alpha:.2e}s/level + {self.ar_linear:.2e}s*p, "
+            f"noise_cv={self.noise_cv}"
+        )
+
+
+#: NCAR Yellowstone: 2.6 GHz Sandy Bridge, 13.6 GBps InfiniBand fat
+#: tree (paper section 5).  Effective parameters calibrated against the
+#: paper's Figures 7/8/10.
+YELLOWSTONE = MachineSpec(
+    name="yellowstone",
+    theta=1.2e-9,
+    alpha=1.8e-6,
+    beta=1.4e-10,
+    ar_alpha=2.0e-6,
+    ar_linear=1.0e-8,
+    noise_cv=0.08,
+)
+
+#: NERSC Edison: 2.4 GHz Ivy Bridge, Cray Aries dragonfly (paper
+#: section 5.3).  Slightly slower effective per-core rate, lower p2p
+#: latency, but substantially larger reduction-time variability from
+#: job-placement contention; the paper measured a larger barotropic
+#: time than Yellowstone (26.2 s vs 19.0 s for ChronGear at 16,875
+#: cores) with much noisier ChronGear runs.
+EDISON = MachineSpec(
+    name="edison",
+    theta=1.35e-9,
+    alpha=1.4e-6,
+    beta=1.0e-10,
+    ar_alpha=2.2e-6,
+    ar_linear=1.5e-8,
+    noise_cv=0.35,
+)
+
+_MACHINES = {m.name: m for m in (YELLOWSTONE, EDISON)}
+
+
+def get_machine(name):
+    """Look up a machine spec by name (case-insensitive)."""
+    key = name.lower()
+    if key not in _MACHINES:
+        raise ConfigurationError(
+            f"unknown machine {name!r}; known: {sorted(_MACHINES)}"
+        )
+    return _MACHINES[key]

@@ -1,0 +1,121 @@
+"""Whole-POP cost model: baroclinic + barotropic, rates, percentages.
+
+The paper's headline quantities are not solver times alone but their
+effect on the whole ocean model: the fraction of POP time spent in the
+barotropic solver (Figures 1 and 9), the total-execution improvement
+(Table 1) and the core simulation rate in simulated years per wall-clock
+day (Figures 8 and 11).
+
+The baroclinic mode -- the 3-D dynamics and thermodynamics -- scales
+almost perfectly (its stencil work is ``O(N^2 L / p)`` with only
+nearest-neighbor communication), which is exactly why the barotropic
+solver's global reductions come to dominate at scale.  We model the
+baroclinic day cost as
+
+``T_bc = W * (N^2/p) * steps * theta  +  steps * [H * T_halo + R * T_ar]``
+
+with ``W`` the effective flop units per point per step (the 3-D work,
+~60 vertical levels), ``H`` halo exchanges per step (3-D fields), and
+``R`` the few diagnostic all-reduces per step.  Constants are calibrated
+so the 0.1-degree percentage-of-time curve matches the paper's Figure 1
+(5% barotropic at 470 cores growing to ~50% at 16,875 with
+diagonal-ChronGear); EXPERIMENTS.md records the calibration.
+
+Run-to-run noise: :func:`noisy_run_times` draws multiplicative
+log-normal noise on the communication phases (seeded), reproducing the
+paper's Edison protocol (section 5.3) where ChronGear times varied so
+much that "the average of the best three results" was reported.
+"""
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.constants import SECONDS_PER_DAY
+from repro.core.rng import make_rng
+
+
+@dataclass
+class PopCostModel:
+    """Effective baroclinic-mode cost constants.
+
+    Attributes
+    ----------
+    flops_per_point_step:
+        Flop units per grid point per time step for the 3-D baroclinic
+        work (order 60 levels x a few hundred flop units per level).
+    halo_exchanges_per_step:
+        3-D halo updates per step (batched over levels).
+    allreduces_per_step:
+        Diagnostic/CFL reductions per step.
+    """
+
+    flops_per_point_step: float = 26000.0
+    halo_exchanges_per_step: int = 40
+    allreduces_per_step: int = 2
+
+    def baroclinic_day_time(self, n_global, steps_per_day, p, machine):
+        """Modeled baroclinic seconds per simulated day on ``p`` ranks."""
+        n2_per_rank = n_global / p
+        compute = (self.flops_per_point_step * n2_per_rank
+                   * steps_per_day * machine.theta)
+        halo_words = 8.0 * math.sqrt(n2_per_rank)
+        comm = steps_per_day * (
+            self.halo_exchanges_per_step * machine.halo_time(halo_words)
+            + self.allreduces_per_step * machine.allreduce_time(p)
+        )
+        return compute + comm
+
+
+#: Default model instance used by the experiments.
+DEFAULT_POP_MODEL = PopCostModel()
+
+
+def baroclinic_day_time(n_global, steps_per_day, p, machine,
+                        model=DEFAULT_POP_MODEL):
+    """Module-level convenience over :class:`PopCostModel`."""
+    return model.baroclinic_day_time(n_global, steps_per_day, p, machine)
+
+
+def simulation_rate_sypd(day_seconds):
+    """Simulated years per wall-clock day for a per-simulated-day cost."""
+    if day_seconds <= 0:
+        raise ValueError(f"day time must be positive, got {day_seconds}")
+    return SECONDS_PER_DAY / (day_seconds * 365.0)
+
+
+def barotropic_fraction(barotropic_day, baroclinic_day):
+    """Fraction of core POP time spent in the barotropic solver."""
+    total = barotropic_day + baroclinic_day
+    return barotropic_day / total if total > 0 else 0.0
+
+
+def noisy_run_times(times, machine, seed=0, n_runs=5):
+    """Simulate run-to-run variability of one configuration.
+
+    ``times`` is a :class:`~repro.perfmodel.timing.PhaseTimes`; the
+    communication phases (boundary + reduction) are multiplied by
+    independent log-normal factors with coefficient of variation
+    ``machine.noise_cv`` per run.  Returns the list of total seconds,
+    one per run.
+    """
+    rng = make_rng(seed)
+    cv = machine.noise_cv
+    comm = times.boundary + times.reduction
+    fixed = times.computation + times.preconditioning
+    if cv <= 0.0:
+        return [fixed + comm] * n_runs
+    sigma = math.sqrt(math.log(1.0 + cv * cv))
+    mu = -0.5 * sigma * sigma  # unit mean
+    factors = np.exp(rng.normal(mu, sigma, size=n_runs))
+    return [float(fixed + comm * f) for f in factors]
+
+
+def average_best(values, k=3):
+    """Mean of the ``k`` smallest values (the paper's Edison protocol)."""
+    if not values:
+        raise ValueError("no run times given")
+    ordered = sorted(values)
+    k = min(k, len(ordered))
+    return sum(ordered[:k]) / k

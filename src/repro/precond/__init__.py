@@ -1,0 +1,49 @@
+"""Preconditioners for the barotropic solvers.
+
+* :mod:`repro.precond.base` -- the interface every preconditioner
+  implements (global and per-rank application, flop accounting),
+* :mod:`repro.precond.identity` -- no preconditioning,
+* :mod:`repro.precond.diagonal` -- POP's historical diagonal scaling,
+* :mod:`repro.precond.evp` -- the paper's block Error-Vector-Propagation
+  preconditioner (section 4), with full and simplified stencils,
+* :mod:`repro.precond.block_lu` -- block-Jacobi with exact dense block
+  solves, the ``O(n^4)``-work comparator EVP displaces (section 4.1).
+"""
+
+from repro.precond.base import Preconditioner
+from repro.precond.identity import IdentityPreconditioner
+from repro.precond.diagonal import DiagonalPreconditioner
+from repro.precond.evp import EVPBlockPreconditioner, EVPTileEngine
+from repro.precond.block_lu import BlockLUPreconditioner
+
+__all__ = [
+    "Preconditioner",
+    "IdentityPreconditioner",
+    "DiagonalPreconditioner",
+    "EVPBlockPreconditioner",
+    "EVPTileEngine",
+    "BlockLUPreconditioner",
+    "make_preconditioner",
+]
+
+
+def make_preconditioner(kind, stencil, decomp=None, **kwargs):
+    """Factory: build a preconditioner by name.
+
+    ``kind`` is one of ``"identity"``, ``"diagonal"``, ``"evp"``,
+    ``"block_lu"``.  ``decomp`` is required for the block
+    preconditioners (and optional for the point-wise ones).
+    """
+    kind = kind.lower()
+    if kind in ("identity", "none"):
+        return IdentityPreconditioner(stencil, decomp=decomp, **kwargs)
+    if kind in ("diagonal", "diag"):
+        return DiagonalPreconditioner(stencil, decomp=decomp, **kwargs)
+    if kind == "evp":
+        return EVPBlockPreconditioner(stencil, decomp=decomp, **kwargs)
+    if kind in ("block_lu", "blocklu", "lu"):
+        return BlockLUPreconditioner(stencil, decomp=decomp, **kwargs)
+    raise ValueError(
+        f"unknown preconditioner kind {kind!r}; expected identity, diagonal, "
+        "evp or block_lu"
+    )

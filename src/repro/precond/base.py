@@ -1,0 +1,96 @@
+"""The preconditioner interface.
+
+A preconditioner ``M`` approximates the operator ``A`` and must be cheap
+to apply.  Solvers call it through one of two entry points:
+
+* :meth:`Preconditioner.apply_global` -- ``z = M^-1 r`` on a full
+  ``(ny, nx)`` field (used by the serial solver context),
+* :meth:`Preconditioner.apply_block` -- the same restricted to one
+  simulated rank's interior (used by the distributed context).
+
+Every preconditioner in this package is *block-local or point-local*:
+applying it requires **no halo communication** (the defining property
+that makes block preconditioning attractive in POP -- paper section 4.1).
+Cost accounting mirrors the paper's conventions: ``apply_flops(rank)``
+returns the flop units one application costs on a rank, and
+``setup_flops(rank)`` the one-time preprocessing cost (e.g. EVP's
+influence-matrix construction, Eq. ``C_pre`` in section 4.2).
+"""
+
+import abc
+
+import numpy as np
+
+from repro.core.errors import SolverError
+
+
+class Preconditioner(abc.ABC):
+    """Abstract base class for all preconditioners.
+
+    Parameters
+    ----------
+    stencil:
+        The global :class:`~repro.grid.stencil.StencilCoeffs` of ``A``.
+    decomp:
+        Optional :class:`~repro.parallel.decomposition.Decomposition`.
+        Point-local preconditioners ignore it except for flop
+        accounting; block preconditioners require it to know the block
+        boundaries (``None`` means "one block covering the whole grid").
+    """
+
+    #: Short name used in experiment tables ("diagonal", "evp", ...).
+    name = "abstract"
+
+    def __init__(self, stencil, decomp=None):
+        self.stencil = stencil
+        self.decomp = decomp
+        self.mask = np.asarray(stencil.mask, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def apply_global(self, r, out=None):
+        """``z = M^-1 r`` over the full grid.  ``z`` is masked (zero on land)."""
+
+    @abc.abstractmethod
+    def apply_block(self, rank, r_interior, out=None):
+        """``z = M^-1 r`` restricted to ``rank``'s block interior."""
+
+    # ------------------------------------------------------------------
+    # cost accounting (flop units per the paper's theta-bookkeeping)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def apply_flops(self, rank=None):
+        """Flop units one application costs on ``rank``.
+
+        ``rank=None`` means the critical-path rank (maximum over ranks).
+        """
+
+    def setup_flops(self, rank=None):
+        """One-time preprocessing flop units (0 unless overridden)."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # helpers shared by subclasses
+    # ------------------------------------------------------------------
+    def _rank_block(self, rank):
+        """The :class:`Block` of ``rank`` (the whole grid if no decomp)."""
+        if self.decomp is None:
+            if rank not in (None, 0):
+                raise SolverError(
+                    f"preconditioner has no decomposition; rank {rank} undefined"
+                )
+            return None
+        return self.decomp.active_blocks[rank]
+
+    def _max_block_points(self):
+        if self.decomp is None:
+            return self.stencil.shape[0] * self.stencil.shape[1]
+        return self.decomp.max_block_points()
+
+    @property
+    def is_spd(self):
+        """Whether ``M`` is symmetric positive definite on the ocean
+        subspace (all shipped preconditioners are)."""
+        return True

@@ -1,0 +1,34 @@
+"""The identity (no-op) preconditioner.
+
+``M = I`` turns P-CSI back into the plain CSI solver of Hu et al. 2013
+and ChronGear into unpreconditioned CG-with-fused-reductions.  Kept as
+the baseline for every preconditioning comparison.
+"""
+
+import numpy as np
+
+from repro.precond.base import Preconditioner
+
+
+class IdentityPreconditioner(Preconditioner):
+    """``z = r`` (masked)."""
+
+    name = "identity"
+
+    def apply_global(self, r, out=None):
+        if out is None:
+            out = np.empty_like(r)
+        np.multiply(r, self.mask, out=out)
+        return out
+
+    def apply_block(self, rank, r_interior, out=None):
+        block = self._rank_block(rank)
+        local_mask = self.mask if block is None else self.mask[block.slices]
+        if out is None:
+            out = np.empty_like(r_interior)
+        np.multiply(r_interior, local_mask, out=out)
+        return out
+
+    def apply_flops(self, rank=None):
+        """Identity costs nothing in the paper's accounting."""
+        return 0

@@ -1,0 +1,48 @@
+"""Structured reporting: paper values, result serialization, comparison.
+
+* :mod:`repro.reporting.paper` -- every number the paper reports, as
+  structured data (the machine-readable companion of EXPERIMENTS.md),
+* :mod:`repro.reporting.serialize` -- JSON round-tripping of
+  :class:`~repro.experiments.common.ExperimentResult`,
+* :mod:`repro.reporting.compare` -- paper-vs-measured comparison tables
+  with band classification (match / close / deviation),
+* :mod:`repro.reporting.runner` -- run every experiment and write a
+  results directory.
+"""
+
+from repro.reporting.paper import (
+    PAPER,
+    PaperValue,
+    get_paper_value,
+    paper_values_for,
+)
+from repro.reporting.serialize import (
+    result_from_json,
+    result_to_json,
+    load_result,
+    save_result,
+)
+from repro.reporting.compare import (
+    Comparison,
+    classify,
+    compare_value,
+    comparison_table,
+)
+from repro.reporting.runner import run_all, DEFAULT_PLAN
+
+__all__ = [
+    "PAPER",
+    "PaperValue",
+    "get_paper_value",
+    "paper_values_for",
+    "result_to_json",
+    "result_from_json",
+    "save_result",
+    "load_result",
+    "Comparison",
+    "classify",
+    "compare_value",
+    "comparison_table",
+    "run_all",
+    "DEFAULT_PLAN",
+]

@@ -1,0 +1,114 @@
+"""Paper-vs-measured comparison with band classification.
+
+Bands follow the reproduction contract in EXPERIMENTS.md's reading
+guide:
+
+* ``exact`` paper values must match within ``exact_rtol`` (default 1%),
+* ``shape`` values should land within a factor-of-``shape_band``
+  (default 2) of the paper's number,
+* ``qualitative`` values compare string verdicts.
+
+Classification labels: ``"match"``, ``"close"`` (within twice the band),
+``"deviation"``.
+"""
+
+from dataclasses import dataclass
+
+from repro.reporting.paper import get_paper_value
+
+
+@dataclass
+class Comparison:
+    """Outcome of comparing one measured value against the paper."""
+
+    key: str
+    description: str
+    paper: object
+    measured: object
+    band: str          # match / close / deviation
+    ratio: float = None
+    units: str = ""
+
+    def describe(self):
+        ratio = f" (x{self.ratio:.2f})" if self.ratio is not None else ""
+        return (f"[{self.band:9s}] {self.key}: paper={self.paper} "
+                f"measured={self.measured}{ratio}")
+
+
+def classify(paper_value, measured, exact_rtol=0.01, shape_band=2.0):
+    """Band classification for one measurement."""
+    kind = paper_value.kind
+    if kind == "qualitative":
+        same = str(measured).strip().lower() == \
+            str(paper_value.value).strip().lower()
+        return "match" if same else "deviation"
+
+    paper = float(paper_value.value)
+    measured = float(measured)
+    if paper == 0.0:
+        return "match" if measured == 0.0 else "deviation"
+    # Signed quantities (e.g. Table 1 percentages): compare on the value
+    # axis, not the ratio axis, when signs differ.
+    if paper * measured <= 0.0:
+        return "deviation"
+    ratio = measured / paper
+    if kind == "exact":
+        if abs(ratio - 1.0) <= exact_rtol:
+            return "match"
+        if abs(ratio - 1.0) <= 5 * exact_rtol:
+            return "close"
+        return "deviation"
+    # shape
+    if max(ratio, 1.0 / ratio) <= shape_band:
+        return "match"
+    if max(ratio, 1.0 / ratio) <= 2.0 * shape_band:
+        return "close"
+    return "deviation"
+
+
+def compare_value(key, measured, **kwargs):
+    """Compare one measured value against the registered paper value."""
+    paper_value = get_paper_value(key)
+    band = classify(paper_value, measured, **kwargs)
+    ratio = None
+    if paper_value.kind != "qualitative":
+        paper = float(paper_value.value)
+        if paper != 0.0 and float(measured) * paper > 0.0:
+            ratio = float(measured) / paper
+    return Comparison(
+        key=key,
+        description=paper_value.description,
+        paper=paper_value.value,
+        measured=measured,
+        band=band,
+        ratio=ratio,
+        units=paper_value.units,
+    )
+
+
+def comparison_table(measurements, **kwargs):
+    """Compare a ``{key: measured}`` mapping; returns sorted Comparisons.
+
+    Order: deviations first (they need eyes), then close, then matches.
+    """
+    order = {"deviation": 0, "close": 1, "match": 2}
+    rows = [compare_value(key, value, **kwargs)
+            for key, value in measurements.items()]
+    rows.sort(key=lambda c: (order[c.band], c.key))
+    return rows
+
+
+def render_comparison(rows):
+    """Human-readable multi-line rendering of a comparison table."""
+    lines = [f"{'band':9s}  {'key':34s}  {'paper':>12s}  {'measured':>12s}"]
+    for row in rows:
+        paper = f"{row.paper}"[:12]
+        measured = f"{row.measured}"[:12]
+        lines.append(f"{row.band:9s}  {row.key:34s}  {paper:>12s}  "
+                     f"{measured:>12s}")
+    counts = {}
+    for row in rows:
+        counts[row.band] = counts.get(row.band, 0) + 1
+    lines.append("summary: " + ", ".join(
+        f"{counts.get(b, 0)} {b}" for b in ("match", "close", "deviation")))
+    return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Every quantitative claim of the paper, as structured data.
+
+The machine-readable companion of EXPERIMENTS.md: each
+:class:`PaperValue` records where in the paper a number comes from, what
+it measures, and how strictly the reproduction is expected to track it
+(``kind``):
+
+* ``"exact"``      -- structural facts that must reproduce exactly,
+* ``"shape"``      -- magnitudes the reproduction should land near
+  (factor-of-~2 band),
+* ``"qualitative"``-- orderings/verdicts that must hold, value is
+  informational.
+
+The comparison machinery in :mod:`repro.reporting.compare` consumes
+these records.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperValue:
+    """One number (or verdict) the paper reports."""
+
+    key: str          # stable identifier, e.g. "fig08.speedup_pcsi_evp"
+    artifact: str     # paper artifact ("fig08", "table1", "sec4.3", ...)
+    description: str
+    value: object     # float, tuple, or string verdict
+    kind: str = "shape"
+    units: str = ""
+
+    def __post_init__(self):
+        if self.kind not in ("exact", "shape", "qualitative"):
+            raise ValueError(f"unknown kind {self.kind!r}")
+
+
+_VALUES = [
+    # --- section 1 / figure 1 -----------------------------------------
+    PaperValue("fig01.fraction_low", "fig01",
+               "barotropic share of core POP time at 470 cores",
+               0.05, "shape"),
+    PaperValue("fig01.fraction_high", "fig01",
+               "barotropic share at >16k cores", 0.50, "shape"),
+    # --- section 2 cost model ------------------------------------------
+    PaperValue("eq2.chrongear_flops_per_point", "eq2",
+               "ChronGear+diagonal flop units per point per iteration",
+               18.0, "exact"),
+    PaperValue("eq3.pcsi_flops_per_point", "eq3",
+               "P-CSI+diagonal flop units per point per iteration",
+               13.0, "exact"),
+    PaperValue("eq5.chrongear_evp_flops_per_point", "eq5",
+               "ChronGear+EVP flop units per point per iteration",
+               31.0, "exact"),
+    PaperValue("eq6.pcsi_evp_flops_per_point", "eq6",
+               "P-CSI+EVP flop units per point per iteration",
+               26.0, "exact"),
+    # --- section 4 EVP --------------------------------------------------
+    PaperValue("sec4.evp_roundoff_12x12", "sec4.3",
+               "EVP marching round-off at 12x12 blocks", 1e-8, "shape"),
+    PaperValue("sec4.evp_solve_cost", "sec4.2",
+               "EVP solve cost at n=12: 2*9n^2 + (2n-5)^2", 2953.0,
+               "exact", units="flop units"),
+    PaperValue("sec4.simplified_cost_ratio", "sec4.3",
+               "full/simplified EVP cost ratio (22n^2 / 14n^2)",
+               22.0 / 14.0, "shape"),
+    PaperValue("fig06.evp_iteration_cut", "fig06",
+               "iteration reduction from EVP preconditioning", 3.0,
+               "shape", units="x"),
+    PaperValue("fig06.highres_fewer_iterations", "fig06",
+               "0.1-degree needs fewer iterations than 1-degree",
+               "true", "qualitative"),
+    # --- figure 7 / table 1 ---------------------------------------------
+    PaperValue("fig07.chrongear_768", "fig07",
+               "1-degree ChronGear+diagonal at 768 cores", 0.58,
+               "shape", units="s/day"),
+    PaperValue("fig07.pcsi_speedup_768", "fig07",
+               "1-degree P-CSI+diagonal speedup at 768 cores", 1.4,
+               "shape", units="x"),
+    PaperValue("fig07.pcsi_evp_speedup_768", "fig07",
+               "1-degree P-CSI+EVP speedup at 768 cores", 1.6,
+               "shape", units="x"),
+    PaperValue("table1.pcsi_evp_768", "table1",
+               "whole-POP improvement, P-CSI+EVP at 768 cores", 0.167,
+               "shape"),
+    PaperValue("table1.pcsi_evp_48", "table1",
+               "whole-POP improvement, P-CSI+EVP at 48 cores", -0.024,
+               "shape"),
+    # --- figure 8 --------------------------------------------------------
+    PaperValue("fig08.chrongear_16875", "fig08",
+               "0.1-degree ChronGear+diagonal at 16,875 cores", 19.0,
+               "shape", units="s/day"),
+    PaperValue("fig08.pcsi_16875", "fig08",
+               "0.1-degree P-CSI+diagonal at 16,875 cores", 4.4,
+               "shape", units="s/day"),
+    PaperValue("fig08.speedup_pcsi_diag", "fig08",
+               "P-CSI+diagonal barotropic speedup", 4.3, "shape",
+               units="x"),
+    PaperValue("fig08.speedup_chrongear_evp", "fig08",
+               "ChronGear+EVP barotropic speedup", 1.4, "shape",
+               units="x"),
+    PaperValue("fig08.speedup_pcsi_evp", "fig08",
+               "P-CSI+EVP barotropic speedup", 5.2, "shape", units="x"),
+    PaperValue("fig08.sypd_baseline", "fig08",
+               "core simulation rate, baseline", 6.2, "shape",
+               units="SYPD"),
+    PaperValue("fig08.sypd_pcsi_evp", "fig08",
+               "core simulation rate, P-CSI+EVP", 10.5, "shape",
+               units="SYPD"),
+    PaperValue("fig08.rate_gain", "fig08",
+               "simulation-rate gain from the new solver", 1.7, "shape",
+               units="x"),
+    # --- figure 9 ---------------------------------------------------------
+    PaperValue("fig09.fraction_high", "fig09",
+               "barotropic share at 16,875 cores with P-CSI+EVP", 0.16,
+               "shape"),
+    # --- figure 10 ----------------------------------------------------------
+    PaperValue("fig10.reduction_dip", "fig10",
+               "ChronGear reduction time decreases below ~1200 cores",
+               "true", "qualitative"),
+    # --- figure 11 (Edison) ---------------------------------------------------
+    PaperValue("fig11.chrongear_16875", "fig11",
+               "Edison ChronGear+diagonal at 16,875 cores", 26.2,
+               "shape", units="s/day"),
+    PaperValue("fig11.pcsi_16875", "fig11",
+               "Edison P-CSI+diagonal at 16,875 cores", 7.0, "shape",
+               units="s/day"),
+    PaperValue("fig11.speedup_pcsi_diag", "fig11",
+               "Edison P-CSI+diagonal speedup", 3.7, "shape", units="x"),
+    PaperValue("fig11.speedup_pcsi_evp", "fig11",
+               "Edison P-CSI+EVP speedup", 5.6, "shape", units="x"),
+    PaperValue("fig11.chrongear_noisy", "fig11",
+               "ChronGear run-to-run variability large; P-CSI small",
+               "true", "qualitative"),
+    # --- section 6 -----------------------------------------------------------
+    PaperValue("fig12.rmse_insufficient", "fig12",
+               "temperature RMSE does not order by solver tolerance",
+               "true", "qualitative"),
+    PaperValue("fig13.loose_flagged", "fig13",
+               "RMSZ flags 1e-10 and 1e-11 tolerance cases",
+               "INCONSISTENT", "qualitative"),
+    PaperValue("fig13.pcsi_consistent", "fig13",
+               "P-CSI results consistent with the ensemble",
+               "consistent", "qualitative"),
+    PaperValue("sec6.ensemble_size", "sec6",
+               "ensemble size found sufficient", 40.0, "exact"),
+    PaperValue("sec6.perturbation", "sec6",
+               "initial temperature perturbation magnitude", 1e-14,
+               "exact"),
+    PaperValue("sec6.default_tolerance", "sec6",
+               "POP default solver tolerance", 1e-13, "exact"),
+    # --- section 3 -------------------------------------------------------------
+    PaperValue("sec3.lanczos_tolerance", "sec3",
+               "Lanczos convergence tolerance that works at both "
+               "resolutions", 0.15, "exact"),
+    # --- section 5.2 --------------------------------------------------------------
+    PaperValue("sec5.check_freq", "sec5.2",
+               "convergence checked every N iterations", 10.0, "exact"),
+    PaperValue("sec5.block_aspect", "sec5.2",
+               "block aspect ratio used for 0.1-degree decompositions",
+               1.5, "exact"),
+]
+
+#: key -> PaperValue registry.
+PAPER = {v.key: v for v in _VALUES}
+
+
+def get_paper_value(key):
+    """Look up one paper value by key (KeyError with guidance if absent)."""
+    try:
+        return PAPER[key]
+    except KeyError:
+        raise KeyError(
+            f"no paper value {key!r}; known keys: {sorted(PAPER)[:5]}..."
+        ) from None
+
+
+def paper_values_for(artifact):
+    """All paper values belonging to one artifact (e.g. ``"fig08"``)."""
+    return [v for v in PAPER.values() if v.artifact == artifact]

@@ -1,0 +1,190 @@
+"""Run the whole evaluation and produce the paper comparison.
+
+``run_all`` executes a plan of experiments (default: every performance
+artifact at tractable scales; the slow verification figures can be
+included on request), saves each regenerated figure as JSON, extracts
+the headline measurements, and compares them against the structured
+paper values.  This is the automated backbone of EXPERIMENTS.md:
+
+    from repro.reporting import run_all
+    report = run_all(output_dir="results")
+    print(report["rendered"])
+"""
+
+import importlib
+
+from repro.reporting.compare import comparison_table, render_comparison
+from repro.reporting.serialize import save_result
+
+
+# ----------------------------------------------------------------------
+# measurement extractors: ExperimentResult -> {paper_key: measured}
+# ----------------------------------------------------------------------
+def _extract_fig01(result):
+    frac = result.series_by_label("barotropic %").y
+    return {
+        "fig01.fraction_low": frac[0] / 100.0,
+        "fig01.fraction_high": frac[-1] / 100.0,
+    }
+
+
+def _extract_fig06(result):
+    cg = result.series_by_label("ChronGear+Diagonal").y
+    cg_evp = result.series_by_label("ChronGear+EVP").y
+    cuts = [d / e for d, e in zip(cg, cg_evp)]
+    return {
+        "fig06.evp_iteration_cut": sum(cuts) / len(cuts),
+        "fig06.highres_fewer_iterations":
+            "true" if cg[-1] < cg[0] else "false",
+    }
+
+
+def _extract_fig07(result):
+    cg = result.series_by_label("ChronGear+Diagonal").y
+    pcsi = result.series_by_label("P-CSI+Diagonal").y
+    pcsi_evp = result.series_by_label("P-CSI+EVP").y
+    return {
+        "fig07.chrongear_768": cg[-1],
+        "fig07.pcsi_speedup_768": cg[-1] / pcsi[-1],
+        "fig07.pcsi_evp_speedup_768": cg[-1] / pcsi_evp[-1],
+    }
+
+
+def _extract_table1(result):
+    row = result.series_by_label("P-CSI+EVP").y
+    return {
+        "table1.pcsi_evp_48": row[0] / 100.0,
+        "table1.pcsi_evp_768": row[-1] / 100.0,
+    }
+
+
+def _extract_fig08(result):
+    cg = result.series_by_label("ChronGear+Diagonal [s/day]").y
+    cg_evp = result.series_by_label("ChronGear+EVP [s/day]").y
+    pcsi = result.series_by_label("P-CSI+Diagonal [s/day]").y
+    pcsi_evp = result.series_by_label("P-CSI+EVP [s/day]").y
+    sypd_base = result.series_by_label("ChronGear+Diagonal [SYPD]").y
+    sypd_best = result.series_by_label("P-CSI+EVP [SYPD]").y
+    return {
+        "fig08.chrongear_16875": cg[-1],
+        "fig08.pcsi_16875": pcsi[-1],
+        "fig08.speedup_pcsi_diag": cg[-1] / pcsi[-1],
+        "fig08.speedup_chrongear_evp": cg[-1] / cg_evp[-1],
+        "fig08.speedup_pcsi_evp": cg[-1] / pcsi_evp[-1],
+        "fig08.sypd_baseline": sypd_base[-1],
+        "fig08.sypd_pcsi_evp": sypd_best[-1],
+        "fig08.rate_gain": sypd_best[-1] / sypd_base[-1],
+    }
+
+
+def _extract_fig09(result):
+    frac = result.series_by_label("barotropic %").y
+    return {"fig09.fraction_high": frac[-1] / 100.0}
+
+
+def _extract_fig10(result):
+    dip = result.notes["ChronGear reduction-time minimum at cores"]
+    cores = result.series[0].x
+    return {"fig10.reduction_dip": "true" if dip > cores[0] else "false"}
+
+
+def _extract_fig11(result):
+    cg = result.series_by_label("ChronGear+Diagonal [s/day]").y
+    pcsi = result.series_by_label("P-CSI+Diagonal [s/day]").y
+    pcsi_evp = result.series_by_label("P-CSI+EVP [s/day]").y
+    spread_cg = result.series_by_label(
+        "ChronGear+Diagonal run spread [s]").y
+    spread_pcsi = result.series_by_label("P-CSI+EVP run spread [s]").y
+    return {
+        "fig11.chrongear_16875": cg[-1],
+        "fig11.pcsi_16875": pcsi[-1],
+        "fig11.speedup_pcsi_diag": cg[-1] / pcsi[-1],
+        "fig11.speedup_pcsi_evp": cg[-1] / pcsi_evp[-1],
+        "fig11.chrongear_noisy":
+            "true" if spread_cg[-1] > 2 * spread_pcsi[-1] else "false",
+    }
+
+
+def _extract_fig05(result):
+    sizes = result.series_by_label("relative round-off").x
+    roundoff = result.series_by_label("relative round-off").y
+    by_size = dict(zip(sizes, roundoff))
+    return {"sec4.evp_roundoff_12x12": by_size.get(12, roundoff[-1])}
+
+
+def _extract_fig13(result):
+    verdicts = result.notes["verdicts"]
+    loose = verdicts.get("tol=1e-10", "?")
+    pcsi = [v for k, v in verdicts.items() if k.startswith("P-CSI")]
+    return {
+        "fig13.loose_flagged": loose,
+        "fig13.pcsi_consistent": pcsi[0] if pcsi else "?",
+    }
+
+
+#: (experiment module, run kwargs, extractor) -- the default plan.
+DEFAULT_PLAN = [
+    ("repro.experiments.fig01_time_fraction", {"scale": 0.25},
+     _extract_fig01),
+    ("repro.experiments.fig05_evp_marching", {}, _extract_fig05),
+    ("repro.experiments.fig06_iterations", {}, _extract_fig06),
+    ("repro.experiments.fig07_lowres_scaling", {}, _extract_fig07),
+    ("repro.experiments.table1_pop_improvement", {}, _extract_table1),
+    ("repro.experiments.fig08_highres_yellowstone", {"scale": 0.25},
+     _extract_fig08),
+    ("repro.experiments.fig09_time_fraction_pcsi", {"scale": 0.25},
+     _extract_fig09),
+    ("repro.experiments.fig10_solver_components", {"scale": 0.25},
+     _extract_fig10),
+    ("repro.experiments.fig11_highres_edison", {"scale": 0.25},
+     _extract_fig11),
+]
+
+#: The slow verification additions (opt in via ``include_verification``).
+VERIFICATION_PLAN = [
+    ("repro.experiments.fig13_rmsz",
+     {"months": 6, "size": 10, "days_per_month": 20,
+      "tolerances": (1e-10, 1e-11, 1e-13)},
+     _extract_fig13),
+]
+
+
+def run_all(output_dir=None, plan=None, include_verification=False,
+            progress=None):
+    """Execute a plan; returns dict with results, comparisons, rendering.
+
+    Parameters
+    ----------
+    output_dir:
+        If given, each regenerated figure is saved there as JSON.
+    plan:
+        Override the default plan (list of
+        ``(module_path, kwargs, extractor)``).
+    include_verification:
+        Append the slow fig13 verification run.
+    progress:
+        Optional callable invoked with each experiment name as it starts.
+    """
+    steps = list(plan if plan is not None else DEFAULT_PLAN)
+    if include_verification:
+        steps += VERIFICATION_PLAN
+
+    results = {}
+    measurements = {}
+    for module_path, kwargs, extractor in steps:
+        module = importlib.import_module(module_path)
+        if progress is not None:
+            progress(module_path)
+        result = module.run(**kwargs)
+        results[result.name] = result
+        if output_dir:
+            save_result(result, output_dir)
+        measurements.update(extractor(result))
+
+    comparisons = comparison_table(measurements)
+    return {
+        "results": results,
+        "measurements": measurements,
+        "comparisons": comparisons,
+        "rendered": render_comparison(comparisons),
+    }

@@ -1,0 +1,74 @@
+"""JSON round-tripping of experiment results.
+
+Keeps regenerated figures on disk so reruns can be compared across
+code versions without re-executing the sweeps.
+"""
+
+import json
+import os
+
+from repro.core.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult, Series
+
+
+def result_to_json(result):
+    """Serialize an :class:`ExperimentResult` to a JSON string."""
+    payload = {
+        "name": result.name,
+        "title": result.title,
+        "series": [
+            {"label": s.label, "x": list(s.x), "y": list(s.y)}
+            for s in result.series
+        ],
+        "notes": {str(k): _jsonable(v) for k, v in result.notes.items()},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _jsonable(value):
+    """Coerce note values (tuples, numpy scalars, ...) to JSON types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def result_from_json(text):
+    """Deserialize a JSON string back to an :class:`ExperimentResult`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise ConfigurationError(f"invalid result JSON: {err}") from None
+    for field in ("name", "title", "series"):
+        if field not in payload:
+            raise ConfigurationError(f"result JSON missing {field!r}")
+    series = [
+        Series(label=s["label"], x=list(s["x"]), y=list(s["y"]))
+        for s in payload["series"]
+    ]
+    return ExperimentResult(
+        name=payload["name"],
+        title=payload["title"],
+        series=series,
+        notes=dict(payload.get("notes", {})),
+    )
+
+
+def save_result(result, directory, filename=None):
+    """Write a result to ``directory/<name>.json``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, filename or f"{result.name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(result_to_json(result))
+    return path
+
+
+def load_result(path):
+    """Read a result back from disk."""
+    with open(path, encoding="utf-8") as handle:
+        return result_from_json(handle.read())

@@ -1,0 +1,188 @@
+"""Shared scaffolding for the iterative solvers.
+
+Handles the pieces the paper holds fixed across solvers so comparisons
+are fair (section 5.2): the convergence criterion (masked residual
+2-norm vs a tolerance relative to ``|b|``), the *check frequency* (POP
+checks every 10 iterations -- each check is an extra global reduction,
+which is P-CSI's only reduction), and the iteration budget.
+"""
+
+import abc
+
+from repro.core.constants import (
+    DEFAULT_CONVERGENCE_CHECK_FREQ,
+    DEFAULT_SOLVER_TOLERANCE,
+)
+from repro.core.errors import ConvergenceError, SolverError
+from repro.solvers.result import SolveResult
+
+
+class IterativeSolver(abc.ABC):
+    """Base class for ChronGear, P-CSI and PCG.
+
+    Parameters
+    ----------
+    context:
+        A :class:`~repro.solvers.context.SolverContext`.
+    tol:
+        Convergence tolerance; the solve stops when
+        ``|r| <= tol * |b|`` (or ``tol`` absolute if ``b`` is zero).
+        POP's default is ``1e-13`` (paper section 6).
+    max_iterations:
+        Iteration budget; exceeded budgets raise
+        :class:`~repro.core.errors.ConvergenceError` unless
+        ``raise_on_failure=False``.
+    check_freq:
+        Iterations between convergence checks (paper: 10).  Each check
+        costs one global reduction.
+    raise_on_failure:
+        Return the non-converged result instead of raising when False.
+    stagnation_checks:
+        Stop early when the checked residual norm has not improved over
+        this many consecutive checks -- the explicit residual
+        ``b - A x`` has a round-off floor (~eps * |A||x|), and asking
+        for a tolerance below it would otherwise burn the whole
+        iteration budget.  A stagnated stop sets ``extra["stagnated"]``
+        and reports ``converged`` by the usual criterion.  ``0``
+        disables the detector.
+    """
+
+    #: Name used in experiment tables; subclasses override.
+    name = "iterative"
+
+    def __init__(self, context, tol=DEFAULT_SOLVER_TOLERANCE,
+                 max_iterations=10000,
+                 check_freq=DEFAULT_CONVERGENCE_CHECK_FREQ,
+                 raise_on_failure=True, stagnation_checks=5):
+        if tol <= 0:
+            raise SolverError(f"tolerance must be positive, got {tol}")
+        if max_iterations < 1:
+            raise SolverError(f"max_iterations must be >= 1, got {max_iterations}")
+        if check_freq < 1:
+            raise SolverError(f"check_freq must be >= 1, got {check_freq}")
+        self.context = context
+        self.tol = float(tol)
+        self.max_iterations = int(max_iterations)
+        self.check_freq = int(check_freq)
+        self.raise_on_failure = bool(raise_on_failure)
+        self.stagnation_checks = int(stagnation_checks)
+
+    # ------------------------------------------------------------------
+    def solve(self, b, x0=None):
+        """Solve ``A x = b``.
+
+        ``b`` and ``x0`` are global ``(ny, nx)`` arrays (``x0`` defaults
+        to zero).  Values on land are ignored (masked).  Returns a
+        :class:`~repro.solvers.result.SolveResult`.
+        """
+        ctx = self.context
+        ledger = ctx.ledger
+        mask = ctx.mask
+
+        b_vec = ctx.from_global(b * mask)
+        if x0 is None:
+            x_vec = ctx.new_vector()
+        else:
+            x_vec = ctx.from_global(x0 * mask)
+
+        before_setup = ledger.snapshot()
+        b_norm = ctx.norm2(b_vec, phase="setup")
+        threshold = self.tol * b_norm if b_norm > 0.0 else self.tol
+        state = self._setup(b_vec, x_vec)
+        after_setup = ledger.snapshot()
+
+        history = []
+        converged = False
+        iterations = 0
+        res_norm = float("inf")
+
+        checked_at = -1
+        best_norm = float("inf")
+        checks_without_progress = 0
+        stagnated = False
+        while iterations < self.max_iterations:
+            iterations += 1
+            self._iterate(state, iterations)
+            if iterations % self.check_freq == 0:
+                res_norm = self._residual_norm(state)
+                checked_at = iterations
+                history.append((iterations, res_norm))
+                if res_norm <= threshold:
+                    converged = True
+                    break
+                if res_norm < best_norm * (1.0 - 1e-6):
+                    best_norm = res_norm
+                    checks_without_progress = 0
+                else:
+                    checks_without_progress += 1
+                    if (self.stagnation_checks
+                            and checks_without_progress
+                            >= self.stagnation_checks):
+                        stagnated = True
+                        break
+
+        if not converged:
+            if checked_at != iterations:
+                res_norm = self._residual_norm(state)
+                history.append((iterations, res_norm))
+            converged = res_norm <= threshold
+            if not converged and self.raise_on_failure:
+                reason = "stagnated at" if stagnated else "failed to reach"
+                raise ConvergenceError(
+                    f"{self.name} {reason} |r| <= {threshold:.3e} after "
+                    f"{iterations} iterations (|r| = {res_norm:.3e})",
+                    iterations=iterations, residual_norm=res_norm,
+                )
+        if stagnated:
+            state.setdefault("extra", {})["stagnated"] = True
+
+        events = ledger.since(after_setup)
+        setup_events = _diff(after_setup, before_setup)
+        return SolveResult(
+            x=ctx.to_global(state["x"]),
+            iterations=iterations,
+            converged=converged,
+            residual_norm=res_norm,
+            b_norm=b_norm,
+            residual_history=history,
+            solver=self.name,
+            preconditioner=ctx.preconditioner.name,
+            events=events,
+            setup_events=setup_events,
+            extra=dict(state.get("extra", {})),
+        )
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _setup(self, b, x):
+        """Initialize solver state; returns a dict with at least
+        ``x`` (current iterate) and ``r`` (current residual)."""
+
+    @abc.abstractmethod
+    def _iterate(self, state, k):
+        """Perform iteration ``k`` in place on ``state``."""
+
+    def _residual_norm(self, state):
+        """Masked residual 2-norm (one global reduction -- the
+        convergence check the paper charges to all solvers)."""
+        return self.context.norm2(state["r"], phase="reduction")
+
+
+def _diff(after, before):
+    """Per-phase difference of two ledger snapshots."""
+    from repro.parallel.events import EventCounts
+
+    out = {}
+    for name in set(after) | set(before):
+        a = after.get(name, EventCounts())
+        b = before.get(name, EventCounts())
+        out[name] = EventCounts(
+            flops=a.flops - b.flops,
+            halo_exchanges=a.halo_exchanges - b.halo_exchanges,
+            halo_words=a.halo_words - b.halo_words,
+            allreduces=a.allreduces - b.allreduces,
+            allreduce_words=a.allreduce_words - b.allreduce_words,
+        )
+    return out

@@ -1,0 +1,361 @@
+"""Solver contexts: the vector space the algorithms are written against.
+
+Each solver (ChronGear, P-CSI, PCG) is implemented exactly once, against
+this small set of primitives:
+
+=================  ====================================================
+``matvec``         ``y = A x`` (halo update + stencil; 9 flop units/pt)
+``precond``        ``z = M^-1 r`` (block/point local; preconditioner's
+                   own flop accounting)
+``dot``            masked global inner product (1 unit/pt computation +
+                   1 unit/pt reduction masking + one all-reduce)
+``dot_pair``       two inner products fused into one all-reduce (the
+                   ChronGear trick)
+``axpy``           ``y += alpha * x`` (1 unit/pt)
+``xpay``           ``y = x + beta * y`` (1 unit/pt)
+``combine``        ``y = a * x + b * y`` (2 units/pt; P-CSI's dx update)
+``sub``            ``out = a - b`` (folded into the matvec's cost --
+                   the paper counts ``r = b - Bx`` as the 9 n^2 matvec)
+=================  ====================================================
+
+Two interchangeable implementations exist:
+
+* :class:`SerialContext` operates on global ``(ny, nx)`` arrays; halo
+  and reduction events are *derived* from the attached decomposition
+  (the algorithm's results are bit-identical to a 1-rank run, and the
+  event stream matches what the distributed context would record).
+  This is the fast path used by the large experiments.
+* :class:`DistributedContext` operates on
+  :class:`~repro.parallel.halo.BlockField` values over a
+  :class:`~repro.parallel.vm.VirtualMachine`: real halo exchanges, real
+  per-rank arithmetic, real rank-ordered reductions.  Used to validate
+  the substrate and the communication accounting.
+
+The test suite asserts both contexts drive every solver to (near)
+identical iterates, and that their event ledgers agree exactly on
+communication counts.
+"""
+
+import abc
+
+import numpy as np
+
+from repro.core.errors import SolverError
+from repro.core.norms import masked_dot
+from repro.operators.blocked import BlockedOperator
+from repro.operators.stencil_op import MATVEC_FLOPS_PER_POINT, apply_stencil
+from repro.parallel.events import EventLedger
+from repro.parallel.reduction import binomial_tree_depth
+
+
+class SolverContext(abc.ABC):
+    """Abstract solver context (see module docstring)."""
+
+    def __init__(self, stencil, preconditioner, ledger=None):
+        self.stencil = stencil
+        self.preconditioner = preconditioner
+        self.ledger = ledger if ledger is not None else EventLedger()
+        self.mask = np.asarray(stencil.mask, dtype=bool)
+
+    # -- vectors -------------------------------------------------------
+    @abc.abstractmethod
+    def new_vector(self):
+        """A zero vector."""
+
+    @abc.abstractmethod
+    def copy(self, v):
+        """An independent copy of ``v``."""
+
+    @abc.abstractmethod
+    def from_global(self, array):
+        """Import a global ``(ny, nx)`` array as a context vector."""
+
+    @abc.abstractmethod
+    def to_global(self, v):
+        """Export a context vector as a global ``(ny, nx)`` array."""
+
+    # -- operator ------------------------------------------------------
+    @abc.abstractmethod
+    def matvec(self, x, out=None, phase="computation"):
+        """``out = A x`` (includes the halo update of ``x``)."""
+
+    def residual(self, b, x, out=None, phase="computation"):
+        """``out = b - A x``; charged as one matvec (paper convention)."""
+        ax = self.matvec(x, phase=phase)
+        return self._sub(b, ax, out=out)
+
+    @abc.abstractmethod
+    def _sub(self, a, b, out=None):
+        """``out = a - b`` (cost folded into the producing matvec)."""
+
+    def precond(self, r, out=None, phase="preconditioning"):
+        """``out = M^-1 r``."""
+        out = self._apply_precond(r, out)
+        self.ledger.record_flops(phase, self._precond_flops())
+        return out
+
+    def _precond_flops(self):
+        """Critical-rank flops of one preconditioner application.
+
+        When the preconditioner was built without a decomposition (e.g.
+        a point-local preconditioner reused across contexts) its
+        whole-grid cost is rescaled to this context's critical block, so
+        serial and distributed runs record identical event streams.
+        """
+        pre = self.preconditioner
+        if pre.decomp is None and getattr(self, "decomp", None) is not None:
+            ny, nx = self.stencil.shape
+            per_point = pre.apply_flops() / float(ny * nx)
+            return int(round(per_point * self.critical_points))
+        return pre.apply_flops()
+
+    @abc.abstractmethod
+    def _apply_precond(self, r, out):
+        ...
+
+    # -- reductions ----------------------------------------------------
+    @abc.abstractmethod
+    def dot(self, a, b, phase="reduction"):
+        """Masked global inner product."""
+
+    @abc.abstractmethod
+    def dot_pair(self, a1, b1, a2, b2, phase="reduction"):
+        """Two masked inner products fused into one all-reduce."""
+
+    def norm2(self, v, phase="reduction"):
+        """Masked 2-norm via one reduction."""
+        return float(np.sqrt(max(self.dot(v, v, phase=phase), 0.0)))
+
+    # -- elementwise updates -------------------------------------------
+    @abc.abstractmethod
+    def axpy(self, alpha, x, y, phase="computation"):
+        """``y += alpha * x`` in place; returns ``y``."""
+
+    @abc.abstractmethod
+    def xpay(self, x, beta, y, phase="computation"):
+        """``y = x + beta * y`` in place; returns ``y``."""
+
+    @abc.abstractmethod
+    def combine(self, a, x, b, y, phase="computation"):
+        """``y = a * x + b * y`` in place; returns ``y``."""
+
+    # -- topology ------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def num_ranks(self):
+        """Simulated rank count ``p``."""
+
+    @property
+    @abc.abstractmethod
+    def critical_points(self):
+        """Grid points on the critical-path rank (the paper's ``n^2``)."""
+
+    def reduction_tree_depth(self):
+        """``ceil(log2 p)`` -- the latency multiplier of an all-reduce."""
+        return binomial_tree_depth(self.num_ranks)
+
+
+# ======================================================================
+class SerialContext(SolverContext):
+    """Global-array context with decomposition-derived event accounting.
+
+    Parameters
+    ----------
+    stencil:
+        The operator :class:`~repro.grid.stencil.StencilCoeffs`.
+    preconditioner:
+        Any :class:`~repro.precond.base.Preconditioner`.
+    decomp:
+        Optional decomposition; when given, halo/reduction events are
+        recorded exactly as the distributed context over the same
+        decomposition would record them.  ``None`` means one rank.
+    """
+
+    def __init__(self, stencil, preconditioner, decomp=None, ledger=None):
+        super().__init__(stencil, preconditioner, ledger)
+        self.decomp = decomp
+        self._mask_f = self.mask.astype(np.float64)
+        if decomp is not None:
+            if decomp.ny != stencil.shape[0] or decomp.nx != stencil.shape[1]:
+                raise SolverError(
+                    f"decomposition grid ({decomp.ny}, {decomp.nx}) does not "
+                    f"match stencil {stencil.shape}"
+                )
+            self._critical = decomp.max_block_points()
+            self._halo_words = decomp.halo_words_per_exchange()
+            self._p = decomp.num_active
+        else:
+            self._critical = stencil.shape[0] * stencil.shape[1]
+            self._halo_words = 0
+            self._p = 1
+
+    # -- vectors -------------------------------------------------------
+    def new_vector(self):
+        return np.zeros(self.stencil.shape)
+
+    def copy(self, v):
+        return v.copy()
+
+    def from_global(self, array):
+        return np.array(array, dtype=np.float64)
+
+    def to_global(self, v):
+        return v.copy()
+
+    # -- operator ------------------------------------------------------
+    def matvec(self, x, out=None, phase="computation"):
+        out = apply_stencil(self.stencil, x, out=out)
+        self.ledger.record_flops(phase, MATVEC_FLOPS_PER_POINT * self._critical)
+        # The halo-update *event* is recorded even for a 1-rank context
+        # (with zero payload): event counts are the solver's algorithmic
+        # signature, and experiment sweeps rescale the payload to each
+        # target decomposition.  The machine model prices halo events at
+        # zero when p == 1.
+        self.ledger.record_halo("boundary", words=self._halo_words)
+        return out
+
+    def _sub(self, a, b, out=None):
+        if out is None:
+            out = np.empty_like(a)
+        np.subtract(a, b, out=out)
+        return out
+
+    def _apply_precond(self, r, out):
+        return self.preconditioner.apply_global(r, out=out)
+
+    # -- reductions ----------------------------------------------------
+    def dot(self, a, b, phase="reduction"):
+        value = masked_dot(a, b, self._mask_f)
+        self.ledger.record_flops("computation", self._critical)
+        self.ledger.record_flops(phase, self._critical)
+        self.ledger.record_allreduce(phase, words=1)
+        return value
+
+    def dot_pair(self, a1, b1, a2, b2, phase="reduction"):
+        v1 = masked_dot(a1, b1, self._mask_f)
+        v2 = masked_dot(a2, b2, self._mask_f)
+        self.ledger.record_flops("computation", 2 * self._critical)
+        self.ledger.record_flops(phase, 2 * self._critical)
+        self.ledger.record_allreduce(phase, words=2)
+        return v1, v2
+
+    # -- elementwise ---------------------------------------------------
+    def axpy(self, alpha, x, y, phase="computation"):
+        y += alpha * x
+        self.ledger.record_flops(phase, self._critical)
+        return y
+
+    def xpay(self, x, beta, y, phase="computation"):
+        y *= beta
+        y += x
+        self.ledger.record_flops(phase, self._critical)
+        return y
+
+    def combine(self, a, x, b, y, phase="computation"):
+        y *= b
+        y += a * x
+        self.ledger.record_flops(phase, 2 * self._critical)
+        return y
+
+    # -- topology ------------------------------------------------------
+    @property
+    def num_ranks(self):
+        return self._p
+
+    @property
+    def critical_points(self):
+        return self._critical
+
+
+# ======================================================================
+class DistributedContext(SolverContext):
+    """Block-field context over a :class:`VirtualMachine`.
+
+    Every operation really happens rank by rank: halo exchanges move
+    strips between block arrays, reductions combine per-rank partials in
+    rank order, and elementwise updates loop over block interiors.
+    """
+
+    def __init__(self, stencil, preconditioner, vm):
+        super().__init__(stencil, preconditioner, ledger=vm.ledger)
+        self.vm = vm
+        self.decomp = vm.decomp
+        self.operator = BlockedOperator(stencil, vm.decomp)
+        self._critical = vm.max_block_points
+
+    # -- vectors -------------------------------------------------------
+    def new_vector(self):
+        return self.vm.zeros()
+
+    def copy(self, v):
+        return v.copy()
+
+    def from_global(self, array):
+        return self.vm.scatter(np.asarray(array, dtype=np.float64))
+
+    def to_global(self, v):
+        return self.vm.gather(v)
+
+    # -- operator ------------------------------------------------------
+    def matvec(self, x, out=None, phase="computation"):
+        self.vm.exchange(x)
+        if out is None:
+            out = self.vm.zeros()
+        self.operator.apply(x, out)
+        self.ledger.record_flops(phase, MATVEC_FLOPS_PER_POINT * self._critical)
+        return out
+
+    def _sub(self, a, b, out=None):
+        if out is None:
+            out = self.vm.zeros()
+        for rank in range(self.vm.num_ranks):
+            np.subtract(a.interior(rank), b.interior(rank),
+                        out=out.interior(rank))
+        return out
+
+    def _apply_precond(self, r, out):
+        if out is None:
+            out = self.vm.zeros()
+        for rank in range(self.vm.num_ranks):
+            self.preconditioner.apply_block(rank, r.interior(rank),
+                                            out=out.interior(rank))
+        return out
+
+    # -- reductions ----------------------------------------------------
+    def dot(self, a, b, phase="reduction"):
+        return self.vm.global_dot(a, b, phase=phase)
+
+    def dot_pair(self, a1, b1, a2, b2, phase="reduction"):
+        return self.vm.global_dot_pair(a1, b1, a2, b2, phase=phase)
+
+    # -- elementwise ---------------------------------------------------
+    def axpy(self, alpha, x, y, phase="computation"):
+        for rank in range(self.vm.num_ranks):
+            y.interior(rank)[...] += alpha * x.interior(rank)
+        self.ledger.record_flops(phase, self._critical)
+        return y
+
+    def xpay(self, x, beta, y, phase="computation"):
+        for rank in range(self.vm.num_ranks):
+            yi = y.interior(rank)
+            yi *= beta
+            yi += x.interior(rank)
+        self.ledger.record_flops(phase, self._critical)
+        return y
+
+    def combine(self, a, x, b, y, phase="computation"):
+        for rank in range(self.vm.num_ranks):
+            yi = y.interior(rank)
+            yi *= b
+            yi += a * x.interior(rank)
+        self.ledger.record_flops(phase, 2 * self._critical)
+        return y
+
+    # -- topology ------------------------------------------------------
+    @property
+    def num_ranks(self):
+        return self.vm.num_ranks
+
+    @property
+    def critical_points(self):
+        return self._critical

@@ -1,0 +1,143 @@
+"""P-CSI: the Preconditioned Classical Stiefel Iteration (paper Alg. 2).
+
+A Chebyshev-type iteration over the spectral interval ``[nu, mu]`` of
+``M^-1 A``: iteration coefficients come from the Chebyshev three-term
+recurrence (Stiefel 1958; revisited by Gutknecht & Roellin 2002), so --
+unlike any CG variant -- **no inner products are needed inside the
+loop**.  The only global reductions left are the periodic convergence
+checks.  That is the paper's central scalability lever: per-iteration
+cost has no ``log p`` term (Eq. 3 vs Eq. 2).
+
+Per-iteration event profile (diagonal M):
+
+* computation: 12 n^2 flop units (9 matvec-with-residual + 2 dx update
+  + 1 x update),
+* preconditioning: ``M``'s cost,
+* boundary: one halo update,
+* reduction: only at convergence checks (every ``check_freq``
+  iterations).
+
+Trade-off: P-CSI needs somewhat more iterations than ChronGear for the
+same tolerance (Chebyshev is optimal for the *interval*, CG adapts to
+the discrete spectrum), so it loses at small core counts and wins big at
+large ones -- reproduced by experiments E7/E9/E12.
+
+Eigenvalue bounds can be supplied directly or estimated at setup by the
+:mod:`~repro.solvers.lanczos` machinery (recorded as setup events).
+"""
+
+from repro.core.errors import SolverError
+from repro.solvers.base import IterativeSolver
+from repro.solvers.lanczos import estimate_eigenbounds
+
+
+class PCSISolver(IterativeSolver):
+    """Preconditioned Classical Stiefel Iteration.
+
+    Parameters (beyond :class:`IterativeSolver`'s)
+    ----------
+    eig_bounds:
+        Optional ``(nu, mu)`` for the preconditioned spectrum.  When
+        omitted, a Lanczos estimation runs once at first solve and is
+        cached for subsequent solves (POP reuses the bounds for the
+        whole run since ``A`` is fixed).
+    lanczos_tol, lanczos_steps, lanczos_seed:
+        Lanczos stopping control (paper tol: 0.15).  ``lanczos_steps``
+        forces a fixed step count (the Figure 3 sweep).
+    nu_safety, mu_safety:
+        Interval widening factors applied to the Lanczos estimates.
+    """
+
+    name = "pcsi"
+
+    def __init__(self, context, eig_bounds=None, lanczos_tol=0.15,
+                 lanczos_steps=None, lanczos_seed=0,
+                 nu_safety=0.5, mu_safety=1.05, **kwargs):
+        super().__init__(context, **kwargs)
+        if eig_bounds is not None:
+            nu, mu = float(eig_bounds[0]), float(eig_bounds[1])
+            self._check_bounds(nu, mu)
+            self._bounds = (nu, mu)
+            self._lanczos_info = None
+        else:
+            self._bounds = None
+            self._lanczos_info = None
+        self.lanczos_tol = lanczos_tol
+        self.lanczos_steps = lanczos_steps
+        self.lanczos_seed = lanczos_seed
+        self.nu_safety = nu_safety
+        self.mu_safety = mu_safety
+
+    @staticmethod
+    def _check_bounds(nu, mu):
+        if not (0.0 < nu < mu):
+            raise SolverError(
+                f"need 0 < nu < mu for the Chebyshev interval, got "
+                f"[{nu}, {mu}]"
+            )
+
+    @property
+    def eig_bounds(self):
+        """The spectral interval in use (``None`` before first solve)."""
+        return self._bounds
+
+    def _ensure_bounds(self):
+        if self._bounds is None:
+            nu, mu, info = estimate_eigenbounds(
+                self.context, tol=self.lanczos_tol,
+                steps=self.lanczos_steps, seed=self.lanczos_seed,
+                nu_safety=self.nu_safety, mu_safety=self.mu_safety,
+                phase="setup",
+            )
+            self._check_bounds(nu, mu)
+            self._bounds = (nu, mu)
+            self._lanczos_info = info
+        return self._bounds
+
+    # ------------------------------------------------------------------
+    def _setup(self, b, x):
+        ctx = self.context
+        nu, mu = self._ensure_bounds()
+
+        alpha = 2.0 / (mu - nu)
+        beta = (mu + nu) / (mu - nu)
+        gamma = beta / alpha
+        omega0 = 2.0 / gamma
+
+        # r0 = b - B x0 ; dx0 = gamma^-1 M^-1 r0 ; x1 = x0 + dx0 ;
+        # r1 = b - B x1
+        r = ctx.residual(b, x, phase="setup")
+        dx = ctx.precond(r, phase="setup")
+        _scale(ctx, dx, 1.0 / gamma, phase="setup")
+        ctx.axpy(1.0, dx, x, phase="setup")
+        r = ctx.residual(b, x, phase="setup")
+
+        extra = {"nu": nu, "mu": mu}
+        if self._lanczos_info is not None:
+            extra["lanczos_steps"] = self._lanczos_info["steps"]
+        return {
+            "x": x, "r": r, "dx": dx, "b": b,
+            "alpha": alpha, "gamma": gamma, "omega": omega0,
+            "extra": extra,
+        }
+
+    def _iterate(self, state, k):
+        ctx = self.context
+        alpha = state["alpha"]
+        gamma = state["gamma"]
+        # step 5: the iterated Chebyshev weight
+        omega = 1.0 / (gamma - state["omega"] / (4.0 * alpha * alpha))
+        # step 6: preconditioning (block-local, no communication)
+        r_prime = ctx.precond(state["r"])
+        # step 7: dx = omega r' + (gamma omega - 1) dx
+        ctx.combine(omega, r_prime, gamma * omega - 1.0, state["dx"])
+        # step 8: x += dx
+        ctx.axpy(1.0, state["dx"], state["x"])
+        # steps 9-10: residual recompute (matvec) + halo update
+        state["r"] = ctx.residual(state["b"], state["x"])
+        state["omega"] = omega
+
+
+def _scale(ctx, v, factor, phase="computation"):
+    """``v *= factor`` through context primitives."""
+    ctx.axpy(factor - 1.0, ctx.copy(v), v, phase=phase)

@@ -1,0 +1,46 @@
+"""Textbook preconditioned conjugate gradients.
+
+The pre-ChronGear baseline: mathematically the same Krylov iteration as
+ChronGear but with *two* separate global reductions per iteration
+(``r^T z`` and ``p^T q``).  Kept so experiments can show the lineage
+diagonal-PCG -> ChronGear (halve the reductions) -> P-CSI (eliminate
+them).
+"""
+
+from repro.core.errors import SolverError
+from repro.solvers.base import IterativeSolver
+
+
+class PCGSolver(IterativeSolver):
+    """Classic PCG: two reductions per iteration."""
+
+    name = "pcg"
+
+    def _setup(self, b, x):
+        ctx = self.context
+        r = ctx.residual(b, x, phase="setup")
+        z = ctx.precond(r, phase="setup")
+        p = ctx.copy(z)
+        rho = ctx.dot(r, z, phase="setup")
+        return {"x": x, "r": r, "p": p, "rho": rho, "b": b}
+
+    def _iterate(self, state, k):
+        ctx = self.context
+        p = state["p"]
+        q = ctx.matvec(p)
+        pq = ctx.dot(p, q)                      # reduction #1
+        if pq == 0.0:
+            if state["rho"] == 0.0:
+                # Exact zero residual: already solved; no-op iteration.
+                return
+            raise SolverError("PCG breakdown: p^T A p vanished")
+        alpha = state["rho"] / pq
+        ctx.axpy(alpha, p, state["x"])
+        ctx.axpy(-alpha, q, state["r"])
+        z = ctx.precond(state["r"])
+        rho_new = ctx.dot(state["r"], z)        # reduction #2
+        if state["rho"] == 0.0:
+            raise SolverError("PCG breakdown: rho vanished")
+        beta = rho_new / state["rho"]
+        ctx.xpay(z, beta, p)                    # p = z + beta p
+        state["rho"] = rho_new

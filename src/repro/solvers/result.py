@@ -1,0 +1,64 @@
+"""The record every solver run returns."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one linear solve.
+
+    Attributes
+    ----------
+    x:
+        The solution as a *global* ``(ny, nx)`` array (distributed runs
+        are gathered before returning).
+    iterations:
+        Iterations executed (ChronGear/P-CSI loop trips).
+    converged:
+        Whether the convergence criterion was met within the budget.
+    residual_norm:
+        Masked 2-norm of the final residual.
+    b_norm:
+        Masked 2-norm of the right-hand side (the relative-tolerance
+        reference).
+    residual_history:
+        ``[(iteration, residual_norm), ...]`` at each convergence check.
+    solver, preconditioner:
+        Names, for experiment tables.
+    events:
+        Per-phase :class:`~repro.parallel.events.EventCounts` recorded
+        during the iteration loop (excludes one-time setup).
+    setup_events:
+        Per-phase counts recorded during solver setup (initial residual,
+        Lanczos estimation, ...).
+    extra:
+        Solver-specific diagnostics (e.g. P-CSI's eigenvalue bounds and
+        Lanczos step count).
+    """
+
+    x: object
+    iterations: int
+    converged: bool
+    residual_norm: float
+    b_norm: float
+    residual_history: list = field(default_factory=list)
+    solver: str = ""
+    preconditioner: str = ""
+    events: dict = field(default_factory=dict)
+    setup_events: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def relative_residual(self):
+        """``|r| / |b|`` (inf if b is zero and r is not)."""
+        if self.b_norm > 0.0:
+            return self.residual_norm / self.b_norm
+        return 0.0 if self.residual_norm == 0.0 else float("inf")
+
+    def describe(self):
+        """One-line human-readable summary."""
+        status = "converged" if self.converged else "NOT converged"
+        return (
+            f"{self.solver}+{self.preconditioner}: {status} in "
+            f"{self.iterations} iterations, |r|/|b| = {self.relative_residual:.2e}"
+        )

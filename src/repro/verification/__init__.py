@@ -1,0 +1,58 @@
+"""Ensemble-based statistical verification of solver changes (paper §6).
+
+Changing the barotropic solver cannot be bit-for-bit neutral, so the
+paper evaluates whether the *climate* changed: build a reference
+ensemble by perturbing the initial ocean temperature at O(1e-14), then
+score a candidate run's monthly temperature fields against the
+ensemble's point-wise mean and spread with the root-mean-square Z-score
+(RMSZ).  The older port-verification RMSE diagnostic is implemented too
+-- and experiment E13 reproduces the paper's finding that it *cannot*
+separate even grossly loosened solver tolerances.
+
+* :mod:`repro.verification.metrics` -- RMSE and RMSZ,
+* :mod:`repro.verification.ensemble` -- ensemble generation/statistics,
+* :mod:`repro.verification.consistency` -- the pass/fail decision,
+* :mod:`repro.verification.port_check` -- the legacy five-day RMSE port
+  check the paper shows to be insufficient for solver changes.
+"""
+
+from repro.verification.metrics import rmse, rmsz, rmse_series, rmsz_series
+from repro.verification.ensemble import (
+    Ensemble,
+    EnsembleStats,
+    run_perturbed_ensemble,
+)
+from repro.verification.consistency import (
+    ConsistencyReport,
+    evaluate_consistency,
+)
+from repro.verification.port_check import (
+    PortCheckReport,
+    generate_reference,
+    port_check,
+)
+from repro.verification.diagnostics import (
+    basin_rmsz,
+    deviation_summary,
+    top_deviant_cells,
+    zscore_map,
+)
+
+__all__ = [
+    "rmse",
+    "rmsz",
+    "rmse_series",
+    "rmsz_series",
+    "Ensemble",
+    "EnsembleStats",
+    "run_perturbed_ensemble",
+    "ConsistencyReport",
+    "evaluate_consistency",
+    "PortCheckReport",
+    "generate_reference",
+    "port_check",
+    "zscore_map",
+    "top_deviant_cells",
+    "basin_rmsz",
+    "deviation_summary",
+]

@@ -1,0 +1,92 @@
+"""The pass/fail consistency decision (paper §6).
+
+A candidate run (new solver, new preconditioner, loosened tolerance) is
+*consistent* with the reference ensemble when its monthly RMSZ scores
+fall inside -- or within a small slack of -- the range of RMSZ values
+the ensemble's own members produce (the yellow envelope of the paper's
+Figure 13).  The paper used this to admit P-CSI + EVP into the POP
+release: its scores sat inside the envelope, while tolerances of 1e-10
+and 1e-11 were "noticeably removed from the ensemble distribution".
+"""
+
+from dataclasses import dataclass, field
+
+from repro.verification.metrics import rmsz_series
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of one candidate-vs-ensemble evaluation.
+
+    Attributes
+    ----------
+    scores:
+        Candidate RMSZ per month.
+    envelope:
+        Per-month ``(min, max)`` member RMSZ range.
+    exceedances:
+        Per-month factor by which the candidate exceeds the envelope
+        top (1.0 = exactly at the top; <= 1 means inside).
+    consistent:
+        The overall verdict.
+    months_outside:
+        Count of months whose score exceeded the slackened envelope.
+    """
+
+    scores: list
+    envelope: list
+    exceedances: list = field(default_factory=list)
+    consistent: bool = True
+    months_outside: int = 0
+
+    def describe(self):
+        verdict = "CONSISTENT" if self.consistent else "INCONSISTENT"
+        worst = max(self.exceedances) if self.exceedances else 0.0
+        return (
+            f"{verdict}: {self.months_outside}/{len(self.scores)} months "
+            f"outside envelope (worst exceedance {worst:.2f}x)"
+        )
+
+
+def evaluate_consistency(candidate_months, ensemble, mask, slack=1.25,
+                         max_months_outside=0):
+    """Score a candidate against an ensemble and decide consistency.
+
+    Parameters
+    ----------
+    candidate_months:
+        The candidate's monthly temperature fields.
+    ensemble:
+        A :class:`~repro.verification.ensemble.Ensemble`.
+    mask:
+        Ocean mask restricting the comparison (the paper excludes
+        marginal seas; pass an open-ocean mask for the same effect).
+    slack:
+        Multiplicative slack on the envelope top (an RMSZ within
+        ``slack * member_max`` still passes; accounts for the candidate
+        not being one of the ``m`` members).
+    max_months_outside:
+        How many months may exceed the slackened envelope before the
+        verdict flips to inconsistent.
+
+    Returns
+    -------
+    :class:`ConsistencyReport`
+    """
+    scores = rmsz_series(candidate_months, ensemble.means(), ensemble.stds(),
+                         mask)
+    envelope = ensemble.member_rmsz_range(mask)
+    exceedances = []
+    outside = 0
+    for score, (_, top) in zip(scores, envelope):
+        ratio = score / top if top > 0 else float("inf")
+        exceedances.append(ratio)
+        if ratio > slack:
+            outside += 1
+    return ConsistencyReport(
+        scores=scores,
+        envelope=envelope,
+        exceedances=exceedances,
+        consistent=outside <= max_months_outside,
+        months_outside=outside,
+    )

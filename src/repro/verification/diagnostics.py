@@ -1,0 +1,77 @@
+"""Spatial diagnostics for verification failures.
+
+When the RMSZ consistency test flags a case, the natural next question
+is *where* it deviates.  These helpers localize the signal: point-wise
+Z-score maps, the top-k most deviant cells, and per-basin aggregation
+(an inconsistent solver often shows up first in weakly-connected basins
+where its round-off perturbs the slowest modes).
+"""
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.grid.topography import ocean_basins
+
+
+def zscore_map(field, ens_mean, ens_std, mask, min_std=1e-30):
+    """Point-wise Z-scores (0 on land / zero-spread points)."""
+    m = np.asarray(mask, dtype=bool)
+    std = np.asarray(ens_std)
+    valid = m & (std > min_std)
+    out = np.zeros_like(np.asarray(field, dtype=np.float64))
+    out[valid] = (np.asarray(field)[valid]
+                  - np.asarray(ens_mean)[valid]) / std[valid]
+    return out
+
+
+def top_deviant_cells(field, ens_mean, ens_std, mask, k=10):
+    """The ``k`` cells with the largest |Z|, as ``(j, i, z)`` tuples."""
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    zmap = zscore_map(field, ens_mean, ens_std, mask)
+    flat = np.abs(zmap).ravel()
+    k = min(k, int(np.count_nonzero(flat)))
+    if k == 0:
+        return []
+    idx = np.argpartition(flat, -k)[-k:]
+    idx = idx[np.argsort(flat[idx])[::-1]]
+    ny, nx = zmap.shape
+    return [(int(i // nx), int(i % nx), float(zmap.ravel()[i]))
+            for i in idx]
+
+
+def basin_rmsz(field, ens_mean, ens_std, mask, min_std=1e-30):
+    """RMSZ aggregated per connected ocean basin.
+
+    Returns ``{basin_label: rmsz}`` (labels from
+    :func:`repro.grid.topography.ocean_basins`, 1-based).
+    """
+    labels, n_basins = ocean_basins(mask)
+    zmap = zscore_map(field, ens_mean, ens_std, mask, min_std=min_std)
+    std = np.asarray(ens_std)
+    valid = np.asarray(mask, dtype=bool) & (std > min_std)
+    out = {}
+    for basin in range(1, n_basins + 1):
+        sel = (labels == basin) & valid
+        count = int(np.count_nonzero(sel))
+        if count == 0:
+            continue
+        out[basin] = float(np.sqrt(np.mean(zmap[sel] ** 2)))
+    return out
+
+
+def deviation_summary(field, ensemble, month, mask, k=5):
+    """One-call localization report for a candidate month.
+
+    Returns a dict with the global RMSZ, per-basin RMSZ and the top-k
+    deviant cells -- the payload a failure report would attach.
+    """
+    from repro.verification.metrics import rmsz
+
+    stats = ensemble.stats(month)
+    return {
+        "rmsz": rmsz(field, stats.mean, stats.std, mask),
+        "by_basin": basin_rmsz(field, stats.mean, stats.std, mask),
+        "top_cells": top_deviant_cells(field, stats.mean, stats.std,
+                                       mask, k=k),
+    }

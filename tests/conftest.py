@@ -1,0 +1,46 @@
+"""Shared fixtures for the repro test suite."""
+
+import numpy as np
+import pytest
+
+from repro.grid import test_config as make_test_config
+from repro.operators import apply_stencil
+from repro.parallel import decompose
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    """A small earthlike configuration shared across tests (read-only)."""
+    return make_test_config(32, 48, seed=7)
+
+
+@pytest.fixture(scope="session")
+def aqua_config():
+    """A small all-ocean configuration (read-only)."""
+    return make_test_config(24, 24, seed=3, aquaplanet=True)
+
+
+@pytest.fixture(scope="session")
+def aniso_config():
+    """A small configuration with dx != dy (nonzero edge coefficients)."""
+    return make_test_config(24, 32, seed=5, dx=1.4e5, dy=1.0e5)
+
+
+@pytest.fixture(scope="session")
+def small_decomp(small_config):
+    """A 4x4 decomposition of ``small_config`` with land elimination."""
+    return decompose(small_config.ny, small_config.nx, 4, 4,
+                     mask=small_config.mask)
+
+
+@pytest.fixture()
+def rhs_maker():
+    """Factory: deterministic solvable right-hand sides with known x."""
+
+    def make(config, seed=0):
+        rng = np.random.default_rng(seed)
+        x_true = rng.standard_normal(config.shape) * config.mask
+        b = apply_stencil(config.stencil, x_true)
+        return b, x_true
+
+    return make

@@ -1,0 +1,141 @@
+"""Tests for perfmodel.analysis and verification.diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.perfmodel.analysis import (
+    amdahl_serial_fraction,
+    crossover_cores,
+    degradation_onset,
+    parallel_efficiency,
+    speedup_series,
+    sweet_spot,
+)
+from repro.verification.diagnostics import (
+    basin_rmsz,
+    top_deviant_cells,
+    zscore_map,
+)
+
+
+class TestSpeedupEfficiency:
+    def test_speedup_series(self):
+        assert speedup_series([10.0, 5.0, 2.5]) == [1.0, 2.0, 4.0]
+        with pytest.raises(ConfigurationError):
+            speedup_series([])
+
+    def test_perfect_scaling_efficiency_one(self):
+        cores = [10, 20, 40]
+        times = [4.0, 2.0, 1.0]
+        assert parallel_efficiency(cores, times) == \
+            pytest.approx([1.0, 1.0, 1.0])
+
+    def test_efficiency_decays_for_sublinear(self):
+        eff = parallel_efficiency([10, 20, 40], [4.0, 2.5, 2.0])
+        assert eff[0] == 1.0 and eff[1] < 1.0 and eff[2] < eff[1]
+
+    def test_misaligned_series_raise(self):
+        with pytest.raises(ConfigurationError):
+            parallel_efficiency([1, 2], [1.0])
+
+
+class TestCrossover:
+    def test_simple_crossover_interpolated(self):
+        cores = [100, 1000, 10000]
+        a = [1.0, 0.5, 0.5]     # flattens
+        b = [2.0, 0.6, 0.1]     # overtakes between 1000 and 10000
+        cross = crossover_cores(cores, a, b)
+        assert 1000 < cross < 10000
+
+    def test_b_wins_from_start(self):
+        assert crossover_cores([4, 8], [2.0, 1.0], [1.0, 0.5]) == 4
+
+    def test_no_crossover_returns_none(self):
+        assert crossover_cores([4, 8], [1.0, 0.5], [2.0, 1.0]) is None
+
+    def test_on_the_paper_shape(self):
+        """P-CSI overtakes ChronGear in the fig08-like series."""
+        cores = [470, 1880, 4220, 16875]
+        cg = [43.7, 15.4, 13.0, 23.8]
+        pcsi = [42.5, 11.9, 6.8, 5.0]
+        cross = crossover_cores(cores, cg, pcsi)
+        assert cross == 470  # P-CSI already (barely) ahead at 470
+
+
+class TestSweetSpotAndOnset:
+    def test_sweet_spot(self):
+        assert sweet_spot([1, 2, 4], [3.0, 1.0, 2.0]) == (2, 1.0)
+
+    def test_degradation_onset(self):
+        cores = [470, 1880, 4220, 8440, 16875]
+        times = [43.7, 15.4, 13.0, 15.5, 23.8]
+        onset = degradation_onset(cores, times, slack=1.05)
+        assert onset == 8440
+
+    def test_monotone_series_has_no_onset(self):
+        assert degradation_onset([1, 2, 4], [4.0, 2.0, 1.0]) is None
+
+
+class TestAmdahl:
+    def test_pure_parallel_zero_serial(self):
+        cores = [1, 2, 4, 8]
+        times = [8.0, 4.0, 2.0, 1.0]
+        assert amdahl_serial_fraction(cores, times) == pytest.approx(
+            0.0, abs=1e-10)
+
+    def test_known_serial_fraction_recovered(self):
+        s = 0.2
+        cores = [1, 2, 4, 8, 16]
+        times = [1.0 * (s + (1 - s) / p) for p in cores]
+        assert amdahl_serial_fraction(cores, times) == pytest.approx(s)
+
+    def test_reduction_heavy_solver_has_higher_fraction(self):
+        """ChronGear's fig08 curve carries far more non-scaling work
+        than P-CSI's -- Amdahl sees the global reductions."""
+        cores = [470, 1880, 4220, 8440, 16875]
+        cg = [43.7, 15.4, 13.0, 15.5, 23.8]
+        pcsi = [42.5, 11.9, 6.8, 5.0, 5.0]
+        assert amdahl_serial_fraction(cores, cg) > \
+            amdahl_serial_fraction(cores, pcsi)
+
+    def test_too_few_points_raise(self):
+        with pytest.raises(ConfigurationError):
+            amdahl_serial_fraction([4], [1.0])
+
+
+class TestZScoreDiagnostics:
+    def setup_method(self):
+        self.mask = np.ones((4, 6), dtype=bool)
+        self.mask[:, 3] = False  # split into two basins
+        self.mean = np.zeros((4, 6))
+        self.std = np.ones((4, 6))
+
+    def test_zscore_map_values(self):
+        field = np.zeros((4, 6))
+        field[1, 1] = 3.0
+        z = zscore_map(field, self.mean, self.std, self.mask)
+        assert z[1, 1] == 3.0
+        assert z[0, 3] == 0.0  # land
+
+    def test_top_deviant_cells_ordering(self):
+        field = np.zeros((4, 6))
+        field[1, 1] = -5.0
+        field[2, 4] = 3.0
+        cells = top_deviant_cells(field, self.mean, self.std, self.mask,
+                                  k=2)
+        assert cells[0][:2] == (1, 1) and cells[0][2] == -5.0
+        assert cells[1][:2] == (2, 4)
+
+    def test_basin_rmsz_localizes(self):
+        field = np.zeros((4, 6))
+        field[:, 4:] = 2.0  # only the eastern basin deviates
+        scores = basin_rmsz(field, self.mean, self.std, self.mask)
+        assert len(scores) == 2
+        low, high = sorted(scores.values())
+        assert low < 1.0 < high
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            top_deviant_cells(self.mean, self.mean, self.std, self.mask,
+                              k=0)

@@ -1,0 +1,155 @@
+"""Unit tests for the barotropic mode and MiniPOP."""
+
+import numpy as np
+import pytest
+
+from repro.barotropic import (
+    BarotropicStepper,
+    MiniPOP,
+    double_gyre_wind,
+    free_surface_rhs,
+    seasonal_factor,
+    zonal_wind,
+)
+from repro.core.errors import SolverError
+from repro.grid import test_config as make_test_config
+from repro.precond import make_preconditioner
+from repro.solvers import ChronGearSolver, SerialContext
+
+
+def _solver(config, tol=1e-12, **kwargs):
+    pre = make_preconditioner("diagonal", config.stencil)
+    return ChronGearSolver(SerialContext(config.stencil, pre), tol=tol,
+                           max_iterations=5000, raise_on_failure=False,
+                           **kwargs)
+
+
+class TestForcing:
+    def test_double_gyre_shape_and_sign_structure(self):
+        w = double_gyre_wind(20, 30, amplitude=2.0)
+        assert w.shape == (20, 30)
+        assert np.abs(w).max() <= 2.0 * 1.1
+        # antisymmetric-ish: opposite signs in the two gyre bands
+        assert w[5, 15] * w[15, 15] < 0.0
+
+    def test_zonal_wind_single_signed(self):
+        w = zonal_wind(10, 10)
+        assert (w <= 0.0).all()
+
+    def test_seasonal_factor_cycle(self):
+        assert seasonal_factor(0.0, amplitude=0.3) == pytest.approx(1.3)
+        assert seasonal_factor(365.0 / 2, amplitude=0.3) == \
+            pytest.approx(0.7, abs=1e-6)
+        year = [seasonal_factor(d) for d in range(365)]
+        assert np.mean(year) == pytest.approx(1.0, abs=1e-3)
+
+
+class TestRhs:
+    def test_constant_ssh_is_wave_fixed_point(self):
+        """On an all-ocean basin, eta^n = eta^{n-1} = const must solve to
+        the same constant (stiffness annihilates constants)."""
+        cfg = make_test_config(16, 16, seed=1, aquaplanet=True)
+        eta = np.full(cfg.shape, 0.7)
+        psi = free_surface_rhs(cfg.stencil, eta, eta)
+        res = _solver(cfg).solve(psi, x0=eta)
+        assert np.allclose(res.x, 0.7, atol=1e-8)
+
+    def test_forcing_enters_scaled_by_area_over_g(self):
+        cfg = make_test_config(8, 8, seed=1, aquaplanet=True)
+        zero = np.zeros(cfg.shape)
+        f = np.ones(cfg.shape)
+        psi = free_surface_rhs(cfg.stencil, zero, zero, forcing=f,
+                               gravity=10.0)
+        assert np.allclose(psi, cfg.stencil.area / 10.0)
+
+    def test_masked_output(self, small_config):
+        eta = np.ones(small_config.shape)
+        psi = free_surface_rhs(small_config.stencil, eta, eta)
+        assert np.all(psi[~small_config.mask] == 0.0)
+
+    def test_missing_area_raises(self, small_config):
+        import dataclasses
+
+        st_ = dataclasses.replace(small_config.stencil, area=None)
+        with pytest.raises(SolverError):
+            free_surface_rhs(st_, np.zeros(st_.shape), np.zeros(st_.shape))
+
+
+class TestStepper:
+    def test_step_advances_state_and_history(self, small_config):
+        stepper = BarotropicStepper(small_config, _solver(small_config))
+        forcing = 1e-9 * double_gyre_wind(*small_config.shape)
+        eta1 = stepper.step(forcing).copy()
+        eta2 = stepper.step(forcing)
+        assert stepper.step_count == 2
+        assert len(stepper.history) == 2
+        assert not np.array_equal(eta1, eta2)
+        assert np.array_equal(stepper.eta_nm1, eta1)
+
+    def test_unforced_rest_stays_at_rest(self, small_config):
+        stepper = BarotropicStepper(small_config, _solver(small_config))
+        eta = stepper.step()
+        assert np.abs(eta).max() < 1e-12
+
+    def test_mean_iterations(self, small_config):
+        stepper = BarotropicStepper(small_config, _solver(small_config))
+        assert stepper.mean_iterations() == 0.0
+        stepper.step(1e-9 * double_gyre_wind(*small_config.shape))
+        assert stepper.mean_iterations() > 0
+
+
+class TestMiniPOP:
+    @pytest.fixture()
+    def model(self):
+        cfg = make_test_config(16, 24, seed=11, dt=10800.0)
+        return MiniPOP(cfg, _solver(cfg))
+
+    def test_short_run_stable_and_bounded(self, model):
+        model.run_days(10)
+        assert np.all(np.isfinite(model.state.eta))
+        assert np.abs(model.state.eta).max() < 50.0
+        assert np.all(np.isfinite(model.state.temperature))
+        u, v = model.velocities()
+        cfl = np.abs(u) * model.dt / model._dx
+        assert cfl.max() <= 0.4 + 1e-12
+
+    def test_deterministic(self):
+        cfg1 = make_test_config(16, 24, seed=11, dt=10800.0)
+        cfg2 = make_test_config(16, 24, seed=11, dt=10800.0)
+        m1 = MiniPOP(cfg1, _solver(cfg1))
+        m2 = MiniPOP(cfg2, _solver(cfg2))
+        m1.run_days(3)
+        m2.run_days(3)
+        assert np.array_equal(m1.state.eta, m2.state.eta)
+        assert np.array_equal(m1.state.temperature, m2.state.temperature)
+
+    def test_perturbation_magnitude(self, model):
+        before = model.state.temperature.copy()
+        model.perturb_temperature(1e-14, seed=1)
+        diff = np.abs(model.state.temperature - before)
+        assert 0.0 < diff[model.config.mask].max() < 1e-12
+
+    def test_volume_conserved_per_basin(self, model):
+        """The forcing projection is removed per basin, so basin-mean
+        SSH stays near zero."""
+        model.run_days(15)
+        for sel, area in model._basin_areas:
+            mean = float(np.sum(model.state.eta[sel] * area) / area.sum())
+            assert abs(mean) < 0.5
+
+    def test_run_months_returns_monthly_means(self, model):
+        months = model.run_months(2, days_per_month=5)
+        assert len(months) == 2
+        for m in months:
+            assert m.shape == model.state.eta.shape
+            assert np.all(np.isfinite(m))
+
+    def test_temperature_masked(self, model):
+        model.run_days(5)
+        assert np.all(model.state.temperature[~model.config.mask] == 0.0)
+
+    def test_state_copy_independent(self, model):
+        snapshot = model.state.copy()
+        model.run_days(2)
+        assert not np.array_equal(snapshot.eta, model.state.eta) or \
+            np.abs(model.state.eta).max() == 0.0

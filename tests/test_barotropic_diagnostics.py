@@ -1,0 +1,57 @@
+"""Tests for the barotropic model diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.barotropic.diagnostics import (
+    gyre_transport,
+    health_report,
+    kinetic_energy,
+    ssh_statistics,
+    temperature_statistics,
+)
+from repro.experiments.verification_common import make_model
+
+
+@pytest.fixture(scope="module")
+def spun_up():
+    model = make_model()
+    model.run_days(20)
+    return model
+
+
+class TestDiagnostics:
+    def test_rest_state_has_zero_energy(self):
+        model = make_model()
+        assert kinetic_energy(model) == 0.0
+        assert gyre_transport(model) == 0.0
+
+    def test_spun_up_state_circulates(self, spun_up):
+        assert kinetic_energy(spun_up) > 0.0
+        assert gyre_transport(spun_up) > 0.0
+
+    def test_ssh_statistics_consistent(self, spun_up):
+        stats = ssh_statistics(spun_up)
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        assert stats["std"] >= 0.0
+        # per-basin mass conservation keeps the mean near zero
+        assert abs(stats["mean"]) < 1.0
+
+    def test_temperature_statistics(self, spun_up):
+        stats = temperature_statistics(spun_up)
+        assert 0.0 <= stats["min"] <= stats["mean"] <= stats["max"] <= 40.0
+        assert stats["anomaly_rms"] >= 0.0
+
+    def test_health_report_finite(self, spun_up):
+        report = health_report(spun_up)
+        assert report["finite"]
+        assert report["kinetic_energy_J"] > 0.0
+        assert set(report["ssh"]) == {"mean", "std", "min", "max"}
+
+    def test_energy_grows_during_spinup(self):
+        model = make_model()
+        model.run_days(2)
+        early = kinetic_energy(model)
+        model.run_days(10)
+        later = kinetic_energy(model)
+        assert later > early

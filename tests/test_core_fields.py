@@ -1,0 +1,122 @@
+"""Unit tests for repro.core.fields."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import GridError
+from repro.core.fields import (
+    NEIGHBOR_OFFSETS,
+    OPPOSITE_DIRECTION,
+    allclose_masked,
+    apply_mask,
+    interior,
+    pad_with_zeros,
+    shift,
+)
+
+
+class TestPadWithZeros:
+    def test_shape_grows_by_twice_width(self):
+        out = pad_with_zeros(np.ones((3, 4)), width=2)
+        assert out.shape == (7, 8)
+
+    def test_interior_preserved(self):
+        field = np.arange(12.0).reshape(3, 4)
+        out = pad_with_zeros(field, 1)
+        assert np.array_equal(out[1:-1, 1:-1], field)
+
+    def test_ring_is_zero(self):
+        out = pad_with_zeros(np.ones((3, 3)), 1)
+        assert out[0].sum() == 0 and out[-1].sum() == 0
+        assert out[:, 0].sum() == 0 and out[:, -1].sum() == 0
+
+    def test_width_zero_is_copy(self):
+        field = np.ones((2, 2))
+        out = pad_with_zeros(field, 0)
+        assert np.array_equal(out, field)
+
+    def test_negative_width_raises(self):
+        with pytest.raises(GridError):
+            pad_with_zeros(np.ones((2, 2)), -1)
+
+    def test_non_2d_raises(self):
+        with pytest.raises(GridError):
+            pad_with_zeros(np.ones(3), 1)
+
+
+class TestShift:
+    def test_north_reads_j_plus_one(self):
+        field = np.arange(12.0).reshape(3, 4)
+        out = shift(field, "n")
+        assert np.array_equal(out[:-1], field[1:])
+        assert np.all(out[-1] == 0.0)
+
+    def test_south_reads_j_minus_one(self):
+        field = np.arange(12.0).reshape(3, 4)
+        out = shift(field, "s")
+        assert np.array_equal(out[1:], field[:-1])
+        assert np.all(out[0] == 0.0)
+
+    def test_east_west(self):
+        field = np.arange(12.0).reshape(3, 4)
+        east = shift(field, "e")
+        west = shift(field, "w")
+        assert np.array_equal(east[:, :-1], field[:, 1:])
+        assert np.array_equal(west[:, 1:], field[:, :-1])
+
+    def test_diagonals(self):
+        field = np.arange(16.0).reshape(4, 4)
+        ne = shift(field, "ne")
+        assert ne[1, 1] == field[2, 2]
+        sw = shift(field, "sw")
+        assert sw[2, 2] == field[1, 1]
+
+    def test_unknown_direction_raises(self):
+        with pytest.raises(GridError):
+            shift(np.ones((2, 2)), "up")
+
+    @given(
+        ny=st.integers(2, 8),
+        nx=st.integers(2, 8),
+        direction=st.sampled_from(sorted(NEIGHBOR_OFFSETS)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_shift_then_opposite_restores_interior(self, ny, nx, direction):
+        """shift(shift(x, d), opposite(d)) equals x away from boundaries."""
+        rng = np.random.default_rng(ny * 100 + nx)
+        field = rng.standard_normal((ny, nx))
+        back = shift(shift(field, direction), OPPOSITE_DIRECTION[direction])
+        inner = (slice(1, -1), slice(1, -1))
+        assert np.allclose(back[inner], field[inner])
+
+
+class TestInteriorAndMasks:
+    def test_interior_strips_ring(self):
+        field = np.arange(25.0).reshape(5, 5)
+        assert np.array_equal(interior(field), field[1:-1, 1:-1])
+
+    def test_interior_width_zero(self):
+        field = np.ones((3, 3))
+        assert interior(field, 0) is field
+
+    def test_apply_mask_zeroes_land(self):
+        field = np.ones((2, 3))
+        mask = np.array([[1, 0, 1], [0, 1, 0]], dtype=float)
+        out = apply_mask(field, mask)
+        assert np.array_equal(out, mask)
+
+    def test_apply_mask_out_param(self):
+        field = np.full((2, 2), 3.0)
+        out = np.empty((2, 2))
+        ret = apply_mask(field, np.ones((2, 2)), out=out)
+        assert ret is out
+        assert np.all(out == 3.0)
+
+    def test_allclose_masked_ignores_land(self):
+        a = np.array([[1.0, 999.0]])
+        b = np.array([[1.0, -999.0]])
+        mask = np.array([[True, False]])
+        assert allclose_masked(a, b, mask)
+        assert not allclose_masked(a, b, np.array([[True, True]]))

@@ -1,0 +1,114 @@
+"""Unit tests for repro.core.norms, repro.core.rng, repro.core.validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.core.norms import (
+    masked_dot,
+    masked_norm2,
+    masked_norm_inf,
+    masked_rms,
+)
+from repro.core.rng import make_rng, spawn_rngs
+from repro.core.validation import (
+    require_choice,
+    require_fraction,
+    require_positive_float,
+    require_positive_int,
+    require_shape,
+)
+
+
+class TestMaskedNorms:
+    def setup_method(self):
+        self.a = np.array([[1.0, 2.0], [3.0, -4.0]])
+        self.b = np.array([[2.0, 0.5], [1.0, 1.0]])
+        self.mask = np.array([[1.0, 1.0], [0.0, 1.0]])
+
+    def test_masked_dot_hand_value(self):
+        # 1*2 + 2*0.5 + (-4)*1 = -1
+        assert masked_dot(self.a, self.b, self.mask) == pytest.approx(-1.0)
+
+    def test_masked_norm2_hand_value(self):
+        # sqrt(1 + 4 + 16) = sqrt(21)
+        assert masked_norm2(self.a, self.mask) == pytest.approx(np.sqrt(21))
+
+    def test_masked_norm_inf(self):
+        assert masked_norm_inf(self.a, self.mask) == 4.0
+        assert masked_norm_inf(self.a, np.zeros((2, 2))) == 0.0
+
+    def test_masked_rms(self):
+        assert masked_rms(self.a, self.mask) == pytest.approx(np.sqrt(21 / 3))
+
+    def test_masked_rms_empty_mask(self):
+        assert masked_rms(self.a, np.zeros((2, 2))) == 0.0
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_dot_symmetry_and_linearity(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((5, 7))
+        b = rng.standard_normal((5, 7))
+        m = (rng.random((5, 7)) > 0.3).astype(float)
+        assert masked_dot(a, b, m) == pytest.approx(masked_dot(b, a, m))
+        assert masked_dot(2.0 * a, b, m) == pytest.approx(
+            2.0 * masked_dot(a, b, m))
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(42).random() == make_rng(42).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_spawn_rngs_independent(self):
+        streams = spawn_rngs(7, 3)
+        values = [g.random() for g in streams]
+        assert len(set(values)) == 3
+
+    def test_spawn_rngs_reproducible(self):
+        a = [g.random() for g in spawn_rngs(7, 3)]
+        b = [g.random() for g in spawn_rngs(7, 3)]
+        assert a == b
+
+    def test_spawn_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestValidation:
+    def test_positive_int_accepts_numpy_ints(self):
+        assert require_positive_int(np.int64(3), "n") == 3
+
+    def test_positive_int_rejects_bool_float_zero(self):
+        for bad in (True, 1.5, 0, -2):
+            with pytest.raises(ConfigurationError):
+                require_positive_int(bad, "n")
+
+    def test_positive_float(self):
+        assert require_positive_float(2, "x") == 2.0
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ConfigurationError):
+                require_positive_float(bad, "x")
+
+    def test_fraction(self):
+        assert require_fraction(0.0, "f") == 0.0
+        assert require_fraction(1, "f") == 1.0
+        with pytest.raises(ConfigurationError):
+            require_fraction(1.01, "f")
+
+    def test_shape(self):
+        arr = require_shape(np.ones((2, 3)), (2, 3), "a")
+        assert arr.shape == (2, 3)
+        with pytest.raises(ConfigurationError):
+            require_shape(np.ones((3, 2)), (2, 3), "a")
+
+    def test_choice(self):
+        assert require_choice("a", {"a", "b"}, "c") == "a"
+        with pytest.raises(ConfigurationError):
+            require_choice("z", {"a", "b"}, "c")

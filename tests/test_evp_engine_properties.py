@@ -1,0 +1,87 @@
+"""Property-based tests on the EVP marching engine itself."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import test_config as make_test_config
+from repro.precond.evp import EVPBlockPreconditioner, EVPTileEngine
+
+
+def _engine_for(n, seed=0, simplified=False):
+    cfg = make_test_config(n, n, seed=seed, aquaplanet=True)
+    pre = EVPBlockPreconditioner(cfg.stencil, tile_size=n,
+                                 simplified=simplified)
+    (engine,) = pre._engines.values()
+    return cfg, pre, engine
+
+
+class TestEngineAlgebra:
+    @given(n=st.integers(4, 10), seed=st.integers(0, 10))
+    @settings(max_examples=12, deadline=None)
+    def test_solve_is_linear(self, n, seed):
+        """EVP solve is a linear map: solve(a y1 + y2) = a x1 + x2."""
+        _, _, engine = _engine_for(n, seed)
+        rng = np.random.default_rng(seed + 1)
+        y1 = rng.standard_normal((engine.batch, n, n))
+        y2 = rng.standard_normal((engine.batch, n, n))
+        a = 2.5
+        lhs = engine.solve(a * y1 + y2)
+        rhs = a * engine.solve(y1) + engine.solve(y2)
+        assert np.allclose(lhs, rhs, rtol=1e-8, atol=1e-8)
+
+    @given(n=st.integers(4, 10))
+    @settings(max_examples=8, deadline=None)
+    def test_zero_rhs_gives_zero(self, n):
+        _, _, engine = _engine_for(n)
+        x = engine.solve(np.zeros((engine.batch, n, n)))
+        assert np.all(x == 0.0)
+
+    def test_ring_size_matches_paper_count(self):
+        """k = my + mx - 1 ring unknowns == unmarched edge equations."""
+        for n in (4, 7, 12):
+            _, _, engine = _engine_for(n)
+            assert engine.k == 2 * n - 1
+            assert engine.influence_matrix.shape == (1, engine.k, engine.k)
+
+    def test_influence_condition_grows_with_size(self):
+        conds = []
+        for n in (6, 10, 14):
+            _, _, engine = _engine_for(n)
+            conds.append(float(engine.influence_condition().max()))
+        assert conds == sorted(conds)
+
+    def test_solve_shape_validation(self):
+        _, _, engine = _engine_for(6)
+        from repro.core.errors import SolverError
+
+        with pytest.raises(SolverError):
+            engine.solve(np.zeros((engine.batch, 5, 6)))
+
+    def test_cost_formulas_match_paper_forms(self):
+        """solve: 2*nnz*n^2 + k^2; setup: k*nnz*n^2 + k^3 (section 4.2)."""
+        _, _, engine = _engine_for(8)
+        n2 = 64
+        k = 15
+        nnz = engine.stencil_terms
+        assert engine.solve_flops_per_tile() == 2 * nnz * n2 + k * k
+        assert engine.setup_flops_per_tile() == k * nnz * n2 + k ** 3
+
+    def test_batched_tiles_solve_independently(self):
+        """Solving a batch equals solving each tile alone."""
+        cfg = make_test_config(8, 16, seed=2, aquaplanet=True)
+        pre = EVPBlockPreconditioner(cfg.stencil, tile_size=8,
+                                     simplified=False)
+        (engine,) = pre._engines.values()
+        assert engine.batch == 2
+        rng = np.random.default_rng(0)
+        y = rng.standard_normal((2, 8, 8))
+        both = engine.solve(y)
+        for b in range(2):
+            alone = np.zeros_like(y)
+            alone[b] = y[b]
+            solo = engine.solve(alone)
+            assert np.allclose(solo[b], both[b], rtol=1e-10, atol=1e-12)
+            other = 1 - b
+            assert np.all(solo[other] == 0.0)

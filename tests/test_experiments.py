@@ -1,0 +1,177 @@
+"""Tests for the experiment harness (infrastructure + smoke runs).
+
+The full-size experiments run as benchmarks; here every module is
+exercised at reduced parameters to pin its structure and its headline
+qualitative claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    Series,
+    geometry_decomposition,
+    measure_solver,
+    rescale_events,
+    solver_label,
+)
+from repro.experiments.common import (
+    get_cached_config,
+    reference_rhs,
+    rescaled_result_events,
+)
+from repro.parallel.events import EventCounts
+
+
+class TestCommonInfrastructure:
+    def test_solver_labels(self):
+        assert solver_label("chrongear", "diagonal") == "ChronGear+Diagonal"
+        assert solver_label("pcsi", "evp") == "P-CSI+EVP"
+
+    def test_rescale_events_flops_scale_with_block(self):
+        events = {"computation": EventCounts(flops=9000, halo_exchanges=10)}
+        decomp = geometry_decomposition((300, 300), 9)
+        out = rescale_events(events, measured_points=90000, decomp=decomp)
+        assert out["computation"].flops == 9000 * 10000 // 90000
+        assert out["computation"].halo_words == \
+            10 * decomp.halo_words_per_exchange()
+
+    def test_rescale_preserves_counts(self):
+        events = {"reduction": EventCounts(allreduces=7, allreduce_words=14)}
+        decomp = geometry_decomposition((300, 300), 4)
+        out = rescale_events(events, 1000, decomp)
+        assert out["reduction"].allreduces == 7
+        assert out["reduction"].allreduce_words == 14
+
+    def test_measure_solver_cached(self):
+        cfg = get_cached_config("test")
+        a = measure_solver(cfg, "chrongear", "diagonal", tol=1e-10)
+        b = measure_solver(cfg, "chrongear", "diagonal", tol=1e-10)
+        assert a is b
+
+    def test_reference_rhs_deterministic(self):
+        cfg = get_cached_config("test")
+        assert np.array_equal(reference_rhs(cfg), reference_rhs(cfg))
+
+    def test_result_render_and_lookup(self):
+        res = ExperimentResult(
+            name="x", title="t",
+            series=[Series("a", [1, 2], [0.5, 0.25])],
+            notes={"k": "v"},
+        )
+        text = res.render(xlabel="p")
+        assert "a" in text and "0.5" in text and "k = v" in text
+        assert res.series_by_label("a").y == [0.5, 0.25]
+        with pytest.raises(KeyError):
+            res.series_by_label("b")
+
+
+class TestStructuralExperiments:
+    def test_fig04_blocked_structure(self):
+        from repro.experiments import fig04_sparsity
+
+        res = fig04_sparsity.run(ny=24, nx=24, blocks=3)
+        assert res.notes["max coupled blocks (paper: 9)"] == 9
+        assert res.notes["corner-coupling entries (paper: exactly 1 each)"] \
+            == [1]
+
+    def test_fig05_roundoff_grows_with_block_size(self):
+        from repro.experiments import fig05_evp_marching
+
+        res = fig05_evp_marching.run(sizes=(4, 8, 12), trials=2)
+        roundoff = res.series_by_label("relative round-off").y
+        assert roundoff[0] < roundoff[1] < roundoff[2]
+        ratio = res.series_by_label("LU/EVP cost ratio").y
+        assert ratio[-1] > ratio[0] > 1.0
+
+
+@pytest.mark.slow
+class TestPerformanceExperimentSmoke:
+    """Reduced-size smoke runs of the figure pipelines."""
+
+    CORES = (470, 1880, 16875)
+
+    def test_fig08_headline_shape(self):
+        from repro.experiments import fig08_highres_yellowstone
+
+        res = fig08_highres_yellowstone.run(cores=self.CORES, scale=0.125)
+        base = res.series_by_label("ChronGear+Diagonal [s/day]").y
+        best = res.series_by_label("P-CSI+EVP [s/day]").y
+        # ChronGear degrades toward 16,875 cores; P-CSI+EVP keeps falling.
+        assert base[-1] > base[1] * 0.8
+        assert best[-1] < best[0]
+        assert base[-1] / best[-1] > 2.0  # paper: 5.2x
+        sypd_base = res.series_by_label("ChronGear+Diagonal [SYPD]").y
+        sypd_best = res.series_by_label("P-CSI+EVP [SYPD]").y
+        assert sypd_best[-1] > 1.2 * sypd_base[-1]  # paper: 1.7x
+
+    def test_fig01_fraction_grows(self):
+        from repro.experiments import fig01_time_fraction
+
+        res = fig01_time_fraction.run(cores=self.CORES, scale=0.125)
+        frac = res.series_by_label("barotropic %").y
+        assert frac[0] == pytest.approx(5.0, abs=1.5)
+        assert frac[-1] > 30.0
+
+    def test_fig09_fraction_stays_low(self):
+        from repro.experiments import fig09_time_fraction_pcsi
+
+        res = fig09_time_fraction_pcsi.run(cores=self.CORES, scale=0.125)
+        frac = res.series_by_label("barotropic %").y
+        assert frac[-1] < 25.0  # paper: ~16%
+
+    def test_fig02_reduction_dominates_at_scale(self):
+        from repro.experiments import fig02_comm_breakdown
+
+        res = fig02_comm_breakdown.run(cores=self.CORES, scale=0.125)
+        red = res.series_by_label("global reduction [s/day]").y
+        halo = res.series_by_label("halo updating [s/day]").y
+        assert red[-1] > 10 * halo[-1]
+        assert halo[0] > halo[-1]
+
+    def test_fig07_pcsi_wins_at_high_cores(self):
+        from repro.experiments import fig07_lowres_scaling
+
+        res = fig07_lowres_scaling.run(cores=(48, 768), scale=0.5)
+        cg = res.series_by_label("ChronGear+Diagonal").y
+        pcsi = res.series_by_label("P-CSI+Diagonal").y
+        assert pcsi[-1] < cg[-1]
+
+    def test_table1_low_core_regime(self):
+        from repro.experiments import table1_pop_improvement
+
+        res = table1_pop_improvement.run(cores=(48, 768), scale=0.5)
+        pcsi_evp = res.series_by_label("P-CSI+EVP").y
+        # computation-bound at 48 cores: small improvement only (the
+        # paper's cell is mildly negative; ours mildly positive --
+        # EXPERIMENTS.md deviation 2)
+        assert pcsi_evp[0] < 8.0
+        assert pcsi_evp[-1] > 5.0       # clear win at 768
+
+    def test_fig10_components(self):
+        from repro.experiments import fig10_solver_components
+
+        res = fig10_solver_components.run(cores=self.CORES, scale=0.125)
+        cg_red = res.series_by_label("ChronGear+Diagonal reduction").y
+        pcsi_red = res.series_by_label("P-CSI+EVP reduction").y
+        assert pcsi_red[-1] < 0.25 * cg_red[-1]
+
+    def test_fig11_edison_noise_protocol(self):
+        from repro.experiments import fig11_highres_edison
+
+        res = fig11_highres_edison.run(cores=self.CORES, scale=0.125)
+        spread_cg = res.series_by_label(
+            "ChronGear+Diagonal run spread [s]").y
+        spread_pcsi = res.series_by_label("P-CSI+EVP run spread [s]").y
+        assert spread_cg[-1] > spread_pcsi[-1]
+
+    def test_fig06_iteration_structure(self):
+        from repro.experiments import fig06_iterations
+
+        res = fig06_iterations.run(
+            configs=(("pop_1deg", 0.5), ("pop_0.1deg", 0.125)))
+        cg = res.series_by_label("ChronGear+Diagonal").y
+        cg_evp = res.series_by_label("ChronGear+EVP").y
+        assert cg[1] < cg[0]               # 0.1-degree needs fewer
+        assert all(e < c for e, c in zip(cg_evp, cg))  # EVP helps

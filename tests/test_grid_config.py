@@ -1,0 +1,78 @@
+"""Unit tests for named grid configurations."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.grid import get_config, pop_0p1deg, pop_1deg, scaled_config, test_config as make_test_config
+
+
+class TestNamedConfigs:
+    def test_pop_1deg_shape_and_stepping(self):
+        cfg = pop_1deg(scale=0.25)
+        assert cfg.shape == (96, 80)
+        # steps_per_day models the full-resolution cadence; dt stretches
+        # with the coarser cells (1/scale).
+        assert cfg.steps_per_day == 45
+        assert cfg.dt == pytest.approx(86400.0 / 45 / 0.25)
+        assert pop_1deg().dt == pytest.approx(86400.0 / 45)
+
+    def test_scaled_conditioning_invariant(self):
+        """phi*area relative to the stencil must not depend on scale."""
+        a = pop_1deg(scale=0.25)
+        b = pop_1deg(scale=0.5)
+        ratio_a = (a.stencil.phi * a.metrics.tarea.mean()
+                   / a.stencil.c[a.mask].mean())
+        ratio_b = (b.stencil.phi * b.metrics.tarea.mean()
+                   / b.stencil.c[b.mask].mean())
+        assert ratio_a == pytest.approx(ratio_b, rel=0.1)
+
+    def test_pop_0p1deg_shape_and_stepping(self):
+        cfg = pop_0p1deg(scale=0.1)
+        assert cfg.shape == (240, 360)
+        assert cfg.steps_per_day == 500
+
+    def test_full_size_shapes_via_scale_one_names(self):
+        # names encode the scale
+        assert pop_1deg(scale=0.5).name == "pop_1deg@0.5"
+        assert pop_0p1deg(scale=0.25).name == "pop_0.1deg@0.25"
+
+    def test_anisotropy_ordering(self):
+        """1-degree cells are more anisotropic than 0.1-degree cells --
+        the paper's conditioning argument (section 4.3)."""
+        one = pop_1deg(scale=0.25)
+        tenth = pop_0p1deg(scale=0.1)
+        assert one.metrics.mean_anisotropy() > tenth.metrics.mean_anisotropy()
+
+    def test_scale_bounds(self):
+        with pytest.raises(ConfigurationError):
+            pop_1deg(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            pop_1deg(scale=1.5)
+
+    def test_scaled_config_dispatch(self):
+        assert scaled_config("pop_1deg", 0.25).shape == (96, 80)
+        assert scaled_config("pop_0p1deg", 0.1).shape == (240, 360)
+        with pytest.raises(ConfigurationError):
+            scaled_config("nope", 0.5)
+
+    def test_get_config_registry(self):
+        cfg = get_config("test", ny=20, nx=24)
+        assert cfg.shape == (20, 24)
+        with pytest.raises(ConfigurationError):
+            get_config("unknown")
+
+    def test_describe_contains_name(self):
+        cfg = make_test_config(16, 16)
+        assert "test_16x16" in cfg.describe()
+
+    def test_properties(self):
+        cfg = make_test_config(16, 20, seed=1)
+        assert cfg.ny == 16 and cfg.nx == 20
+        assert cfg.n_ocean == int(cfg.mask.sum())
+
+    def test_determinism(self):
+        import numpy as np
+
+        a = pop_1deg(scale=0.125)
+        b = pop_1deg(scale=0.125)
+        assert np.array_equal(a.stencil.c, b.stencil.c)

@@ -1,0 +1,104 @@
+"""Unit tests for grid metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import GridError
+from repro.grid.metrics import (
+    GridMetrics,
+    dipole_metrics,
+    spherical_metrics,
+    uniform_metrics,
+)
+
+
+class TestUniformMetrics:
+    def test_constant_spacing(self):
+        m = uniform_metrics(6, 8, dx=2.0e5, dy=1.0e5)
+        assert np.all(m.dxt == 2.0e5) and np.all(m.dyt == 1.0e5)
+        assert m.shape == (6, 8)
+
+    def test_area_and_anisotropy(self):
+        m = uniform_metrics(4, 4, dx=2.0e5, dy=1.0e5)
+        assert np.all(m.tarea == 2.0e10)
+        assert np.all(m.anisotropy() == 2.0)
+        assert m.mean_anisotropy() == pytest.approx(2.0)
+
+    def test_mean_anisotropy_symmetric(self):
+        """dx/dy = 0.5 counts the same as dx/dy = 2."""
+        a = uniform_metrics(4, 4, dx=2.0e5, dy=1.0e5).mean_anisotropy()
+        b = uniform_metrics(4, 4, dx=1.0e5, dy=2.0e5).mean_anisotropy()
+        assert a == pytest.approx(b)
+
+    def test_invalid_spacing_raises(self):
+        with pytest.raises(Exception):
+            uniform_metrics(4, 4, dx=-1.0)
+
+
+class TestSphericalMetrics:
+    def test_dx_shrinks_toward_poles(self):
+        m = spherical_metrics(40, 60)
+        equator = m.dxt[20, 0]
+        assert m.dxt[0, 0] < equator and m.dxt[-1, 0] < equator
+
+    def test_dy_constant(self):
+        m = spherical_metrics(40, 60)
+        assert np.allclose(m.dyt, m.dyt[0, 0])
+
+    def test_min_cos_floor(self):
+        m = spherical_metrics(40, 60, lat_min=-89.0, lat_max=89.0,
+                              min_cos=0.2)
+        ratio = m.dxt.min() / m.dxt.max()
+        assert ratio >= 0.2 * np.cos(np.deg2rad(89.0)) / 1.0 or \
+            m.dxt.min() >= 0.19 * m.dxt[20, 0]
+
+    def test_bad_lat_range_raises(self):
+        with pytest.raises(GridError):
+            spherical_metrics(10, 10, lat_min=50.0, lat_max=40.0)
+
+
+class TestDipoleMetrics:
+    def test_matches_spherical_south_of_cap(self):
+        d = dipole_metrics(60, 80, cap_lat=55.0)
+        s = spherical_metrics(60, 80, min_cos=0.35)
+        south = d.lat[:, 0] < 40.0
+        assert np.allclose(d.dxt[south], s.dxt[south])
+        assert np.allclose(d.dyt[south], s.dyt[south])
+
+    def test_cells_never_degenerate(self):
+        d = dipole_metrics(60, 80)
+        assert d.dxt.min() > 0.1 * d.dxt.max() * 0.3
+        assert np.all(d.dxt > 0) and np.all(d.dyt > 0)
+
+    def test_area_variation_bounded(self):
+        """Dipole-cap areas stay within a modest factor of mid-latitude
+        areas (the conditioning requirement DESIGN.md records)."""
+        d = dipole_metrics(96, 80)
+        mid = d.tarea[48, :].mean()
+        assert d.tarea.min() > mid / 12.0
+
+    def test_northern_cells_wider_than_raw_spherical(self):
+        """The displaced pole prevents the cos(lat) collapse over the
+        (ocean) longitudes away from the pole."""
+        d = dipole_metrics(96, 80, min_cos=0.05)
+        s = spherical_metrics(96, 80, min_cos=0.05)
+        far_from_pole = (d.lat > 70.0) & (np.abs(d.lon - 140.0) < 40.0)
+        assert d.dxt[far_from_pole].mean() > s.dxt[far_from_pole].mean()
+
+
+class TestGridMetricsValidation:
+    def test_shape_mismatch_raises(self):
+        ones = np.ones((4, 4))
+        with pytest.raises(GridError):
+            GridMetrics(dxt=ones, dyt=ones, dxu=ones,
+                        dyu=np.ones((3, 4)), lat=ones, lon=ones)
+
+    def test_nonpositive_metric_raises(self):
+        ones = np.ones((4, 4))
+        bad = ones.copy()
+        bad[0, 0] = 0.0
+        with pytest.raises(GridError):
+            GridMetrics(dxt=bad, dyt=ones, dxu=ones, dyu=ones,
+                        lat=ones, lon=ones)

@@ -1,0 +1,130 @@
+"""Unit tests for synthetic topography."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import GridError
+from repro.grid.topography import (
+    Topography,
+    aquaplanet_topography,
+    channel_topography,
+    double_gyre_topography,
+    earthlike_topography,
+    ocean_basins,
+    remove_isolated_seas,
+)
+
+
+class TestEarthlike:
+    def test_deterministic_in_seed(self):
+        a = earthlike_topography(40, 60, seed=5)
+        b = earthlike_topography(40, 60, seed=5)
+        assert np.array_equal(a.depth, b.depth)
+
+    def test_different_seeds_differ(self):
+        a = earthlike_topography(40, 60, seed=5)
+        b = earthlike_topography(40, 60, seed=6)
+        assert not np.array_equal(a.mask, b.mask)
+
+    def test_land_fraction_near_target(self):
+        topo = earthlike_topography(60, 90, seed=1, land_fraction=0.34)
+        # basin cleanup can only add land
+        assert 0.30 <= topo.land_fraction <= 0.55
+
+    def test_depth_range(self):
+        topo = earthlike_topography(40, 60, seed=2, max_depth=5000.0,
+                                    min_depth=200.0)
+        wet = topo.depth[topo.mask]
+        assert wet.min() >= 100.0  # polar shallowing scales the ramp only
+        assert wet.max() <= 5000.0
+
+    def test_mask_depth_consistency(self):
+        topo = earthlike_topography(40, 60, seed=3)
+        assert np.all((topo.depth > 0) == topo.mask)
+
+    def test_polar_shallowing(self):
+        lat = np.broadcast_to(np.linspace(-78, 87, 80)[:, None], (80, 120))
+        topo = earthlike_topography(80, 120, seed=4, lat=lat)
+        arctic = topo.depth[(lat > 78.0) & topo.mask]
+        tropics = topo.depth[(np.abs(lat) < 30.0) & topo.mask]
+        if arctic.size and tropics.size:
+            assert arctic.max() < tropics.max()
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_single_dominant_basin_after_cleanup(self, seed):
+        topo = earthlike_topography(36, 54, seed=seed,
+                                    min_basin_fraction=0.05)
+        labels, n = ocean_basins(topo.mask)
+        sizes = [np.count_nonzero(labels == k) for k in range(1, n + 1)]
+        assert all(s >= 0.05 * sum(sizes) for s in sizes)
+
+
+class TestBasinTools:
+    def test_remove_isolated_seas(self):
+        depth = np.zeros((10, 10))
+        depth[1:8, 1:8] = 1000.0  # big basin
+        depth[9, 9] = 500.0       # isolated lake
+        cleaned = remove_isolated_seas(depth, min_fraction=0.05)
+        assert cleaned[9, 9] == 0.0
+        assert cleaned[4, 4] == 1000.0
+
+    def test_diagonal_contact_does_not_connect(self):
+        depth = np.zeros((4, 4))
+        depth[0, 0] = depth[1, 1] = 1000.0  # touch only diagonally
+        labels, n = ocean_basins(depth > 0)
+        assert n == 2
+
+    def test_remove_preserves_single_basin(self):
+        depth = np.zeros((6, 6))
+        depth[2:4, :] = 800.0
+        cleaned = remove_isolated_seas(depth)
+        assert np.array_equal(cleaned, depth)
+
+
+class TestSimpleBasins:
+    def test_aquaplanet_all_ocean(self):
+        topo = aquaplanet_topography(8, 8, depth=3000.0)
+        assert topo.mask.all()
+        assert np.all(topo.depth == 3000.0)
+        assert topo.land_fraction == 0.0
+
+    def test_channel_walls(self):
+        topo = channel_topography(10, 20, wall_width=2)
+        assert not topo.mask[:2].any() and not topo.mask[-2:].any()
+        assert topo.mask[2:-2].all()
+
+    def test_channel_too_thick_walls_raise(self):
+        with pytest.raises(GridError):
+            channel_topography(4, 8, wall_width=2)
+
+    def test_double_gyre_closed_and_shelved(self):
+        topo = double_gyre_topography(20, 30)
+        assert not topo.mask[0].any() and not topo.mask[-1].any()
+        assert not topo.mask[:, 0].any() and not topo.mask[:, -1].any()
+        center = topo.depth[10, 15]
+        coast = topo.depth[topo.mask].min()
+        assert center > coast
+
+    def test_n_ocean_property(self):
+        topo = channel_topography(8, 10, wall_width=1)
+        assert topo.n_ocean == 6 * 10
+
+
+class TestTopographyValidation:
+    def test_negative_depth_rejected(self):
+        with pytest.raises(GridError):
+            Topography(depth=np.full((2, 2), -1.0),
+                       mask=np.ones((2, 2), dtype=bool))
+
+    def test_mask_mismatch_rejected(self):
+        with pytest.raises(GridError):
+            Topography(depth=np.ones((2, 2)),
+                       mask=np.zeros((2, 2), dtype=bool))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GridError):
+            Topography(depth=np.ones((2, 2)),
+                       mask=np.ones((3, 2), dtype=bool))

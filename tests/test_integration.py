@@ -1,0 +1,160 @@
+"""End-to-end integration tests across subsystems."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.barotropic import MiniPOP
+from repro.experiments.common import (
+    geometry_decomposition,
+    rescale_events,
+)
+from repro.grid import test_config as make_test_config
+from repro.operators import apply_stencil
+from repro.perfmodel import YELLOWSTONE, phase_times
+from repro.precond import make_preconditioner
+from repro.precond.evp import evp_for_config
+from repro.solvers import ChronGearSolver, PCSISolver, SerialContext
+
+
+class TestSolverSwapNeutrality:
+    """Swapping the solver must not change the physics beyond round-off
+    -- the property the paper's whole section 6 exists to certify."""
+
+    def _run(self, solver_kind, precond, days=5):
+        cfg = make_test_config(16, 24, seed=11, dt=10800.0)
+        if precond == "evp":
+            pre = evp_for_config(cfg)
+        else:
+            pre = make_preconditioner(precond, cfg.stencil)
+        cls = {"chrongear": ChronGearSolver, "pcsi": PCSISolver}[solver_kind]
+        solver = cls(SerialContext(cfg.stencil, pre), tol=1e-13,
+                     max_iterations=4000, raise_on_failure=False)
+        model = MiniPOP(cfg, solver)
+        model.run_days(days)
+        return model.state
+
+    def test_solver_choice_agrees_to_near_roundoff(self):
+        a = self._run("chrongear", "diagonal")
+        b = self._run("pcsi", "evp")
+        # identical physics, different solvers: tiny differences only
+        diff = np.abs(a.temperature - b.temperature).max()
+        assert diff < 1e-6
+        assert diff > 0.0  # ...but not bit-for-bit (the paper's premise)
+
+
+class TestScalingPipeline:
+    """Solve -> events -> rescale -> machine pricing, end to end."""
+
+    def test_modeled_time_decreases_then_reduction_dominates(self):
+        cfg = make_test_config(48, 64, seed=7)
+        pre = make_preconditioner("diagonal", cfg.stencil)
+        ctx = SerialContext(cfg.stencil, pre)
+        rng = np.random.default_rng(0)
+        b = apply_stencil(cfg.stencil,
+                          rng.standard_normal(cfg.shape) * cfg.mask)
+        res = ChronGearSolver(ctx, tol=1e-12).solve(b)
+
+        full_shape = (2400, 3600)
+        points = cfg.ny * cfg.nx
+        times = {}
+        for p in (100, 1600, 25600):
+            decomp = geometry_decomposition(full_shape, p)
+            ev = rescale_events(res.events, points, decomp)
+            times[p] = phase_times(ev, YELLOWSTONE, decomp.num_active)
+        # computation scales down ~ 1/p
+        ratio = times[100].computation / times[1600].computation
+        assert ratio == pytest.approx(16.0, rel=0.2)
+        # reduction grows with p
+        assert times[25600].reduction > times[1600].reduction
+        # and eventually dominates the total
+        assert times[25600].reduction > times[25600].computation
+
+    def test_pcsi_beats_chrongear_only_at_scale(self):
+        cfg = make_test_config(48, 64, seed=7)
+        rng = np.random.default_rng(0)
+        b = apply_stencil(cfg.stencil,
+                          rng.standard_normal(cfg.shape) * cfg.mask)
+        pre = make_preconditioner("diagonal", cfg.stencil)
+        res_cg = ChronGearSolver(SerialContext(cfg.stencil, pre),
+                                 tol=1e-12).solve(b)
+        res_pcsi = PCSISolver(SerialContext(cfg.stencil, pre),
+                              tol=1e-12).solve(b)
+        points = cfg.ny * cfg.nx
+        totals = {}
+        for p in (16, 16384):
+            decomp = geometry_decomposition((2400, 3600), p)
+            t_cg = phase_times(rescale_events(res_cg.events, points, decomp),
+                               YELLOWSTONE, decomp.num_active).total
+            t_pcsi = phase_times(
+                rescale_events(res_pcsi.events, points, decomp),
+                YELLOWSTONE, decomp.num_active).total
+            totals[p] = (t_cg, t_pcsi)
+        small_cg, small_pcsi = totals[16]
+        big_cg, big_pcsi = totals[16384]
+        assert big_pcsi < big_cg          # the paper's headline
+        assert big_cg / big_pcsi > small_cg / max(small_pcsi, 1e-30)
+
+
+class TestChebyshevOptimality:
+    """P-CSI's convergence matches the Chebyshev bound when the interval
+    is exact -- the mathematical identity behind Eq. (3)."""
+
+    def test_iterations_match_theory(self):
+        cfg = make_test_config(32, 48, seed=7)
+        from repro.operators import extreme_eigenvalues, ocean_submatrix
+
+        matrix, idx = ocean_submatrix(cfg.stencil)
+        lo, hi = extreme_eigenvalues(
+            matrix, preconditioner_diag=cfg.stencil.c.ravel()[idx])
+        pre = make_preconditioner("diagonal", cfg.stencil)
+        rng = np.random.default_rng(0)
+        b = apply_stencil(cfg.stencil,
+                          rng.standard_normal(cfg.shape) * cfg.mask)
+        tol = 1e-12
+        res = PCSISolver(SerialContext(cfg.stencil, pre),
+                         eig_bounds=(lo * 0.999, hi * 1.001), tol=tol,
+                         check_freq=1, max_iterations=20000).solve(b)
+        kappa = hi / lo
+        rho = (math.sqrt(kappa) - 1) / (math.sqrt(kappa) + 1)
+        k_theory = math.log(2.0 / tol) / (-math.log(rho))
+        assert res.iterations == pytest.approx(k_theory, rel=0.25)
+
+
+class TestVerificationPipeline:
+    """Small-scale ensemble consistency flow (the fig13 machinery)."""
+
+    def test_loose_tolerance_flagged_small_scale(self):
+        from repro.verification import (
+            evaluate_consistency,
+            run_perturbed_ensemble,
+        )
+
+        def factory():
+            cfg = make_test_config(16, 24, seed=11, dt=10800.0)
+            pre = make_preconditioner("diagonal", cfg.stencil)
+            solver = ChronGearSolver(SerialContext(cfg.stencil, pre),
+                                     tol=1e-13, max_iterations=4000,
+                                     raise_on_failure=False)
+            return MiniPOP(cfg, solver, gamma_feedback=1e-7, kappa=300.0,
+                           restore_days=365.0, velocity_gain=1.5)
+
+        months, days = 2, 10
+        ensemble = run_perturbed_ensemble(factory, months, size=6,
+                                          days_per_month=days)
+        cfg = make_test_config(16, 24, seed=11, dt=10800.0)
+
+        def candidate(tol):
+            pre = make_preconditioner("diagonal", cfg.stencil)
+            solver = ChronGearSolver(SerialContext(cfg.stencil, pre),
+                                     tol=tol, max_iterations=4000,
+                                     raise_on_failure=False)
+            model = MiniPOP(cfg, solver, gamma_feedback=1e-7, kappa=300.0,
+                            restore_days=365.0, velocity_gain=1.5)
+            return model.run_months(months, days_per_month=days)
+
+        loose = evaluate_consistency(candidate(1e-8), ensemble, cfg.mask)
+        tight = evaluate_consistency(candidate(1e-13), ensemble, cfg.mask)
+        assert not loose.consistent
+        assert tight.consistent

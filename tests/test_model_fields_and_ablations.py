@@ -1,0 +1,81 @@
+"""Tests for multi-field diagnostics and the cheap ablation modules."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.experiments.verification_common import make_model
+
+
+class TestRunMonthsFields:
+    def test_collects_requested_fields(self):
+        model = make_model()
+        out = model.run_months_fields(2, days_per_month=2,
+                                      fields=("temperature", "eta"))
+        assert set(out) == {"temperature", "eta"}
+        assert len(out["temperature"]) == 2
+        assert out["eta"][0].shape == model.config.shape
+
+    def test_temperature_only_matches_run_months(self):
+        a = make_model()
+        b = make_model()
+        months_a = a.run_months(1, days_per_month=2)
+        months_b = b.run_months_fields(1, days_per_month=2,
+                                       fields=("temperature",))
+        assert np.array_equal(months_a[0], months_b["temperature"][0])
+
+    def test_unknown_field_rejected(self):
+        model = make_model()
+        with pytest.raises(ConfigurationError):
+            model.run_months_fields(1, fields=("salinity",))
+
+    def test_monthly_means_differ_from_instantaneous(self):
+        model = make_model()
+        out = model.run_months_fields(1, days_per_month=3,
+                                      fields=("eta",))
+        assert not np.array_equal(out["eta"][0], model.state.eta)
+
+
+class TestCheapAblationRuns:
+    """Smoke the ablation modules at minimal sizes (full runs are
+    benches)."""
+
+    def test_evp_simplified(self):
+        from repro.experiments import ablation_evp_simplified
+
+        res = ablation_evp_simplified.run(config_name="pop_0.1deg",
+                                          scale=0.125)
+        ratio = res.notes["cost ratio full/simplified (paper ~22/14)"]
+        assert 1.2 < ratio < 2.0
+
+    def test_land_elimination(self):
+        from repro.experiments import ablation_land_elimination
+
+        res = ablation_land_elimination.run(scale=0.125,
+                                            lattices=((6, 9), (8, 12)))
+        active = res.series_by_label("active (ocean) blocks").y
+        total = res.series_by_label("lattice blocks").y
+        assert all(a <= t for a, t in zip(active, total))
+
+    def test_block_size_small(self):
+        from repro.experiments import ablation_block_size
+
+        res = ablation_block_size.run(scale=0.125, tiles=(4, 12),
+                                      max_iterations=1500)
+        roundoff = res.series_by_label("marching round-off").y
+        assert roundoff[0] < roundoff[1]
+
+    def test_diagnostic_field_small(self):
+        from repro.experiments import ablation_diagnostic_field
+
+        res = ablation_diagnostic_field.run(months=2, size=4,
+                                            days_per_month=5)
+        margins = res.notes["median margin"]
+        assert set(margins) == {"temperature", "SSH"}
+
+    def test_check_freq_iterations_grow_with_interval(self):
+        from repro.experiments import ablation_check_freq
+
+        res = ablation_check_freq.run(scale=0.125, freqs=(1, 20))
+        iters = res.series_by_label("iterations").y
+        assert iters[1] >= iters[0]

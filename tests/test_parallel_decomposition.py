@@ -1,0 +1,133 @@
+"""Unit tests for block decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import DecompositionError
+from repro.parallel.decomposition import (
+    _factor_pairs,
+    _split_extent,
+    decompose,
+    decomposition_for_core_count,
+)
+
+
+class TestSplitExtent:
+    def test_even_split(self):
+        assert _split_extent(12, 3) == [(0, 4), (4, 8), (8, 12)]
+
+    def test_remainder_front_loaded(self):
+        assert _split_extent(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_too_many_parts_raises(self):
+        with pytest.raises(DecompositionError):
+            _split_extent(2, 3)
+
+    @given(total=st.integers(1, 200), parts=st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, total, parts):
+        if parts > total:
+            with pytest.raises(DecompositionError):
+                _split_extent(total, parts)
+            return
+        bounds = _split_extent(total, parts)
+        assert bounds[0][0] == 0 and bounds[-1][1] == total
+        for (a0, a1), (b0, b1) in zip(bounds, bounds[1:]):
+            assert a1 == b0
+        sizes = [b - a for a, b in bounds]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestDecompose:
+    @given(ny=st.integers(4, 40), nx=st.integers(4, 40),
+           mby=st.integers(1, 4), mbx=st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_blocks_tile_grid_exactly(self, ny, nx, mby, mbx):
+        if mby > ny or mbx > nx:
+            return
+        decomp = decompose(ny, nx, mby, mbx)
+        cover = np.zeros((ny, nx), dtype=int)
+        for block in decomp.blocks:
+            cover[block.slices] += 1
+        assert np.all(cover == 1)
+
+    def test_no_mask_all_active(self):
+        decomp = decompose(12, 12, 3, 3)
+        assert decomp.num_active == 9
+        assert decomp.land_block_ratio == 0.0
+
+    def test_land_elimination(self):
+        mask = np.zeros((12, 12), dtype=bool)
+        mask[:6, :] = True  # bottom half ocean
+        decomp = decompose(12, 12, 2, 2, mask=mask)
+        assert decomp.num_active == 2
+        assert decomp.land_block_ratio == pytest.approx(0.5)
+
+    def test_elimination_disabled_keeps_land_blocks(self):
+        mask = np.zeros((12, 12), dtype=bool)
+        mask[:6, :] = True
+        decomp = decompose(12, 12, 2, 2, mask=mask, eliminate_land=False)
+        assert decomp.num_active == 4
+
+    def test_all_land_raises(self):
+        with pytest.raises(DecompositionError):
+            decompose(8, 8, 2, 2, mask=np.zeros((8, 8), dtype=bool))
+
+    def test_mask_shape_mismatch_raises(self):
+        with pytest.raises(DecompositionError):
+            decompose(8, 8, 2, 2, mask=np.ones((4, 4), dtype=bool))
+
+    def test_ranks_are_contiguous_from_zero(self):
+        decomp = decompose(16, 16, 4, 4)
+        ranks = sorted(b.rank for b in decomp.active_blocks)
+        assert ranks == list(range(16))
+
+    def test_neighbors_geometry(self):
+        decomp = decompose(12, 12, 3, 3)
+        center = decomp.block_at(1, 1)
+        neigh = decomp.neighbors(center)
+        assert neigh["n"].jb == 2 and neigh["n"].ib == 1
+        assert neigh["sw"].jb == 0 and neigh["sw"].ib == 0
+        corner = decomp.block_at(0, 0)
+        cneigh = decomp.neighbors(corner)
+        assert cneigh["s"] is None and cneigh["w"] is None
+        assert cneigh["ne"].jb == 1 and cneigh["ne"].ib == 1
+
+    def test_block_of_point(self):
+        decomp = decompose(10, 10, 2, 2)
+        assert decomp.block_of_point(0, 0).jb == 0
+        assert decomp.block_of_point(9, 9).jb == 1
+        with pytest.raises(DecompositionError):
+            decomp.block_of_point(10, 0)
+
+    def test_halo_words_formula(self):
+        decomp = decompose(20, 30, 2, 2, halo_width=2)
+        bny, bnx = decomp.max_block_shape()
+        expected = 2 * 2 * bnx + 2 * 2 * (bny + 4)
+        assert decomp.halo_words_per_exchange() == expected
+        assert decomp.messages_per_exchange() == 4
+
+    def test_describe_mentions_counts(self):
+        text = decompose(12, 12, 2, 2).describe()
+        assert "4/4 active" in text
+
+
+class TestCoreCountFactorization:
+    def test_factor_pairs_complete(self):
+        pairs = set(_factor_pairs(12))
+        assert pairs == {(1, 12), (12, 1), (2, 6), (6, 2), (3, 4), (4, 3)}
+
+    def test_prefers_requested_aspect(self):
+        # 2400x3600 grid, 24 ranks, aspect 1.5 -> 4x6 lattice gives
+        # blocks of 600x600 -> ratio 1.0; 3x8 gives 800x450 -> 0.56;
+        # 4x6 -> 600x600 (1.0); 6x4 -> 400x900 (2.25). Closest to 1.5
+        # is 6x4 (|2.25-1.5| = .75) vs 4x6 (|1.0-1.5| = .5) -> 4x6.
+        d = decomposition_for_core_count(2400, 3600, 24, aspect=1.5)
+        assert (d.mby, d.mbx) == (4, 6)
+        assert d.num_active == 24
+
+    def test_impossible_count_raises(self):
+        with pytest.raises(DecompositionError):
+            decomposition_for_core_count(4, 4, 97)  # prime > dims

@@ -1,0 +1,138 @@
+"""Unit tests for the event ledger, reductions and the virtual machine."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import VirtualMachine, decompose
+from repro.parallel.events import EventCounts, EventLedger
+from repro.parallel.reduction import (
+    binomial_tree_depth,
+    masked_global_dot_blockfields,
+    masked_global_sum_blocks,
+    masked_local_dot,
+)
+
+
+class TestEventLedger:
+    def test_record_and_totals(self):
+        ledger = EventLedger()
+        ledger.record_flops("computation", 100)
+        ledger.record_flops("computation", 50)
+        ledger.record_halo("boundary", words=80)
+        ledger.record_allreduce("reduction", words=2)
+        total = ledger.total()
+        assert total.flops == 150
+        assert total.halo_exchanges == 1 and total.halo_words == 80
+        assert total.allreduces == 1 and total.allreduce_words == 2
+
+    def test_snapshot_diff(self):
+        ledger = EventLedger()
+        ledger.record_flops("computation", 10)
+        snap = ledger.snapshot()
+        ledger.record_flops("computation", 7)
+        ledger.record_allreduce("reduction")
+        diff = ledger.since(snap)
+        assert diff["computation"].flops == 7
+        assert diff["reduction"].allreduces == 1
+
+    def test_snapshot_is_independent(self):
+        ledger = EventLedger()
+        ledger.record_flops("computation", 5)
+        snap = ledger.snapshot()
+        ledger.record_flops("computation", 5)
+        assert snap["computation"].flops == 5
+
+    def test_counts_unknown_phase_zero(self):
+        assert EventLedger().counts("nope") == EventCounts()
+
+    def test_reset(self):
+        ledger = EventLedger()
+        ledger.record_flops("computation", 5)
+        ledger.reset()
+        assert ledger.total().flops == 0
+
+    def test_event_counts_add(self):
+        a = EventCounts(flops=1, halo_exchanges=2, halo_words=3,
+                        allreduces=4, allreduce_words=5)
+        b = a + a
+        assert b == EventCounts(2, 4, 6, 8, 10)
+
+
+class TestReduction:
+    def test_tree_depth(self):
+        assert binomial_tree_depth(1) == 0
+        assert binomial_tree_depth(2) == 1
+        assert binomial_tree_depth(1024) == 10
+        assert binomial_tree_depth(1025) == 11
+        with pytest.raises(ValueError):
+            binomial_tree_depth(0)
+
+    def test_rank_ordered_sum_deterministic(self):
+        values = [0.1, 0.2, 0.3, -0.1]
+        assert masked_global_sum_blocks(values) == \
+            masked_global_sum_blocks(values)
+
+    def test_local_dot(self):
+        a = np.array([[1.0, 2.0]])
+        b = np.array([[3.0, 4.0]])
+        m = np.array([[1.0, 0.0]])
+        assert masked_local_dot(a, b, m) == 3.0
+
+
+class TestVirtualMachine:
+    def setup_method(self):
+        self.decomp = decompose(12, 16, 2, 2, halo_width=2)
+        rng = np.random.default_rng(0)
+        self.mask = rng.random((12, 16)) > 0.25
+        self.vm = VirtualMachine(self.decomp, mask=self.mask)
+        self.a = rng.standard_normal((12, 16))
+        self.b = rng.standard_normal((12, 16))
+
+    def test_global_dot_matches_numpy(self):
+        af = self.vm.scatter(self.a)
+        bf = self.vm.scatter(self.b)
+        got = self.vm.global_dot(af, bf)
+        want = float(np.sum(self.a * self.b * self.mask))
+        assert got == pytest.approx(want, rel=1e-14)
+
+    def test_global_dot_pair_matches_two_dots(self):
+        af = self.vm.scatter(self.a)
+        bf = self.vm.scatter(self.b)
+        v1, v2 = self.vm.global_dot_pair(af, bf, bf, bf)
+        assert v1 == pytest.approx(float(np.sum(self.a * self.b * self.mask)))
+        assert v2 == pytest.approx(float(np.sum(self.b * self.b * self.mask)))
+
+    def test_dot_records_split_events(self):
+        af = self.vm.scatter(self.a)
+        self.vm.global_dot(af, af)
+        comp = self.vm.ledger.counts("computation")
+        red = self.vm.ledger.counts("reduction")
+        n = self.vm.max_block_points
+        assert comp.flops == n
+        assert red.flops == n
+        assert red.allreduces == 1 and red.allreduce_words == 1
+
+    def test_exchange_records_boundary_event(self):
+        af = self.vm.scatter(self.a)
+        self.vm.exchange(af)
+        counts = self.vm.ledger.counts("boundary")
+        assert counts.halo_exchanges == 1
+        assert counts.halo_words == self.decomp.halo_words_per_exchange()
+
+    def test_fast_and_slow_exchange_agree(self):
+        vm_fast = VirtualMachine(self.decomp, mask=self.mask,
+                                 fast_exchange=True)
+        vm_slow = VirtualMachine(self.decomp, mask=self.mask,
+                                 fast_exchange=False)
+        a = vm_fast.scatter(self.a)
+        b = vm_slow.scatter(self.a)
+        vm_fast.exchange(a)
+        vm_slow.exchange(b)
+        for rank in range(vm_fast.num_ranks):
+            assert np.array_equal(a.local(rank), b.local(rank))
+
+    def test_default_mask_all_ocean(self):
+        vm = VirtualMachine(self.decomp)
+        af = vm.scatter(self.a)
+        got = vm.global_dot(af, af)
+        assert got == pytest.approx(float(np.sum(self.a * self.a)))

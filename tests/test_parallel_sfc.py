@@ -1,0 +1,64 @@
+"""Unit tests for space-filling curves."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import DecompositionError
+from repro.parallel.sfc import (
+    curve_locality_score,
+    hilbert_order,
+    morton_order,
+    sfc_sort_blocks,
+)
+
+
+class TestCurveCoverage:
+    @given(mby=st.integers(1, 12), mbx=st.integers(1, 12),
+           curve=st.sampled_from(["hilbert", "morton", "rowmajor"]))
+    @settings(max_examples=60, deadline=None)
+    def test_every_cell_visited_exactly_once(self, mby, mbx, curve):
+        order = sfc_sort_blocks(mby, mbx, curve)
+        assert len(order) == mby * mbx
+        assert len(set(order)) == mby * mbx
+        assert all(0 <= j < mby and 0 <= i < mbx for j, i in order)
+
+    def test_invalid_lattice_raises(self):
+        with pytest.raises(DecompositionError):
+            hilbert_order(0, 4)
+        with pytest.raises(DecompositionError):
+            morton_order(3, 0)
+
+    def test_unknown_curve_raises(self):
+        with pytest.raises(DecompositionError):
+            sfc_sort_blocks(4, 4, "peano")
+
+
+class TestHilbertProperties:
+    def test_power_of_two_square_consecutive_cells_adjacent(self):
+        """On a 2^k square, Hilbert steps are unit Manhattan moves."""
+        order = hilbert_order(8, 8)
+        for (j0, i0), (j1, i1) in zip(order, order[1:]):
+            assert abs(j0 - j1) + abs(i0 - i1) == 1
+
+    def test_locality_hierarchy_on_square(self):
+        """Hilbert <= Morton <= scattered orders in mean step length."""
+        h = curve_locality_score(hilbert_order(8, 8))
+        m = curve_locality_score(morton_order(8, 8))
+        assert h == 1.0
+        assert h <= m
+
+    def test_rowmajor_locality_worse_on_wide_lattice(self):
+        h = curve_locality_score(sfc_sort_blocks(8, 8, "hilbert"))
+        r = curve_locality_score(sfc_sort_blocks(8, 8, "rowmajor"))
+        assert h < r
+
+
+class TestLocalityScore:
+    def test_empty_and_single(self):
+        assert curve_locality_score([]) == 0.0
+        assert curve_locality_score([(0, 0)]) == 0.0
+
+    def test_hand_value(self):
+        assert curve_locality_score([(0, 0), (0, 1), (2, 1)]) == \
+            pytest.approx(1.5)

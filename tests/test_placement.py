@@ -1,0 +1,113 @@
+"""Tests for multi-block rank placement and load balancing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import DecompositionError
+from repro.grid import test_config as make_test_config
+from repro.parallel import (
+    balanced_rank_assignment,
+    decompose,
+    placement_for_block_size,
+)
+
+
+def _decomp(ny=36, nx=48, mby=6, mbx=8, seed=7, land=0.3):
+    cfg = make_test_config(ny, nx, seed=seed, land_fraction=land)
+    return cfg, decompose(ny, nx, mby, mbx, mask=cfg.mask)
+
+
+class TestBalancedAssignment:
+    def test_every_block_assigned_exactly_once(self):
+        _, decomp = _decomp()
+        report = balanced_rank_assignment(decomp, 7)
+        assigned = [b for chunk in report.blocks_per_rank for b in chunk]
+        active = [b.index for b in decomp.active_blocks]
+        assert sorted(assigned) == sorted(active)
+
+    def test_requested_rank_count_used(self):
+        _, decomp = _decomp()
+        for ranks in (1, 3, decomp.num_active):
+            report = balanced_rank_assignment(decomp, ranks)
+            assert report.ranks == ranks
+            assert all(chunk for chunk in report.blocks_per_rank)
+
+    def test_work_accounting_consistent(self):
+        _, decomp = _decomp()
+        report = balanced_rank_assignment(decomp, 5)
+        total = sum(b.n_ocean for b in decomp.active_blocks)
+        assert sum(report.work_per_rank) == total
+        assert report.max_work == max(report.work_per_rank)
+        assert report.imbalance >= 1.0
+
+    def test_more_blocks_balance_better(self):
+        """Finer blocks let the SFC partition even out ocean work."""
+        cfg = make_test_config(48, 64, seed=7, land_fraction=0.3)
+        coarse = decompose(48, 64, 4, 4, mask=cfg.mask)
+        fine = decompose(48, 64, 12, 16, mask=cfg.mask)
+        ranks = 8
+        rough = balanced_rank_assignment(coarse, ranks)
+        smooth = balanced_rank_assignment(fine, ranks)
+        assert smooth.imbalance <= rough.imbalance + 1e-9
+
+    def test_too_many_ranks_raise(self):
+        _, decomp = _decomp()
+        with pytest.raises(DecompositionError):
+            balanced_rank_assignment(decomp, decomp.num_active + 1)
+        with pytest.raises(DecompositionError):
+            balanced_rank_assignment(decomp, 0)
+
+    @given(ranks=st.integers(1, 12), seed=st.integers(0, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_partition_property(self, ranks, seed):
+        cfg = make_test_config(30, 40, seed=seed, land_fraction=0.25)
+        decomp = decompose(30, 40, 5, 8, mask=cfg.mask)
+        if ranks > decomp.num_active:
+            return
+        report = balanced_rank_assignment(decomp, ranks)
+        # chunks are contiguous in curve order
+        flat = [b for chunk in report.blocks_per_rank for b in chunk]
+        curve_order = [b.index for b in decomp.active_blocks]
+        assert flat == curve_order
+        assert report.describe()
+
+    def test_single_rank_gets_everything(self):
+        _, decomp = _decomp()
+        report = balanced_rank_assignment(decomp, 1)
+        assert report.imbalance == 1.0
+        assert report.max_work == sum(b.n_ocean
+                                      for b in decomp.active_blocks)
+
+
+class TestPlacementForBlockSize:
+    def test_block_size_controls_lattice(self):
+        cfg = make_test_config(48, 64, seed=7)
+        d_small, _ = placement_for_block_size(cfg, 8, block_size=8)
+        d_large, _ = placement_for_block_size(cfg, 8, block_size=16)
+        assert d_small.num_blocks > d_large.num_blocks
+
+    def test_smaller_blocks_expose_more_land(self):
+        cfg = make_test_config(48, 64, seed=7, land_fraction=0.4)
+        d_small, _ = placement_for_block_size(cfg, 8, block_size=8)
+        d_large, _ = placement_for_block_size(cfg, 8, block_size=24)
+        assert d_small.land_block_ratio >= d_large.land_block_ratio
+
+    def test_halo_words_positive(self):
+        cfg = make_test_config(48, 64, seed=7)
+        _, report = placement_for_block_size(cfg, 8, block_size=12)
+        assert all(w > 0 for w in report.halo_words_per_rank)
+
+
+class TestBlockLayoutAblation:
+    def test_run_structure(self):
+        from repro.experiments import ablation_block_layout
+
+        res = ablation_block_layout.run(scale=0.125, cores=64,
+                                        block_sizes=(12, 36))
+        imb = res.series_by_label("load imbalance (max/mean)").y
+        land = res.series_by_label("land-block ratio").y
+        assert imb[0] <= imb[1] + 0.3   # smaller blocks balance better
+        assert land[0] >= land[1]       # and expose more land
+        assert res.notes["best block size (this model)"] in (12, 36)

@@ -1,0 +1,144 @@
+"""Tests for the reporting package (paper values, serialize, compare)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult, Series
+from repro.reporting import (
+    PAPER,
+    Comparison,
+    classify,
+    compare_value,
+    comparison_table,
+    get_paper_value,
+    load_result,
+    paper_values_for,
+    result_from_json,
+    result_to_json,
+    save_result,
+)
+from repro.reporting.compare import render_comparison
+from repro.reporting.paper import PaperValue
+
+
+class TestPaperRegistry:
+    def test_headline_values_present(self):
+        assert get_paper_value("fig08.speedup_pcsi_evp").value == 5.2
+        assert get_paper_value("sec6.ensemble_size").value == 40.0
+        assert get_paper_value("table1.pcsi_evp_48").value == -0.024
+
+    def test_every_value_well_formed(self):
+        for value in PAPER.values():
+            assert value.kind in ("exact", "shape", "qualitative")
+            assert value.description
+            assert value.artifact
+
+    def test_artifact_filter(self):
+        fig08 = paper_values_for("fig08")
+        assert len(fig08) >= 5
+        assert all(v.artifact == "fig08" for v in fig08)
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            get_paper_value("fig99.nothing")
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            PaperValue("k", "a", "d", 1.0, kind="vibes")
+
+
+class TestClassification:
+    def test_exact_bands(self):
+        pv = PaperValue("k", "a", "d", 10.0, kind="exact")
+        assert classify(pv, 10.0) == "match"
+        assert classify(pv, 10.005) == "match"   # within 1%
+        assert classify(pv, 10.3) == "close"     # within 5%
+        assert classify(pv, 12.0) == "deviation"
+
+    def test_shape_bands(self):
+        pv = PaperValue("k", "a", "d", 10.0, kind="shape")
+        assert classify(pv, 15.0) == "match"      # within 2x
+        assert classify(pv, 6.0) == "match"
+        assert classify(pv, 35.0) == "close"      # within 4x
+        assert classify(pv, 50.0) == "deviation"
+
+    def test_sign_flip_is_deviation(self):
+        pv = PaperValue("k", "a", "d", -0.024, kind="shape")
+        assert classify(pv, 0.024) == "deviation"
+
+    def test_qualitative(self):
+        pv = PaperValue("k", "a", "d", "consistent", kind="qualitative")
+        assert classify(pv, "consistent") == "match"
+        assert classify(pv, "CONSISTENT") == "match"
+        assert classify(pv, "INCONSISTENT") == "deviation"
+
+    def test_compare_value_and_table(self):
+        rows = comparison_table({
+            "fig08.speedup_pcsi_evp": 8.3,
+            "fig13.pcsi_consistent": "consistent",
+            "sec6.ensemble_size": 40,
+        })
+        assert all(isinstance(r, Comparison) for r in rows)
+        by_key = {r.key: r for r in rows}
+        assert by_key["fig08.speedup_pcsi_evp"].band == "match"
+        assert by_key["fig08.speedup_pcsi_evp"].ratio == \
+            pytest.approx(8.3 / 5.2)
+        assert by_key["sec6.ensemble_size"].band == "match"
+        text = render_comparison(rows)
+        assert "summary:" in text and "match" in text
+
+    def test_deviations_sorted_first(self):
+        rows = comparison_table({
+            "fig08.speedup_pcsi_evp": 5.0,      # match
+            "sec6.ensemble_size": 12,           # deviation
+        })
+        assert rows[0].band == "deviation"
+
+
+class TestSerialization:
+    def _result(self):
+        return ExperimentResult(
+            name="figX", title="demo",
+            series=[Series("a", [1, 2], [0.5, 0.25])],
+            notes={"k": (1, 2), "v": "text"},
+        )
+
+    def test_roundtrip(self):
+        original = self._result()
+        restored = result_from_json(result_to_json(original))
+        assert restored.name == original.name
+        assert restored.series[0].label == "a"
+        assert restored.series[0].y == [0.5, 0.25]
+        assert restored.notes["k"] == [1, 2]  # tuples become lists
+
+    def test_save_and_load(self, tmp_path):
+        path = save_result(self._result(), str(tmp_path))
+        assert path.endswith("figX.json")
+        loaded = load_result(path)
+        assert loaded.title == "demo"
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(ConfigurationError):
+            result_from_json("{not json")
+        with pytest.raises(ConfigurationError):
+            result_from_json("{}")
+
+
+class TestRunner:
+    def test_run_all_with_tiny_plan(self, tmp_path):
+        from repro.reporting import run_all
+
+        plan = [
+            ("repro.experiments.fig05_evp_marching",
+             {"sizes": (4, 8, 12), "trials": 2},
+             lambda r: {"sec4.evp_roundoff_12x12":
+                        r.series_by_label("relative round-off").y[-1]}),
+        ]
+        seen = []
+        report = run_all(output_dir=str(tmp_path), plan=plan,
+                         progress=seen.append)
+        assert seen == ["repro.experiments.fig05_evp_marching"]
+        assert "fig05" in report["results"]
+        assert (tmp_path / "fig05.json").exists()
+        assert len(report["comparisons"]) == 1
+        assert "summary:" in report["rendered"]

@@ -1,0 +1,84 @@
+"""Property-based tests on the solvers across randomized configurations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import test_config as make_test_config
+from repro.operators import apply_stencil
+from repro.precond import make_preconditioner
+from repro.solvers import ChronGearSolver, PCSISolver, SerialContext
+
+
+@st.composite
+def random_problem(draw):
+    """A random small earthlike configuration plus a solvable RHS."""
+    ny = draw(st.integers(14, 30))
+    nx = draw(st.integers(14, 30))
+    seed = draw(st.integers(0, 200))
+    land = draw(st.sampled_from([0.0, 0.2, 0.4]))
+    dt = draw(st.sampled_from([900.0, 1800.0, 5400.0]))
+    cfg = make_test_config(ny, nx, seed=seed, land_fraction=land, dt=dt,
+                           aquaplanet=(land == 0.0))
+    rng = np.random.default_rng(seed + 1)
+    x_true = rng.standard_normal(cfg.shape) * cfg.mask
+    b = apply_stencil(cfg.stencil, x_true)
+    return cfg, b, x_true
+
+
+class TestSolverProperties:
+    @given(problem=random_problem())
+    @settings(max_examples=20, deadline=None)
+    def test_chrongear_always_recovers_solution(self, problem):
+        cfg, b, x_true = problem
+        pre = make_preconditioner("diagonal", cfg.stencil)
+        res = ChronGearSolver(SerialContext(cfg.stencil, pre), tol=1e-11,
+                              max_iterations=30000).solve(b)
+        assert res.converged
+        err = np.abs((res.x - x_true) * cfg.mask).max()
+        assert err <= 1e-6 * max(np.abs(x_true).max(), 1e-30)
+
+    @given(problem=random_problem())
+    @settings(max_examples=12, deadline=None)
+    def test_pcsi_agrees_with_chrongear_solution(self, problem):
+        cfg, b, _ = problem
+        pre = make_preconditioner("diagonal", cfg.stencil)
+        a = ChronGearSolver(SerialContext(cfg.stencil, pre), tol=1e-11,
+                            max_iterations=30000).solve(b)
+        pre2 = make_preconditioner("diagonal", cfg.stencil)
+        c = PCSISolver(SerialContext(cfg.stencil, pre2), tol=1e-11,
+                       max_iterations=30000,
+                       raise_on_failure=False).solve(b)
+        scale = max(np.abs(a.x).max(), 1e-30)
+        assert np.abs((a.x - c.x) * cfg.mask).max() <= 1e-5 * scale
+
+    @given(problem=random_problem(),
+           scale_factor=st.floats(0.1, 10.0))
+    @settings(max_examples=12, deadline=None)
+    def test_solution_scales_linearly_with_rhs(self, problem,
+                                               scale_factor):
+        """solve(a b) == a solve(b): the solver is a linear map."""
+        cfg, b, _ = problem
+        pre = make_preconditioner("diagonal", cfg.stencil)
+        base = ChronGearSolver(SerialContext(cfg.stencil, pre),
+                               tol=1e-11, max_iterations=30000).solve(b)
+        pre2 = make_preconditioner("diagonal", cfg.stencil)
+        scaled = ChronGearSolver(SerialContext(cfg.stencil, pre2),
+                                 tol=1e-11,
+                                 max_iterations=30000).solve(
+            b * scale_factor)
+        ref = base.x * scale_factor
+        tol = 1e-6 * max(np.abs(ref).max(), 1e-30)
+        assert np.abs((scaled.x - ref) * cfg.mask).max() <= tol
+
+    @given(problem=random_problem())
+    @settings(max_examples=10, deadline=None)
+    def test_residual_history_reaches_threshold(self, problem):
+        cfg, b, _ = problem
+        pre = make_preconditioner("diagonal", cfg.stencil)
+        res = ChronGearSolver(SerialContext(cfg.stencil, pre), tol=1e-9,
+                              max_iterations=30000).solve(b)
+        iters, final = res.residual_history[-1]
+        assert iters == res.iterations
+        assert final <= 1e-9 * res.b_norm

@@ -1,0 +1,147 @@
+"""Serial/distributed context equivalence -- the substrate validation.
+
+The central correctness claim of the virtual machine: running any solver
+through the distributed context (real halo exchanges, per-rank
+arithmetic, rank-ordered reductions) produces the same iterates and the
+same communication-event stream as the serial context over the same
+decomposition.
+"""
+
+import numpy as np
+import pytest
+
+from repro.grid import test_config as make_test_config
+from repro.operators import apply_stencil
+from repro.parallel import VirtualMachine, decompose
+from repro.precond import make_preconditioner
+from repro.precond.evp import evp_for_config
+from repro.solvers import (
+    ChronGearSolver,
+    DistributedContext,
+    PCGSolver,
+    PCSISolver,
+    SerialContext,
+)
+
+
+def _solve_both(config, decomp, solver_cls, precond_kind, tol=1e-12,
+                **kwargs):
+    if precond_kind == "evp":
+        pre_s = evp_for_config(config, decomp=decomp)
+        pre_d = evp_for_config(config, decomp=decomp)
+    else:
+        pre_s = make_preconditioner(precond_kind, config.stencil,
+                                    decomp=decomp)
+        pre_d = make_preconditioner(precond_kind, config.stencil,
+                                    decomp=decomp)
+    rng = np.random.default_rng(1)
+    b = apply_stencil(config.stencil,
+                      rng.standard_normal(config.shape) * config.mask)
+
+    serial = solver_cls(SerialContext(config.stencil, pre_s, decomp=decomp),
+                        tol=tol, **kwargs).solve(b)
+    vm = VirtualMachine(decomp, mask=config.mask)
+    dist = solver_cls(DistributedContext(config.stencil, pre_d, vm),
+                      tol=tol, **kwargs).solve(b)
+    return serial, dist
+
+
+@pytest.mark.parametrize("solver_cls", [PCGSolver, ChronGearSolver,
+                                        PCSISolver])
+@pytest.mark.parametrize("precond", ["diagonal", "evp"])
+class TestContextEquivalence:
+    def test_same_iterations_and_solution(self, small_config, small_decomp,
+                                          solver_cls, precond):
+        kwargs = {}
+        if solver_cls is PCSISolver:
+            # Pin the interval: Lanczos rounding differs at the last bit
+            # between the two execution orders, which is expected.
+            kwargs["eig_bounds"] = (0.02, 2.5)
+        serial, dist = _solve_both(small_config, small_decomp, solver_cls,
+                                   precond, **kwargs)
+        assert serial.iterations == dist.iterations
+        diff = np.abs((serial.x - dist.x) * small_config.mask).max()
+        scale = np.abs(serial.x).max()
+        assert diff <= 1e-10 * scale
+
+    def test_identical_event_streams(self, small_config, small_decomp,
+                                     solver_cls, precond):
+        kwargs = {}
+        if solver_cls is PCSISolver:
+            kwargs["eig_bounds"] = (0.02, 2.5)
+        serial, dist = _solve_both(small_config, small_decomp, solver_cls,
+                                   precond, **kwargs)
+        for phase in ("computation", "preconditioning", "boundary",
+                      "reduction"):
+            s = serial.events.get(phase)
+            d = dist.events.get(phase)
+            assert s == d, (phase, s, d)
+
+
+class TestContextPrimitives:
+    def test_serial_decomp_shape_mismatch_raises(self, small_config):
+        from repro.core.errors import SolverError
+
+        other = decompose(10, 10, 2, 2)
+        pre = make_preconditioner("diagonal", small_config.stencil)
+        with pytest.raises(SolverError):
+            SerialContext(small_config.stencil, pre, decomp=other)
+
+    def test_serial_without_decomp_single_rank(self, small_config):
+        pre = make_preconditioner("diagonal", small_config.stencil)
+        ctx = SerialContext(small_config.stencil, pre)
+        assert ctx.num_ranks == 1
+        assert ctx.critical_points == small_config.ny * small_config.nx
+        assert ctx.reduction_tree_depth() == 0
+
+    def test_dot_pair_matches_two_dots(self, small_config):
+        pre = make_preconditioner("diagonal", small_config.stencil)
+        ctx = SerialContext(small_config.stencil, pre)
+        rng = np.random.default_rng(2)
+        a = ctx.from_global(rng.standard_normal(small_config.shape))
+        b = ctx.from_global(rng.standard_normal(small_config.shape))
+        v1, v2 = ctx.dot_pair(a, b, b, b)
+        assert v1 == pytest.approx(ctx.dot(a, b))
+        assert v2 == pytest.approx(ctx.dot(b, b))
+
+    def test_elementwise_primitives(self, small_config):
+        pre = make_preconditioner("diagonal", small_config.stencil)
+        ctx = SerialContext(small_config.stencil, pre)
+        x = ctx.from_global(np.full(small_config.shape, 2.0))
+        y = ctx.from_global(np.full(small_config.shape, 3.0))
+        ctx.axpy(2.0, x, y)                  # y = 3 + 4 = 7
+        assert np.all(y == 7.0)
+        ctx.xpay(x, 0.5, y)                  # y = 2 + 3.5 = 5.5
+        assert np.all(y == 5.5)
+        ctx.combine(2.0, x, -1.0, y)         # y = 4 - 5.5 = -1.5
+        assert np.all(y == -1.5)
+
+    def test_distributed_elementwise_matches_serial(self, small_config,
+                                                    small_decomp):
+        pre_s = make_preconditioner("diagonal", small_config.stencil,
+                                    decomp=small_decomp)
+        ctx_s = SerialContext(small_config.stencil, pre_s,
+                              decomp=small_decomp)
+        vm = VirtualMachine(small_decomp, mask=small_config.mask)
+        pre_d = make_preconditioner("diagonal", small_config.stencil,
+                                    decomp=small_decomp)
+        ctx_d = DistributedContext(small_config.stencil, pre_d, vm)
+        rng = np.random.default_rng(3)
+        ga = rng.standard_normal(small_config.shape)
+        gb = rng.standard_normal(small_config.shape)
+        xs, ys = ctx_s.from_global(ga), ctx_s.from_global(gb)
+        xd, yd = ctx_d.from_global(ga), ctx_d.from_global(gb)
+        ctx_s.combine(1.5, xs, -0.5, ys)
+        ctx_d.combine(1.5, xd, -0.5, yd)
+        out = ctx_d.to_global(yd)
+        for block in small_decomp.active_blocks:
+            assert np.allclose(out[block.slices], ys[block.slices])
+
+    def test_matvec_counts_nine_per_point(self, small_config, small_decomp):
+        pre = make_preconditioner("diagonal", small_config.stencil,
+                                  decomp=small_decomp)
+        ctx = SerialContext(small_config.stencil, pre, decomp=small_decomp)
+        x = ctx.new_vector()
+        ctx.matvec(x)
+        assert ctx.ledger.counts("computation").flops == \
+            9 * small_decomp.max_block_points()

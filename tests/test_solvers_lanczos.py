@@ -1,0 +1,102 @@
+"""Unit tests for the Lanczos eigenvalue estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SolverError
+from repro.operators import extreme_eigenvalues, ocean_submatrix
+from repro.precond import make_preconditioner
+from repro.precond.evp import evp_for_config
+from repro.solvers import LanczosEstimator, SerialContext
+from repro.solvers.lanczos import estimate_eigenbounds
+
+
+@pytest.fixture(scope="module")
+def diag_truth(request):
+    return None
+
+
+class TestEstimates:
+    def test_converges_to_true_extremes(self, small_config):
+        pre = make_preconditioner("diagonal", small_config.stencil)
+        ctx = SerialContext(small_config.stencil, pre)
+        info = LanczosEstimator(ctx, max_steps=80).run(steps=80)
+        matrix, idx = ocean_submatrix(small_config.stencil)
+        lo, hi = extreme_eigenvalues(
+            matrix, preconditioner_diag=small_config.stencil.c.ravel()[idx])
+        assert info["mu"] == pytest.approx(hi, rel=0.02)
+        assert info["nu"] == pytest.approx(lo, rel=0.25)
+
+    def test_estimates_from_inside(self, small_config):
+        """Ritz values never escape the true spectrum (with
+        reorthogonalization)."""
+        pre = make_preconditioner("diagonal", small_config.stencil)
+        ctx = SerialContext(small_config.stencil, pre)
+        info = LanczosEstimator(ctx, max_steps=60).run(steps=60)
+        matrix, idx = ocean_submatrix(small_config.stencil)
+        lo, hi = extreme_eigenvalues(
+            matrix, preconditioner_diag=small_config.stencil.c.ravel()[idx])
+        for nu_j, mu_j in info["history"]:
+            assert nu_j >= lo * (1 - 1e-6)
+            assert mu_j <= hi * (1 + 1e-6)
+
+    def test_adaptive_stops_before_cap(self, small_config):
+        pre = make_preconditioner("diagonal", small_config.stencil)
+        ctx = SerialContext(small_config.stencil, pre)
+        info = LanczosEstimator(ctx, tol=0.15, max_steps=60).run()
+        assert info["steps"] < 60
+
+    def test_tighter_tol_runs_longer(self, small_config):
+        pre = make_preconditioner("diagonal", small_config.stencil)
+        loose = LanczosEstimator(
+            SerialContext(small_config.stencil, pre), tol=0.3).run()
+        tight = LanczosEstimator(
+            SerialContext(small_config.stencil, pre), tol=0.02).run()
+        assert tight["steps"] >= loose["steps"]
+        assert tight["nu"] <= loose["nu"] * 1.001
+
+    def test_works_with_evp_preconditioner(self, small_config):
+        pre = evp_for_config(small_config)
+        ctx = SerialContext(small_config.stencil, pre)
+        info = LanczosEstimator(ctx).run()
+        assert 0.0 < info["nu"] < info["mu"]
+        # EVP clusters the spectrum: tighter than diagonal's.
+        pre_d = make_preconditioner("diagonal", small_config.stencil)
+        info_d = LanczosEstimator(
+            SerialContext(small_config.stencil, pre_d)).run()
+        assert (info["mu"] / info["nu"]) < (info_d["mu"] / info_d["nu"])
+
+    def test_deterministic_in_seed(self, small_config):
+        pre = make_preconditioner("diagonal", small_config.stencil)
+        a = LanczosEstimator(SerialContext(small_config.stencil, pre),
+                             seed=5).run(steps=10)
+        b = LanczosEstimator(SerialContext(small_config.stencil, pre),
+                             seed=5).run(steps=10)
+        assert a["history"] == b["history"]
+
+    def test_events_recorded_in_setup_phase(self, small_config):
+        pre = make_preconditioner("diagonal", small_config.stencil)
+        ctx = SerialContext(small_config.stencil, pre)
+        LanczosEstimator(ctx).run(steps=5)
+        assert ctx.ledger.counts("setup").flops > 0
+        assert ctx.ledger.counts("setup").allreduces > 0
+
+
+class TestWrapperAndValidation:
+    def test_safety_factors_widen_interval(self, small_config):
+        pre = make_preconditioner("diagonal", small_config.stencil)
+        ctx = SerialContext(small_config.stencil, pre)
+        nu, mu, info = estimate_eigenbounds(ctx, nu_safety=0.5,
+                                            mu_safety=1.1)
+        assert nu == pytest.approx(info["nu"] * 0.5)
+        assert mu == pytest.approx(info["mu"] * 1.1)
+
+    def test_invalid_parameters(self, small_config):
+        pre = make_preconditioner("diagonal", small_config.stencil)
+        ctx = SerialContext(small_config.stencil, pre)
+        with pytest.raises(SolverError):
+            LanczosEstimator(ctx, tol=0.0)
+        with pytest.raises(SolverError):
+            LanczosEstimator(ctx, max_steps=1)
+        with pytest.raises(SolverError):
+            LanczosEstimator(ctx, window=0)

@@ -1,0 +1,89 @@
+"""Unit tests for the pipelined CG extension solver."""
+
+import numpy as np
+import pytest
+
+from repro.grid import test_config as make_test_config
+from repro.parallel import decompose
+from repro.perfmodel import YELLOWSTONE, phase_times, phase_times_overlapped
+from repro.precond import make_preconditioner
+from repro.precond.evp import evp_for_config
+from repro.solvers import (
+    ChronGearSolver,
+    PipeCGSolver,
+    SerialContext,
+    make_solver,
+)
+
+
+def _ctx(config, precond="diagonal", decomp=None):
+    if precond == "evp":
+        pre = evp_for_config(config, decomp=decomp)
+    else:
+        pre = make_preconditioner(precond, config.stencil, decomp=decomp)
+    return SerialContext(config.stencil, pre, decomp=decomp)
+
+
+class TestPipeCGCorrectness:
+    @pytest.mark.parametrize("precond", ["diagonal", "evp"])
+    def test_recovers_known_solution(self, small_config, rhs_maker, precond):
+        b, x_true = rhs_maker(small_config)
+        res = PipeCGSolver(_ctx(small_config, precond), tol=1e-12,
+                           max_iterations=20000).solve(b)
+        assert res.converged
+        err = np.abs((res.x - x_true) * small_config.mask).max()
+        assert err < 1e-7 * np.abs(x_true).max()
+
+    def test_matches_chrongear_iteration_count(self, small_config,
+                                               rhs_maker):
+        """PipeCG is CG rearranged: (nearly) identical iteration counts."""
+        b, _ = rhs_maker(small_config)
+        pipe = PipeCGSolver(_ctx(small_config), tol=1e-11).solve(b)
+        cg = ChronGearSolver(_ctx(small_config), tol=1e-11).solve(b)
+        assert abs(pipe.iterations - cg.iterations) <= 10
+
+    def test_registered_in_factory(self, small_config):
+        solver = make_solver("pipecg", _ctx(small_config))
+        assert isinstance(solver, PipeCGSolver)
+
+    def test_zero_rhs(self, small_config):
+        res = PipeCGSolver(_ctx(small_config), tol=1e-10,
+                           check_freq=1).solve(np.zeros(small_config.shape))
+        assert res.converged
+
+
+class TestPipeCGEvents:
+    def test_reductions_recorded_as_overlapped(self, small_config,
+                                               rhs_maker):
+        b, _ = rhs_maker(small_config)
+        decomp = decompose(small_config.ny, small_config.nx, 4, 4,
+                           mask=small_config.mask)
+        res = PipeCGSolver(_ctx(small_config, decomp=decomp),
+                           tol=1e-11).solve(b)
+        overlap = res.events.get("reduction_overlap")
+        assert overlap is not None
+        assert overlap.allreduces == res.iterations
+        # only the convergence checks stay blocking
+        blocking = res.events["reduction"].allreduces
+        assert blocking == len(res.residual_history)
+
+    def test_overlap_pricing_discounts_reduction(self, small_config,
+                                                 rhs_maker):
+        b, _ = rhs_maker(small_config)
+        decomp = decompose(small_config.ny, small_config.nx, 4, 4,
+                           mask=small_config.mask)
+        res = PipeCGSolver(_ctx(small_config, decomp=decomp),
+                           tol=1e-11).solve(b)
+        plain = phase_times(res.events, YELLOWSTONE, 4096)
+        overlapped = phase_times_overlapped(res.events, YELLOWSTONE, 4096)
+        assert overlapped.reduction < plain.reduction
+        assert overlapped.total < plain.total
+
+    def test_more_flops_than_chrongear(self, small_config, rhs_maker):
+        """The price of pipelining: extra vector recurrences."""
+        b, _ = rhs_maker(small_config)
+        pipe = PipeCGSolver(_ctx(small_config), tol=1e-11).solve(b)
+        cg = ChronGearSolver(_ctx(small_config), tol=1e-11).solve(b)
+        per_iter_pipe = pipe.events["computation"].flops / pipe.iterations
+        per_iter_cg = cg.events["computation"].flops / cg.iterations
+        assert per_iter_pipe > per_iter_cg

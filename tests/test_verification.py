@@ -1,0 +1,128 @@
+"""Unit tests for the ensemble verification machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.verification import (
+    Ensemble,
+    evaluate_consistency,
+    rmse,
+    rmse_series,
+    rmsz,
+    rmsz_series,
+)
+
+
+class TestMetrics:
+    def test_rmse_hand_value(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([[1.0, 0.0], [3.0, 1.0]])
+        mask = np.array([[True, True], [True, False]])
+        # diffs: 0, 2, 0 -> sqrt(4/3)
+        assert rmse(a, b, mask) == pytest.approx(np.sqrt(4.0 / 3.0))
+
+    def test_rmse_empty_mask_raises(self):
+        with pytest.raises(ConfigurationError):
+            rmse(np.ones((2, 2)), np.ones((2, 2)),
+                 np.zeros((2, 2), dtype=bool))
+
+    def test_rmsz_hand_value(self):
+        field = np.array([[2.0, 5.0]])
+        mean = np.array([[1.0, 3.0]])
+        std = np.array([[1.0, 2.0]])
+        mask = np.array([[True, True]])
+        # z = (1, 1) -> rmsz = 1
+        assert rmsz(field, mean, std, mask) == pytest.approx(1.0)
+
+    def test_rmsz_skips_zero_spread_points(self):
+        field = np.array([[2.0, 100.0]])
+        mean = np.array([[1.0, 1.0]])
+        std = np.array([[1.0, 0.0]])
+        mask = np.array([[True, True]])
+        assert rmsz(field, mean, std, mask) == pytest.approx(1.0)
+
+    def test_rmsz_no_valid_points_raises(self):
+        with pytest.raises(ConfigurationError):
+            rmsz(np.ones((1, 2)), np.ones((1, 2)), np.zeros((1, 2)),
+                 np.ones((1, 2), dtype=bool))
+
+    def test_series_length_checks(self):
+        a = [np.ones((2, 2))]
+        with pytest.raises(ConfigurationError):
+            rmse_series(a, a + a, np.ones((2, 2), dtype=bool))
+        with pytest.raises(ConfigurationError):
+            rmsz_series(a, a + a, a, np.ones((2, 2), dtype=bool))
+
+
+def _synthetic_ensemble(size=20, months=3, shape=(6, 8), seed=0,
+                        spread=1.0):
+    rng = np.random.default_rng(seed)
+    base = [rng.standard_normal(shape) for _ in range(months)]
+    members = []
+    for _ in range(size):
+        members.append([b + spread * rng.standard_normal(shape)
+                        for b in base])
+    return Ensemble(members), base
+
+
+class TestEnsemble:
+    def test_stats_match_numpy(self):
+        ens, _ = _synthetic_ensemble()
+        stack = np.stack([m[1] for m in ens.members])
+        st = ens.stats(1)
+        assert np.allclose(st.mean, stack.mean(axis=0))
+        assert np.allclose(st.std, stack.std(axis=0, ddof=1))
+
+    def test_member_count_mismatch_raises(self):
+        good = [np.ones((2, 2))] * 3
+        bad = [np.ones((2, 2))] * 2
+        with pytest.raises(ConfigurationError):
+            Ensemble([good, bad])
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            Ensemble([])
+
+    def test_member_rmsz_envelope_order(self):
+        ens, _ = _synthetic_ensemble()
+        mask = np.ones((6, 8), dtype=bool)
+        env = ens.member_rmsz_range(mask)
+        assert len(env) == ens.months
+        for lo, hi in env:
+            assert 0.0 <= lo <= hi
+            # members should score near 1 against their own ensemble
+            assert 0.3 < lo < 1.2 and 0.8 < hi < 2.5
+
+
+class TestConsistency:
+    def test_member_like_candidate_passes(self):
+        ens, base = _synthetic_ensemble(seed=3)
+        rng = np.random.default_rng(99)
+        candidate = [b + rng.standard_normal(b.shape) for b in base]
+        mask = np.ones((6, 8), dtype=bool)
+        report = evaluate_consistency(candidate, ens, mask)
+        assert report.consistent
+        assert report.months_outside == 0
+        assert "CONSISTENT" in report.describe()
+
+    def test_outlier_candidate_fails(self):
+        ens, base = _synthetic_ensemble(seed=4)
+        candidate = [b + 25.0 for b in base]  # 25-sigma offset
+        mask = np.ones((6, 8), dtype=bool)
+        report = evaluate_consistency(candidate, ens, mask)
+        assert not report.consistent
+        assert report.months_outside == len(base)
+        assert max(report.exceedances) > 5.0
+
+    def test_slack_and_month_budget(self):
+        ens, base = _synthetic_ensemble(seed=5)
+        mask = np.ones((6, 8), dtype=bool)
+        candidate = [b + 25.0 if i == 0 else b + 0.5
+                     for i, b in enumerate(base)]
+        strict = evaluate_consistency(candidate, ens, mask,
+                                      max_months_outside=0)
+        lenient = evaluate_consistency(candidate, ens, mask,
+                                       max_months_outside=1)
+        assert not strict.consistent
+        assert lenient.consistent

@@ -1,0 +1,78 @@
+"""Workflow-level tests of the verification experiments' structure."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.verification_common import (
+    CHAOS_PARAMS,
+    TOLERANCE_CASES,
+    make_model,
+    reference_ensemble,
+    run_case,
+    verification_mask,
+)
+
+
+class TestVerificationSetup:
+    def test_tolerance_cases_span_paper_range(self):
+        assert min(TOLERANCE_CASES) == 1e-16
+        assert max(TOLERANCE_CASES) == 1e-10
+        assert 1e-13 in TOLERANCE_CASES  # the default
+
+    def test_chaos_params_applied(self):
+        model = make_model()
+        assert model.gamma_feedback == CHAOS_PARAMS["gamma_feedback"]
+        assert model.kappa == CHAOS_PARAMS["kappa"]
+
+    def test_perturbation_growth_is_fast(self):
+        """The verification configuration must be chaotic: an O(1e-14)
+        relative kick grows by many orders within three months (growth
+        accelerates once the gyres spin up)."""
+        a = make_model()
+        b = make_model()
+        b.perturb_temperature(1e-14, seed=7)
+        a.run_days(90)
+        b.run_days(90)
+        diff = np.abs(a.state.temperature - b.state.temperature).max()
+        assert diff > 1e-8  # ~5+ orders of growth from ~2.5e-13 K
+
+    def test_ensemble_cached_by_parameters(self):
+        e1 = reference_ensemble(1, size=3, days_per_month=2)
+        e2 = reference_ensemble(1, size=3, days_per_month=2)
+        assert e1 is e2
+        e3 = reference_ensemble(1, size=4, days_per_month=2)
+        assert e3 is not e1
+        assert e3.size == 4
+
+    def test_ensemble_members_differ(self):
+        ens = reference_ensemble(1, size=3, days_per_month=2)
+        a, b = ens.members[0][0], ens.members[1][0]
+        assert not np.array_equal(a, b)
+
+    def test_loose_case_departs_from_default(self):
+        default = run_case(1, days_per_month=3)
+        loose = run_case(1, days_per_month=3, tol=1e-8)
+        mask = verification_mask()
+        diff = np.abs(default[0] - loose[0])[mask].max()
+        assert diff > 0.0
+
+
+class TestFig12Fig13Parameters:
+    def test_fig12_custom_tolerances(self):
+        from repro.experiments import fig12_rmse
+
+        res = fig12_rmse.run(months=1, tolerances=(1e-10, 1e-13),
+                             days_per_month=2)
+        labels = {s.label for s in res.series}
+        assert labels == {"tol=1e-10", "tol=1e-13"}
+
+    def test_fig13_envelope_and_candidates(self):
+        from repro.experiments import fig13_rmsz
+
+        res = fig13_rmsz.run(months=1, size=4, tolerances=(1e-13,),
+                             days_per_month=2, include_pcsi=False)
+        labels = [s.label for s in res.series]
+        assert labels[0] == "ensemble min"
+        assert labels[1] == "ensemble max"
+        assert "tol=1e-13" in labels
+        assert "verdicts" in res.notes
