@@ -1,0 +1,183 @@
+"""Benchmark: batched vs per-rank execution engine.
+
+Times the four hot primitives of the distributed substrate -- halo
+exchange, matvec (exchange + stencil), fused dot pair, and the full
+P-CSI solve -- on 4x4, 8x8 and 16x16 uniform decompositions under both
+execution engines, and writes the results (with speedups) to
+``BENCH_engine.json`` to seed the performance trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py            # full run
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick    # CI smoke
+
+Both engines run the same algorithm over the same decomposition and are
+bit-identical (asserted here on the solve output as a sanity check);
+the difference is pure execution efficiency: the per-rank engine loops
+over simulated ranks in Python, the batched engine runs each primitive
+as one vectorized numpy call over the ``(p, bny, bnx)`` stack.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.grid import test_config as make_test_config  # noqa: E402
+from repro.operators import apply_stencil  # noqa: E402
+from repro.parallel import VirtualMachine, decompose  # noqa: E402
+from repro.precond import make_preconditioner  # noqa: E402
+from repro.solvers import DistributedContext, PCSISolver  # noqa: E402
+
+ENGINES = ("perrank", "batched")
+
+
+def _time_op(fn, repeats, warmup=1):
+    """Best-of-``repeats`` wall-clock seconds of ``fn()``."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _make_context(config, decomp, engine):
+    vm = VirtualMachine(decomp, mask=config.mask, engine=engine)
+    pre = make_preconditioner("diagonal", config.stencil, decomp=decomp)
+    return DistributedContext(config.stencil, pre, vm)
+
+
+def bench_decomposition(config, mb, b_global, eig_bounds, repeats,
+                        solve_tol):
+    decomp = decompose(config.ny, config.nx, mb, mb, mask=config.mask)
+    bny, bnx = decomp.uniform_block_shape()
+    entry = {
+        "ranks": decomp.num_active,
+        "block_shape": [bny, bnx],
+    }
+    solutions = {}
+    for engine in ENGINES:
+        ctx = _make_context(config, decomp, engine)
+        vm = ctx.vm
+        assert vm.engine == engine, (
+            f"engine {engine!r} unavailable on {mb}x{mb}: got {vm.engine!r}"
+        )
+        rng = np.random.default_rng(0)
+        ga = rng.standard_normal(config.shape) * config.mask
+        gb = rng.standard_normal(config.shape) * config.mask
+        x = vm.scatter(ga)
+        y = vm.scatter(gb)
+        out = vm.zeros()
+
+        exchange_s = _time_op(lambda: vm.exchange(x), repeats)
+        matvec_s = _time_op(lambda: ctx.matvec(x, out=out), repeats)
+        dot_pair_s = _time_op(lambda: ctx.dot_pair(x, y, y, y), repeats)
+
+        solver = PCSISolver(ctx, eig_bounds=eig_bounds, tol=solve_tol,
+                            max_iterations=5000)
+        result = solver.solve(b_global)  # warm (engine caches, buffers)
+        t0 = time.perf_counter()
+        result = solver.solve(b_global)
+        solve_s = time.perf_counter() - t0
+        solutions[engine] = result.x
+
+        entry[engine] = {
+            "exchange_s": exchange_s,
+            "matvec_s": matvec_s,
+            "dot_pair_s": dot_pair_s,
+            "pcsi_solve_s": solve_s,
+            "pcsi_iterations": result.iterations,
+        }
+    if not np.array_equal(solutions["perrank"], solutions["batched"]):
+        raise AssertionError(
+            f"engines disagree on {mb}x{mb}: benchmark aborted"
+        )
+    entry["speedup"] = {
+        key: entry["perrank"][key] / entry["batched"][key]
+        for key in ("exchange_s", "matvec_s", "dot_pair_s", "pcsi_solve_s")
+    }
+    return entry
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid, fewer repeats (CI smoke)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default BENCH_engine.json "
+                             "at the repo root; BENCH_engine_quick.json "
+                             "with --quick)")
+    args = parser.parse_args(argv)
+
+    root = Path(__file__).resolve().parent.parent
+    if args.out is not None:
+        out_path = Path(args.out)
+    else:
+        name = "BENCH_engine_quick.json" if args.quick else "BENCH_engine.json"
+        out_path = root / name
+
+    if args.quick:
+        ny = nx = 48
+        lattices = (4, 8)
+        repeats = 3
+        solve_tol = 1e-6
+    else:
+        ny = nx = 96
+        lattices = (4, 8, 16)
+        repeats = 5
+        solve_tol = 1e-8
+
+    config = make_test_config(ny, nx, aquaplanet=True)
+    rng = np.random.default_rng(42)
+    b_global = apply_stencil(config.stencil,
+                             rng.standard_normal(config.shape) * config.mask)
+
+    # Pin the Chebyshev interval once (estimated on the smallest
+    # decomposition) so every timed solve runs the same iteration count
+    # and the comparison is execution-only.
+    probe_decomp = decompose(ny, nx, lattices[0], lattices[0],
+                             mask=config.mask)
+    probe = PCSISolver(_make_context(config, probe_decomp, "batched"),
+                       tol=solve_tol, max_iterations=5000)
+    probe.solve(b_global)
+    eig_bounds = probe.eig_bounds
+
+    report = {
+        "benchmark": "engine",
+        "grid": [ny, nx],
+        "quick": bool(args.quick),
+        "solver": "pcsi",
+        "preconditioner": "diagonal",
+        "eig_bounds": list(eig_bounds),
+        "tol": solve_tol,
+        "decompositions": {},
+    }
+    for mb in lattices:
+        label = f"{mb}x{mb}"
+        print(f"[bench_engine] {label} ...", flush=True)
+        entry = bench_decomposition(config, mb, b_global, eig_bounds,
+                                    repeats, solve_tol)
+        report["decompositions"][label] = entry
+        print(f"[bench_engine] {label}: "
+              f"solve {entry['perrank']['pcsi_solve_s']:.3f}s -> "
+              f"{entry['batched']['pcsi_solve_s']:.3f}s "
+              f"({entry['speedup']['pcsi_solve_s']:.1f}x), "
+              f"matvec {entry['speedup']['matvec_s']:.1f}x, "
+              f"exchange {entry['speedup']['exchange_s']:.1f}x, "
+              f"dot {entry['speedup']['dot_pair_s']:.1f}x", flush=True)
+
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"[bench_engine] wrote {out_path}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,22 @@ import numpy as np
 #: the paper's ``9 n^2`` accounting (one unit per stencil coefficient).
 MATVEC_FLOPS_PER_POINT = 9
 
+#: Cached padded scratch buffers for :func:`apply_stencil`, keyed by
+#: ``(ny, nx, dtype)``.  The matvec is the serial hot loop; reusing the
+#: ``(ny + 2, nx + 2)`` buffer avoids one full-grid allocation per call.
+#: The zero border (the closed boundary) is written once at creation and
+#: never touched afterwards, so no re-zeroing is needed.
+_PADDED_SCRATCH = {}
+
+
+def _padded_scratch(ny, nx, dtype):
+    key = (ny, nx, np.dtype(dtype).str)
+    buf = _PADDED_SCRATCH.get(key)
+    if buf is None:
+        buf = np.zeros((ny + 2, nx + 2), dtype=dtype)
+        _PADDED_SCRATCH[key] = buf
+    return buf
+
 
 def apply_stencil(coeffs, x, out=None):
     """Global ``A @ x`` for a nine-point :class:`StencilCoeffs`.
@@ -24,7 +40,7 @@ def apply_stencil(coeffs, x, out=None):
     may alias neither ``x`` nor the coefficient arrays.
     """
     ny, nx = x.shape
-    xp = np.zeros((ny + 2, nx + 2), dtype=x.dtype)
+    xp = _padded_scratch(ny, nx, x.dtype)
     xp[1:-1, 1:-1] = x
 
     if out is None:

@@ -188,6 +188,48 @@ class Decomposition:
         """Grid points in the largest active block (critical-path size)."""
         return max(b.npoints for b in self.active_blocks)
 
+    # ------------------------------------------------------------------
+    # uniformity (enables the batched execution engine)
+    # ------------------------------------------------------------------
+    @property
+    def is_uniform(self):
+        """Whether every active block has the same ``(ny, nx)`` shape.
+
+        Uniform decompositions (the common case when block counts divide
+        the grid evenly) allow same-shape per-rank tiles to be stacked
+        into one dense ``(p, bny, bnx)`` array -- the structure-of-arrays
+        layout the batched execution engine runs on.
+        """
+        if not self.active_blocks:
+            return False
+        first = self.active_blocks[0]
+        return all(b.ny == first.ny and b.nx == first.nx
+                   for b in self.active_blocks)
+
+    @property
+    def supports_batched(self):
+        """Whether the batched engine can execute this decomposition.
+
+        Requires uniform block shapes *and* no land-eliminated blocks:
+        with eliminated blocks the per-rank path remains the reference
+        (the batched engine falls back cleanly).
+        """
+        return self.is_uniform and self.num_active == self.num_blocks
+
+    def uniform_block_shape(self):
+        """``(bny, bnx)`` shared by all active blocks.
+
+        Raises :class:`DecompositionError` if the decomposition is
+        ragged.
+        """
+        if not self.is_uniform:
+            raise DecompositionError(
+                "decomposition is ragged: active blocks have differing "
+                "shapes, so there is no uniform block shape"
+            )
+        first = self.active_blocks[0]
+        return first.ny, first.nx
+
     def halo_words_per_exchange(self):
         """Words the critical-path rank sends per halo update.
 

@@ -32,6 +32,19 @@ from repro.core.errors import DecompositionError
 class BlockField:
     """Per-rank local arrays (with halos) for one distributed 2-D field.
 
+    Two storage layouts exist:
+
+    * **per-rank** (the default): ``locals_`` is a list of independent
+      arrays, one per rank -- works for any decomposition, including
+      ragged and land-eliminated ones.
+    * **stacked** (structure-of-arrays): all local arrays live in one
+      dense ``(num_ranks, bny + 2h, bnx + 2h)`` ndarray (``stack``) and
+      ``locals_`` holds *views* into it.  Only possible when every
+      active block has the same shape.  The per-rank accessors work
+      identically on both layouts; the batched execution engine
+      additionally operates on the whole stack with single vectorized
+      numpy calls.
+
     Attributes
     ----------
     decomp:
@@ -40,21 +53,40 @@ class BlockField:
     locals_:
         List indexed by rank of local arrays, each of shape
         ``(block.ny + 2h, block.nx + 2h)``.
+    stack:
+        The backing ``(num_ranks, bny + 2h, bnx + 2h)`` ndarray for
+        stacked fields, ``None`` for per-rank fields.
     """
 
-    def __init__(self, decomp, locals_):
+    def __init__(self, decomp, locals_, stack=None):
         self.decomp = decomp
         self.locals_ = locals_
+        self.stack = stack
 
     @classmethod
-    def zeros(cls, decomp, dtype=np.float64):
-        """A zero-valued block field over ``decomp``."""
+    def zeros(cls, decomp, dtype=np.float64, stacked=False):
+        """A zero-valued block field over ``decomp``.
+
+        ``stacked=True`` requests the structure-of-arrays layout and
+        requires a uniform decomposition.
+        """
         h = decomp.halo_width
+        if stacked:
+            bny, bnx = decomp.uniform_block_shape()
+            stack = np.zeros(
+                (decomp.num_active, bny + 2 * h, bnx + 2 * h), dtype=dtype
+            )
+            return cls(decomp, list(stack), stack=stack)
         locals_ = [
             np.zeros((b.ny + 2 * h, b.nx + 2 * h), dtype=dtype)
             for b in decomp.active_blocks
         ]
         return cls(decomp, locals_)
+
+    @property
+    def is_stacked(self):
+        """Whether this field uses the stacked (SoA) layout."""
+        return self.stack is not None
 
     def local(self, rank):
         """The full padded local array of ``rank``."""
@@ -66,8 +98,24 @@ class BlockField:
         block = self.decomp.active_blocks[rank]
         return self.locals_[rank][h:h + block.ny, h:h + block.nx]
 
+    def interior_stack(self):
+        """View of all ranks' interiors, shape ``(p, bny, bnx)``.
+
+        Only available on stacked fields.
+        """
+        if self.stack is None:
+            raise DecompositionError(
+                "interior_stack() requires a stacked BlockField"
+            )
+        h = self.decomp.halo_width
+        return self.stack[:, h:self.stack.shape[1] - h,
+                          h:self.stack.shape[2] - h]
+
     def copy(self):
-        """Deep copy of the block field."""
+        """Deep copy of the block field (layout preserved)."""
+        if self.stack is not None:
+            stack = self.stack.copy()
+            return BlockField(self.decomp, list(stack), stack=stack)
         return BlockField(self.decomp, [arr.copy() for arr in self.locals_])
 
 
@@ -92,13 +140,19 @@ class HaloExchanger:
                 d: (n.rank if (n is not None and n.is_active) else None)
                 for d, n in neigh.items()
             })
+        # Lazily-built gather/scatter index maps for the stacked
+        # (structure-of-arrays) exchange, plus a reusable padded-global
+        # scratch buffer keyed by dtype.
+        self._stacked_maps = None
+        self._padded_scratch = {}
 
     # ------------------------------------------------------------------
-    def scatter(self, global_field, dtype=None):
+    def scatter(self, global_field, dtype=None, stacked=False):
         """Distribute a global ``(ny, nx)`` array into a new BlockField.
 
         Halo rings are zero-initialized; call an exchange method to fill
-        them.
+        them.  ``stacked=True`` produces a structure-of-arrays field
+        (uniform decompositions only).
         """
         decomp = self.decomp
         if global_field.shape != (decomp.ny, decomp.nx):
@@ -106,7 +160,8 @@ class HaloExchanger:
                 f"field shape {global_field.shape} does not match grid "
                 f"({decomp.ny}, {decomp.nx})"
             )
-        field = BlockField.zeros(decomp, dtype=dtype or global_field.dtype)
+        field = BlockField.zeros(decomp, dtype=dtype or global_field.dtype,
+                                 stacked=stacked)
         for rank, block in enumerate(decomp.active_blocks):
             field.interior(rank)[...] = global_field[block.slices]
         return field
@@ -189,4 +244,70 @@ class HaloExchanger:
             field.local(rank)[...] = padded[
                 block.j0:block.j1 + 2 * h, block.i0:block.i1 + 2 * h
             ]
+        return field
+
+    # ------------------------------------------------------------------
+    def _stacked_index_maps(self):
+        """Flat index maps driving the stacked halo exchange.
+
+        Returns ``(scatter_idx, gather_idx)``:
+
+        * ``scatter_idx`` -- shape ``(p, bny, bnx)``: for each stacked
+          interior point, its flat position in the padded
+          ``(ny + 2h, nx + 2h)`` global scratch.
+        * ``gather_idx`` -- shape ``(p, bny + 2h, bnx + 2h)``: for each
+          stacked local point (halos included), its flat position in the
+          same scratch.
+
+        Built once; both maps turn the two per-rank copy loops of
+        :meth:`exchange_via_global` into one fancy-indexing scatter and
+        one fancy-indexing gather over the whole stack.
+        """
+        if self._stacked_maps is None:
+            decomp = self.decomp
+            h = decomp.halo_width
+            bny, bnx = decomp.uniform_block_shape()
+            width = decomp.nx + 2 * h
+            p = decomp.num_active
+            scatter_idx = np.empty((p, bny, bnx), dtype=np.intp)
+            gather_idx = np.empty((p, bny + 2 * h, bnx + 2 * h),
+                                  dtype=np.intp)
+            for rank, block in enumerate(decomp.active_blocks):
+                jj = np.arange(h + block.j0, h + block.j1)[:, None]
+                ii = np.arange(h + block.i0, h + block.i1)[None, :]
+                scatter_idx[rank] = jj * width + ii
+                jj = np.arange(block.j0, block.j1 + 2 * h)[:, None]
+                ii = np.arange(block.i0, block.i1 + 2 * h)[None, :]
+                gather_idx[rank] = jj * width + ii
+            self._stacked_maps = (scatter_idx, gather_idx)
+        return self._stacked_maps
+
+    def exchange_stacked(self, field):
+        """Stacked halo update: two fancy-indexing operations total.
+
+        Bit-identical to :meth:`exchange_via_global` (same values move
+        through the same padded global assembly), but the per-rank copy
+        loops are replaced by one scatter of all interiors into a reused
+        flat scratch and one gather of all padded windows out of it.
+        Requires a stacked :class:`BlockField`.
+        """
+        if not field.is_stacked:
+            raise DecompositionError(
+                "exchange_stacked requires a stacked BlockField; "
+                "use exchange/exchange_via_global for per-rank fields"
+            )
+        decomp = self.decomp
+        h = decomp.halo_width
+        scatter_idx, gather_idx = self._stacked_index_maps()
+        dtype = field.stack.dtype
+        scratch = self._padded_scratch.get(dtype.str)
+        if scratch is None:
+            # Out-of-domain positions stay zero forever: the scatter
+            # below only ever writes interior positions, so the border
+            # ring (the closed lateral boundary) never needs re-zeroing.
+            scratch = np.zeros((decomp.ny + 2 * h) * (decomp.nx + 2 * h),
+                               dtype=dtype)
+            self._padded_scratch[dtype.str] = scratch
+        scratch[scatter_idx] = field.interior_stack()
+        np.take(scratch, gather_idx, out=field.stack)
         return field

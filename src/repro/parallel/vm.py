@@ -13,16 +13,39 @@ It exposes exactly the operations POP's barotropic mode needs:
 Event accounting follows the bulk-synchronous convention documented in
 :mod:`repro.parallel.events`: flop counts are for the critical-path rank
 (the one owning the largest block).
+
+Execution engines
+-----------------
+Two engines execute these primitives:
+
+* ``"perrank"`` -- every operation is a Python-level loop over simulated
+  ranks.  Works for any decomposition and serves as the bit-identical
+  reference oracle.
+* ``"batched"`` -- the structure-of-arrays engine: per-rank tiles are
+  stacked into one dense ``(p, bny + 2h, bnx + 2h)`` ndarray and every
+  primitive runs as a single vectorized numpy call over the stack.
+  Requires a uniform decomposition with no land-eliminated blocks.
+
+``engine="auto"`` (the default) picks the batched engine whenever the
+decomposition supports it and falls back to the per-rank engine
+otherwise (ragged or land-eliminated decompositions).  Both engines
+produce bit-identical results and identical event-ledger streams -- the
+batching is an execution detail, not a cost-model change.
 """
 
 import numpy as np
 
+from repro.core.errors import DecompositionError
 from repro.parallel.events import EventLedger
 from repro.parallel.halo import BlockField, HaloExchanger
 from repro.parallel.reduction import (
     masked_global_sum_blocks,
     masked_local_dot,
+    masked_partials_stacked,
 )
+
+#: Valid values of the ``engine`` constructor argument.
+ENGINES = ("auto", "batched", "perrank")
 
 
 class VirtualMachine:
@@ -39,16 +62,32 @@ class VirtualMachine:
         Optional shared :class:`EventLedger`; a fresh one is created if
         omitted.
     fast_exchange:
-        Use the bulk-synchronous global-assembly halo update (identical
-        result, fewer Python-level copies).  The direct point-to-point
-        path remains available for validation.
+        For the per-rank engine: use the bulk-synchronous
+        global-assembly halo update (identical result, fewer
+        Python-level copies).  The direct point-to-point path remains
+        available for validation.
+    engine:
+        ``"auto"`` (default), ``"batched"`` or ``"perrank"`` -- see the
+        module docstring.  Requesting ``"batched"`` on a decomposition
+        that cannot be batched (ragged or land-eliminated) falls back
+        cleanly to the per-rank engine.
     """
 
-    def __init__(self, decomp, mask=None, ledger=None, fast_exchange=True):
+    def __init__(self, decomp, mask=None, ledger=None, fast_exchange=True,
+                 engine="auto"):
         self.decomp = decomp
         self.exchanger = HaloExchanger(decomp)
         self.ledger = ledger if ledger is not None else EventLedger()
         self.fast_exchange = fast_exchange
+        if engine not in ENGINES:
+            raise DecompositionError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        self.requested_engine = engine
+        if engine == "perrank":
+            self.engine = "perrank"
+        else:
+            self.engine = "batched" if decomp.supports_batched else "perrank"
         if mask is None:
             mask = np.ones((decomp.ny, decomp.nx), dtype=bool)
         self.mask = np.asarray(mask, dtype=bool)
@@ -57,6 +96,9 @@ class VirtualMachine:
             self.mask[block.slices].astype(np.float64)
             for block in decomp.active_blocks
         ]
+        self._mask_stack = (
+            np.stack(self._mask_blocks) if self.engine == "batched" else None
+        )
         self._max_points = decomp.max_block_points()
 
     # ------------------------------------------------------------------
@@ -70,16 +112,26 @@ class VirtualMachine:
         """Grid points on the critical-path rank."""
         return self._max_points
 
+    @property
+    def is_batched(self):
+        """Whether the batched (structure-of-arrays) engine is active."""
+        return self.engine == "batched"
+
     def local_mask(self, rank):
         """Interior ocean mask (float 0/1 array) of ``rank``."""
         return self._mask_blocks[rank]
+
+    @property
+    def mask_stack(self):
+        """Stacked ``(p, bny, bnx)`` float interior masks (batched only)."""
+        return self._mask_stack
 
     # ------------------------------------------------------------------
     # data movement
     # ------------------------------------------------------------------
     def scatter(self, global_field):
         """Distribute a global field into block-local form (halos zero)."""
-        return self.exchanger.scatter(global_field)
+        return self.exchanger.scatter(global_field, stacked=self.is_batched)
 
     def gather(self, field, fill=0.0):
         """Assemble a global field from block interiors."""
@@ -87,14 +139,17 @@ class VirtualMachine:
 
     def zeros(self, dtype=np.float64):
         """A zero block field over this machine's decomposition."""
-        return BlockField.zeros(self.decomp, dtype=dtype)
+        return BlockField.zeros(self.decomp, dtype=dtype,
+                                stacked=self.is_batched)
 
     # ------------------------------------------------------------------
     # communication
     # ------------------------------------------------------------------
     def exchange(self, field, phase="boundary"):
         """Halo update; records one boundary event on the ledger."""
-        if self.fast_exchange:
+        if self.is_batched and field.is_stacked:
+            self.exchanger.exchange_stacked(field)
+        elif self.fast_exchange:
             self.exchanger.exchange_via_global(field)
         else:
             self.exchanger.exchange(field)
@@ -112,10 +167,16 @@ class VirtualMachine:
         flops on the critical rank (paper Eq. 2); the all-reduce carries
         one word per rank.
         """
-        partials = [
-            masked_local_dot(a.interior(r), b.interior(r), self._mask_blocks[r])
-            for r in range(self.num_ranks)
-        ]
+        if self.is_batched and a.is_stacked and b.is_stacked:
+            partials = masked_partials_stacked(
+                a.interior_stack(), b.interior_stack(), self._mask_stack
+            )
+        else:
+            partials = [
+                masked_local_dot(a.interior(r), b.interior(r),
+                                 self._mask_blocks[r])
+                for r in range(self.num_ranks)
+            ]
         # Paper convention (Eq. 2): the product-and-sum is computation
         # (part of the 15 n^2), the masking multiply belongs to the
         # reduction cost (the 2 n^2 of T_g).
@@ -130,12 +191,23 @@ class VirtualMachine:
         This is the heart of the ChronGear reformulation: rho and delta
         share one reduction (Algorithm 1 step 9).
         """
-        partials1 = []
-        partials2 = []
-        for r in range(self.num_ranks):
-            m = self._mask_blocks[r]
-            partials1.append(masked_local_dot(a1.interior(r), b1.interior(r), m))
-            partials2.append(masked_local_dot(a2.interior(r), b2.interior(r), m))
+        if (self.is_batched and a1.is_stacked and b1.is_stacked
+                and a2.is_stacked and b2.is_stacked):
+            partials1 = masked_partials_stacked(
+                a1.interior_stack(), b1.interior_stack(), self._mask_stack
+            )
+            partials2 = masked_partials_stacked(
+                a2.interior_stack(), b2.interior_stack(), self._mask_stack
+            )
+        else:
+            partials1 = []
+            partials2 = []
+            for r in range(self.num_ranks):
+                m = self._mask_blocks[r]
+                partials1.append(
+                    masked_local_dot(a1.interior(r), b1.interior(r), m))
+                partials2.append(
+                    masked_local_dot(a2.interior(r), b2.interior(r), m))
         self.ledger.record_flops("computation", 2 * self._max_points)
         self.ledger.record_flops(phase, 2 * self._max_points)
         self.ledger.record_allreduce(phase, words=2)

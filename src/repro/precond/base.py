@@ -57,6 +57,21 @@ class Preconditioner(abc.ABC):
     def apply_block(self, rank, r_interior, out=None):
         """``z = M^-1 r`` restricted to ``rank``'s block interior."""
 
+    def apply_stack(self, r_stack, out=None):
+        """``z = M^-1 r`` on stacked interiors of shape ``(p, bny, bnx)``.
+
+        The batched execution engine's entry point: subclasses override
+        it with a fully vectorized implementation; this base fallback
+        loops over ranks through :meth:`apply_block`, so every
+        preconditioner works under both engines.  Results are
+        bit-identical to the per-rank loop by construction.
+        """
+        if out is None:
+            out = np.empty_like(r_stack)
+        for rank in range(r_stack.shape[0]):
+            self.apply_block(rank, r_stack[rank], out=out[rank])
+        return out
+
     # ------------------------------------------------------------------
     # cost accounting (flop units per the paper's theta-bookkeeping)
     # ------------------------------------------------------------------
@@ -88,6 +103,21 @@ class Preconditioner(abc.ABC):
         if self.decomp is None:
             return self.stencil.shape[0] * self.stencil.shape[1]
         return self.decomp.max_block_points()
+
+    def _interior_stack(self, source):
+        """Stack per-rank interior slices of a global array.
+
+        Returns a ``(p, bny, bnx)`` copy of ``source[block.slices]`` over
+        the active blocks; requires a uniform decomposition.  Used by
+        batched ``apply_stack`` overrides to pre-stack masks and
+        coefficients (cached by the callers).
+        """
+        if self.decomp is None:
+            raise SolverError(
+                "stacked application requires a decomposition"
+            )
+        return np.stack([source[b.slices]
+                         for b in self.decomp.active_blocks])
 
     @property
     def is_spd(self):

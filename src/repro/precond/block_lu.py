@@ -43,6 +43,7 @@ class BlockLUPreconditioner(Preconditioner):
         for rank, j0, j1, i0, i1 in self._tiles:
             self._factors.append(self._factorize(j0, j1, i0, i1))
         self._mask_f = self.mask.astype(np.float64)
+        self._mask_f_stack = None
 
     def _make_tiles(self):
         tiles = []
@@ -131,6 +132,33 @@ class BlockLUPreconditioner(Preconditioner):
             out[j0 - block.j0:j1 - block.j0,
                 i0 - block.i0:i1 - block.i0] = self._solve_tile(factor, y)
         out *= self._mask_f[block.slices]
+        return out
+
+    def apply_stack(self, r_stack, out=None):
+        """Stacked application: one pass over all tiles.
+
+        LU back-substitution is inherently per-tile (scipy's ``splu``),
+        so the solve itself stays a loop; the win over the per-rank path
+        is visiting each tile exactly once instead of scanning the full
+        tile list once per rank, and masking the whole stack in one
+        multiply.
+        """
+        if self.decomp is None:
+            return super().apply_stack(r_stack, out=out)
+        if out is None:
+            out = np.zeros_like(r_stack)
+        else:
+            out[...] = 0.0
+        blocks = self.decomp.active_blocks
+        for (rank, j0, j1, i0, i1), factor in zip(self._tiles, self._factors):
+            block = blocks[rank]
+            y = r_stack[rank, j0 - block.j0:j1 - block.j0,
+                        i0 - block.i0:i1 - block.i0]
+            out[rank, j0 - block.j0:j1 - block.j0,
+                i0 - block.i0:i1 - block.i0] = self._solve_tile(factor, y)
+        if self._mask_f_stack is None:
+            self._mask_f_stack = self._interior_stack(self._mask_f)
+        out *= self._mask_f_stack
         return out
 
     # ------------------------------------------------------------------

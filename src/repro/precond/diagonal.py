@@ -29,6 +29,7 @@ class DiagonalPreconditioner(Preconditioner):
         # Reciprocal once; land entries produce zero output via the mask.
         safe = np.where(diag > 0.0, diag, 1.0)
         self._inv_diag = np.where(self.mask, 1.0 / safe, 0.0)
+        self._inv_diag_stack = None
 
     @property
     def inv_diag(self):
@@ -47,6 +48,17 @@ class DiagonalPreconditioner(Preconditioner):
         if out is None:
             out = np.empty_like(r_interior)
         np.multiply(r_interior, inv, out=out)
+        return out
+
+    def apply_stack(self, r_stack, out=None):
+        """One vectorized reciprocal-diagonal multiply over the stack."""
+        if self.decomp is None:
+            return super().apply_stack(r_stack, out=out)
+        if self._inv_diag_stack is None:
+            self._inv_diag_stack = self._interior_stack(self._inv_diag)
+        if out is None:
+            out = np.empty_like(r_stack)
+        np.multiply(r_stack, self._inv_diag_stack, out=out)
         return out
 
     def apply_flops(self, rank=None):

@@ -15,6 +15,10 @@ class IdentityPreconditioner(Preconditioner):
 
     name = "identity"
 
+    def __init__(self, stencil, decomp=None):
+        super().__init__(stencil, decomp=decomp)
+        self._mask_stack = None
+
     def apply_global(self, r, out=None):
         if out is None:
             out = np.empty_like(r)
@@ -27,6 +31,17 @@ class IdentityPreconditioner(Preconditioner):
         if out is None:
             out = np.empty_like(r_interior)
         np.multiply(r_interior, local_mask, out=out)
+        return out
+
+    def apply_stack(self, r_stack, out=None):
+        """One vectorized masking multiply over the whole stack."""
+        if self.decomp is None:
+            return super().apply_stack(r_stack, out=out)
+        if self._mask_stack is None:
+            self._mask_stack = self._interior_stack(self.mask)
+        if out is None:
+            out = np.empty_like(r_stack)
+        np.multiply(r_stack, self._mask_stack, out=out)
         return out
 
     def apply_flops(self, rank=None):

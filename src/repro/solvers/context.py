@@ -175,6 +175,10 @@ class SerialContext(SolverContext):
         super().__init__(stencil, preconditioner, ledger)
         self.decomp = decomp
         self._mask_f = self.mask.astype(np.float64)
+        # Scratch for axpy/combine: ``y += alpha * x`` would materialize
+        # ``alpha * x`` afresh on every call in the solver hot loop; the
+        # out=-based path reuses this buffer instead.
+        self._scratch = None
         if decomp is not None:
             if decomp.ny != stencil.shape[0] or decomp.nx != stencil.shape[1]:
                 raise SolverError(
@@ -240,8 +244,16 @@ class SerialContext(SolverContext):
         return v1, v2
 
     # -- elementwise ---------------------------------------------------
+    def _get_scratch(self, like):
+        if self._scratch is None or self._scratch.shape != like.shape \
+                or self._scratch.dtype != like.dtype:
+            self._scratch = np.empty_like(like)
+        return self._scratch
+
     def axpy(self, alpha, x, y, phase="computation"):
-        y += alpha * x
+        s = self._get_scratch(x)
+        np.multiply(x, alpha, out=s)
+        y += s
         self.ledger.record_flops(phase, self._critical)
         return y
 
@@ -253,7 +265,9 @@ class SerialContext(SolverContext):
 
     def combine(self, a, x, b, y, phase="computation"):
         y *= b
-        y += a * x
+        s = self._get_scratch(x)
+        np.multiply(x, a, out=s)
+        y += s
         self.ledger.record_flops(phase, 2 * self._critical)
         return y
 
@@ -271,9 +285,13 @@ class SerialContext(SolverContext):
 class DistributedContext(SolverContext):
     """Block-field context over a :class:`VirtualMachine`.
 
-    Every operation really happens rank by rank: halo exchanges move
-    strips between block arrays, reductions combine per-rank partials in
-    rank order, and elementwise updates loop over block interiors.
+    Under the per-rank engine every operation really happens rank by
+    rank: halo exchanges move strips between block arrays, reductions
+    combine per-rank partials in rank order, and elementwise updates
+    loop over block interiors.  Under the batched engine
+    (``vm.engine == "batched"``) the same operations run as single
+    vectorized numpy calls over the stacked ``(p, bny, bnx)`` layout --
+    bit-identical results, identical event streams.
     """
 
     def __init__(self, stencil, preconditioner, vm):
@@ -282,6 +300,18 @@ class DistributedContext(SolverContext):
         self.decomp = vm.decomp
         self.operator = BlockedOperator(stencil, vm.decomp)
         self._critical = vm.max_block_points
+        # Scratch stack for the batched axpy/combine (avoids a fresh
+        # ``alpha * x`` temporary per call in the solver hot loop).
+        self._scratch = None
+
+    def _batched(self, *fields):
+        return self.vm.is_batched and all(f.is_stacked for f in fields)
+
+    def _get_scratch(self, like):
+        if self._scratch is None or self._scratch.shape != like.shape \
+                or self._scratch.dtype != like.dtype:
+            self._scratch = np.empty(like.shape, dtype=like.dtype)
+        return self._scratch
 
     # -- vectors -------------------------------------------------------
     def new_vector(self):
@@ -308,6 +338,10 @@ class DistributedContext(SolverContext):
     def _sub(self, a, b, out=None):
         if out is None:
             out = self.vm.zeros()
+        if self._batched(a, b, out):
+            np.subtract(a.interior_stack(), b.interior_stack(),
+                        out=out.interior_stack())
+            return out
         for rank in range(self.vm.num_ranks):
             np.subtract(a.interior(rank), b.interior(rank),
                         out=out.interior(rank))
@@ -316,6 +350,12 @@ class DistributedContext(SolverContext):
     def _apply_precond(self, r, out):
         if out is None:
             out = self.vm.zeros()
+        if self._batched(r, out):
+            # The interior stack is a strided view; apply_stack
+            # implementations write through it elementwise.
+            self.preconditioner.apply_stack(r.interior_stack(),
+                                            out=out.interior_stack())
+            return out
         for rank in range(self.vm.num_ranks):
             self.preconditioner.apply_block(rank, r.interior(rank),
                                             out=out.interior(rank))
@@ -330,24 +370,43 @@ class DistributedContext(SolverContext):
 
     # -- elementwise ---------------------------------------------------
     def axpy(self, alpha, x, y, phase="computation"):
-        for rank in range(self.vm.num_ranks):
-            y.interior(rank)[...] += alpha * x.interior(rank)
+        if self._batched(x, y):
+            xi = x.interior_stack()
+            s = self._get_scratch(xi)
+            np.multiply(xi, alpha, out=s)
+            y.interior_stack()[...] += s
+        else:
+            for rank in range(self.vm.num_ranks):
+                y.interior(rank)[...] += alpha * x.interior(rank)
         self.ledger.record_flops(phase, self._critical)
         return y
 
     def xpay(self, x, beta, y, phase="computation"):
-        for rank in range(self.vm.num_ranks):
-            yi = y.interior(rank)
+        if self._batched(x, y):
+            yi = y.interior_stack()
             yi *= beta
-            yi += x.interior(rank)
+            yi += x.interior_stack()
+        else:
+            for rank in range(self.vm.num_ranks):
+                yi = y.interior(rank)
+                yi *= beta
+                yi += x.interior(rank)
         self.ledger.record_flops(phase, self._critical)
         return y
 
     def combine(self, a, x, b, y, phase="computation"):
-        for rank in range(self.vm.num_ranks):
-            yi = y.interior(rank)
+        if self._batched(x, y):
+            yi = y.interior_stack()
             yi *= b
-            yi += a * x.interior(rank)
+            xi = x.interior_stack()
+            s = self._get_scratch(xi)
+            np.multiply(xi, a, out=s)
+            yi += s
+        else:
+            for rank in range(self.vm.num_ranks):
+                yi = y.interior(rank)
+                yi *= b
+                yi += a * x.interior(rank)
         self.ledger.record_flops(phase, 2 * self._critical)
         return y
 
