@@ -1,0 +1,237 @@
+"""Benchmark: persistent artifact cache + parallel experiment pipeline.
+
+Times the report pipeline (:func:`repro.reporting.run_all`) under three
+scenarios, each in its own subprocess so the in-memory cache tier is
+genuinely cold and only the on-disk tier persists between runs:
+
+* ``cold-serial``   -- fresh cache directory, ``jobs=1``,
+* ``cold-parallel`` -- fresh cache directory, ``jobs=N``,
+* ``warm-serial``   -- re-run against the cold-serial directory.
+
+Writes ``BENCH_pipeline.json`` at the repo root with wall-clock seconds,
+per-step timings, cache hit/miss counters and the host's CPU count, and
+asserts that every scenario produces identical ``measurements`` dicts
+(caching must never change results).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py           # full run
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --quick   # CI smoke
+
+The warm/cold contrast is hardware-independent (disk reads replace
+eigensolves) and is asserted always: warm must be at least 3x faster in
+the full run, and score at least one disk hit in ``--quick``.  The
+parallel/serial contrast depends on available cores, so ``parallel <
+serial`` is only asserted when ``os.cpu_count() > 1`` -- on a one-core
+host the number is still recorded, just not enforced.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+#: plan-name -> experiment-module substrings kept from the default plan.
+PLANS = {
+    "full": None,  # the whole DEFAULT_PLAN
+    "quick": ("fig05", "fig07", "table1"),
+}
+
+
+def _select_plan(name):
+    from repro.reporting.runner import DEFAULT_PLAN
+
+    keep = PLANS[name]
+    if keep is None:
+        return list(DEFAULT_PLAN)
+    return [step for step in DEFAULT_PLAN
+            if any(token in step[0] for token in keep)]
+
+
+def _run_child(plan_name, jobs, cache_dir, result_path):
+    """Execute one scenario in the current (child) process."""
+    from repro.core.cache import configure_cache, get_cache
+    from repro.experiments.common import _json_safe
+    from repro.reporting.runner import run_all
+
+    configure_cache(cache_dir=cache_dir)
+    plan = _select_plan(plan_name)
+    start = time.perf_counter()
+    report = run_all(plan=plan, jobs=jobs)
+    seconds = time.perf_counter() - start
+    payload = {
+        "seconds": seconds,
+        "jobs": jobs,
+        "measurements": {key: _json_safe(value)
+                         for key, value in report["measurements"].items()},
+        "timings": report["timings"],
+        "cache": get_cache().counters(),
+    }
+    if "warmup" in report:
+        payload["warmup"] = {
+            "tasks": report["warmup"]["tasks"],
+            "seconds": report["warmup"]["seconds"],
+            "errors": [repr(e) for e in report["warmup"]["errors"]],
+        }
+    Path(result_path).write_text(json.dumps(payload, sort_keys=True))
+
+
+def _run_scenario(plan_name, jobs, cache_dir):
+    """Launch one scenario as a subprocess; returns its result payload."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        result_path = handle.name
+    try:
+        cmd = [sys.executable, os.path.abspath(__file__), "--child",
+               "--plan", plan_name, "--jobs", str(jobs),
+               "--cache-dir", cache_dir, "--result", result_path]
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        subprocess.run(cmd, check=True, env=env)
+        return json.loads(Path(result_path).read_text())
+    finally:
+        try:
+            os.remove(result_path)
+        except OSError:
+            pass
+
+
+def _cache_hits(payload):
+    return payload["cache"]["memory_hits"] + payload["cache"]["disk_hits"]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced plan, cold+warm only (CI smoke)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker count for the parallel scenario "
+                             "(default: min(4, cpu_count))")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default BENCH_pipeline.json "
+                             "at the repo root; BENCH_pipeline_quick.json "
+                             "with --quick)")
+    # internal: scenario execution inside a subprocess
+    parser.add_argument("--child", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--plan", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--cache-dir", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--result", default=None, help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.child:
+        _run_child(args.plan, args.jobs or 1, args.cache_dir, args.result)
+        return None
+
+    plan_name = "quick" if args.quick else "full"
+    cpu_count = os.cpu_count() or 1
+    # At least 2 workers so the pool path is always exercised; the
+    # parallel-beats-serial assertion stays conditional on cpu_count.
+    jobs = args.jobs or max(2, min(4, cpu_count))
+
+    root = Path(__file__).resolve().parent.parent
+    if args.out is not None:
+        out_path = Path(args.out)
+    else:
+        name = ("BENCH_pipeline_quick.json" if args.quick
+                else "BENCH_pipeline.json")
+        out_path = root / name
+
+    serial_dir = tempfile.mkdtemp(prefix="repro-bench-serial-")
+    parallel_dir = tempfile.mkdtemp(prefix="repro-bench-parallel-")
+    scenarios = {}
+    try:
+        print(f"[bench_pipeline] cold-serial ({plan_name} plan) ...",
+              flush=True)
+        scenarios["cold_serial"] = _run_scenario(plan_name, 1, serial_dir)
+        print(f"[bench_pipeline] cold-serial: "
+              f"{scenarios['cold_serial']['seconds']:.1f}s", flush=True)
+
+        if not args.quick or jobs > 1:
+            print(f"[bench_pipeline] cold-parallel (jobs={jobs}) ...",
+                  flush=True)
+            scenarios["cold_parallel"] = _run_scenario(
+                plan_name, jobs, parallel_dir)
+            print(f"[bench_pipeline] cold-parallel: "
+                  f"{scenarios['cold_parallel']['seconds']:.1f}s",
+                  flush=True)
+
+        print("[bench_pipeline] warm-serial (shared cache dir) ...",
+              flush=True)
+        scenarios["warm_serial"] = _run_scenario(plan_name, 1, serial_dir)
+        print(f"[bench_pipeline] warm-serial: "
+              f"{scenarios['warm_serial']['seconds']:.1f}s "
+              f"({_cache_hits(scenarios['warm_serial'])} cache hits)",
+              flush=True)
+    finally:
+        shutil.rmtree(serial_dir, ignore_errors=True)
+        shutil.rmtree(parallel_dir, ignore_errors=True)
+
+    # Caching and parallelism must never change results.
+    baselines = {name: json.dumps(payload["measurements"], sort_keys=True)
+                 for name, payload in scenarios.items()}
+    reference = baselines["cold_serial"]
+    for name, encoded in baselines.items():
+        if encoded != reference:
+            raise AssertionError(
+                f"scenario {name!r} produced different measurements than "
+                f"cold_serial: caching changed results")
+
+    cold = scenarios["cold_serial"]["seconds"]
+    warm = scenarios["warm_serial"]["seconds"]
+    warm_hits = _cache_hits(scenarios["warm_serial"])
+    if warm_hits < 1:
+        raise AssertionError("warm run scored no cache hits")
+    if args.quick:
+        if warm >= cold:
+            raise AssertionError(
+                f"warm run ({warm:.1f}s) not faster than cold ({cold:.1f}s)")
+    else:
+        if warm * 3.0 > cold:
+            raise AssertionError(
+                f"warm run ({warm:.1f}s) not 3x faster than cold "
+                f"({cold:.1f}s)")
+    if "cold_parallel" in scenarios and cpu_count > 1:
+        par = scenarios["cold_parallel"]["seconds"]
+        if par >= cold:
+            raise AssertionError(
+                f"parallel cold run ({par:.1f}s, jobs={jobs}) not faster "
+                f"than serial cold ({cold:.1f}s) on {cpu_count} CPUs")
+
+    report = {
+        "benchmark": "pipeline",
+        "plan": plan_name,
+        "quick": bool(args.quick),
+        "cpu_count": cpu_count,
+        "parallel_jobs": jobs,
+        "scenarios": scenarios,
+        "speedups": {
+            "warm_vs_cold_serial": cold / warm if warm else None,
+        },
+        "measurements_identical": True,
+    }
+    if "cold_parallel" in scenarios:
+        par = scenarios["cold_parallel"]["seconds"]
+        report["speedups"]["parallel_vs_serial_cold"] = (
+            cold / par if par else None)
+        report["parallel_speedup_enforced"] = cpu_count > 1
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"[bench_pipeline] wrote {out_path}")
+    print(f"[bench_pipeline] warm vs cold serial: {cold / warm:.1f}x")
+    if "cold_parallel" in scenarios:
+        print(f"[bench_pipeline] parallel (jobs={jobs}) vs serial cold: "
+              f"{cold / scenarios['cold_parallel']['seconds']:.2f}x "
+              f"(cpu_count={cpu_count}; "
+              f"{'enforced' if cpu_count > 1 else 'not enforced on 1 CPU'})")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -13,9 +13,15 @@ Commands
     solver/preconditioner; prints iterations and modeled times.
 ``machines``
     Print the calibrated machine models.
-``report [--out DIR] [--verification]``
+``report [--out DIR] [--verification] [--jobs N] [--no-cache]
+[--cache-dir DIR]``
     Run the whole evaluation plan and print the paper-vs-measured
-    comparison (the automated backbone of EXPERIMENTS.md).
+    comparison (the automated backbone of EXPERIMENTS.md).  ``--jobs``
+    fans the measured solves and experiment steps over worker
+    processes; the artifact cache (persistent across invocations
+    unless ``--no-cache``) makes warm re-runs cheap.
+``cache {stats,clear} [--cache-dir DIR]``
+    Inspect or empty the on-disk artifact cache.
 """
 
 import argparse
@@ -137,15 +143,50 @@ def cmd_solve(args):
 
 
 def cmd_report(args):
+    from repro.core.cache import configure_cache, default_cache_dir
     from repro.reporting import run_all
 
+    if args.no_cache:
+        cache = configure_cache(cache_dir=None)
+    else:
+        cache = configure_cache(
+            cache_dir=args.cache_dir or default_cache_dir())
     report = run_all(
         output_dir=args.out,
         include_verification=args.verification,
         progress=lambda name: print(f"running {name} ..."),
+        jobs=args.jobs,
     )
     print()
     print(report["rendered"])
+    print()
+    print("step timings:")
+    for entry in report.get("timings", []):
+        step = entry["step"].rsplit(".", 1)[-1]
+        print(f"  {step:28s} {entry['seconds']:8.2f} s  "
+              f"(cache hits {entry['cache_hits']}, "
+              f"misses {entry['cache_misses']})")
+    stats = cache.stats()
+    print(f"cache: {stats['memory_hits']} memory hits, "
+          f"{stats['disk_hits']} disk hits, {stats['misses']} misses, "
+          f"{stats['disk_entries']} disk entries "
+          f"({stats['disk_bytes'] / 1e6:.1f} MB)"
+          + (f" in {stats['cache_dir']}" if stats["cache_dir"] else ""))
+    return 0
+
+
+def cmd_cache(args):
+    from repro.core.cache import ArtifactCache, default_cache_dir
+
+    cache = ArtifactCache(cache_dir=args.cache_dir or default_cache_dir())
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached artifacts from {cache.cache_dir}")
+        return 0
+    stats = cache.stats()
+    print(f"cache directory: {stats['cache_dir']}")
+    print(f"entries: {stats['disk_entries']}")
+    print(f"size: {stats['disk_bytes'] / 1e6:.2f} MB")
     return 0
 
 
@@ -192,6 +233,24 @@ def build_parser():
                           help="directory for per-figure JSON results")
     p_report.add_argument("--verification", action="store_true",
                           help="include the slow fig13 ensemble run")
+    p_report.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for warmup solves and "
+                               "experiment steps (default: 1, serial)")
+    p_report.add_argument("--no-cache", action="store_true",
+                          help="disable the persistent artifact cache "
+                               "(in-memory caching only)")
+    p_report.add_argument("--cache-dir", default=None,
+                          help="artifact cache directory (default: "
+                               "$REPRO_CACHE_DIR or "
+                               "~/.cache/repro-artifacts)")
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk artifact cache")
+    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="artifact cache directory (default: "
+                              "$REPRO_CACHE_DIR or "
+                              "~/.cache/repro-artifacts)")
     return parser
 
 
@@ -203,6 +262,7 @@ def main(argv=None):
         "solve": cmd_solve,
         "machines": cmd_machines,
         "report": cmd_report,
+        "cache": cmd_cache,
     }[args.command]
     return handler(args)
 

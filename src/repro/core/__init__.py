@@ -4,6 +4,9 @@ The :mod:`repro.core` package deliberately contains no ocean-modeling or
 solver logic.  It provides the numeric conventions everything else builds
 on:
 
+* :mod:`repro.core.cache` -- the two-tier content-addressed artifact
+  cache (memory + npz disk blobs) shared by preconditioner setup,
+  eigenvalue estimation and the experiment pipeline,
 * :mod:`repro.core.constants` -- physical and numerical constants,
 * :mod:`repro.core.errors` -- the exception hierarchy,
 * :mod:`repro.core.fields` -- 2-D field helpers (padding, shifting, masking),
@@ -20,6 +23,15 @@ compass directions: ``N`` is ``j+1``, ``S`` is ``j-1``, ``E`` is ``i+1``
 and ``W`` is ``i-1``.
 """
 
+from repro.core.cache import (
+    CACHE_FORMAT_VERSION,
+    ArtifactCache,
+    configure_cache,
+    default_cache_dir,
+    digest_of,
+    get_cache,
+    set_cache,
+)
 from repro.core.constants import (
     EARTH_RADIUS_M,
     GRAVITY_M_S2,
@@ -50,6 +62,13 @@ from repro.core.norms import (
 from repro.core.rng import make_rng, spawn_rngs
 
 __all__ = [
+    "CACHE_FORMAT_VERSION",
+    "ArtifactCache",
+    "configure_cache",
+    "default_cache_dir",
+    "digest_of",
+    "get_cache",
+    "set_cache",
     "EARTH_RADIUS_M",
     "GRAVITY_M_S2",
     "SECONDS_PER_DAY",

@@ -1,0 +1,353 @@
+"""Two-tier content-addressed artifact cache.
+
+The expensive one-time artifacts of the reproduction -- EVP influence
+matrices (paper section 4.2: ``O(n^3)`` per tile group), Lanczos
+eigenvalue bounds (section 3.2) and whole measured solve event streams
+-- are all *pure functions of their inputs*: the grid content, the
+stencil, and the solver/preconditioner parameters.  This module gives
+them a shared memoization substrate:
+
+* a **memory tier**: a process-local dict holding live Python objects
+  (the role the old per-module ``_CONFIG_CACHE``-style dicts played),
+* a **disk tier**: content-addressed ``.npz`` blobs under a cache
+  directory, written atomically, shared between processes and across
+  runs.
+
+Keys are SHA-256 digests of a canonical byte encoding of the inputs
+(scalars, strings, tuples, dicts and numpy arrays), always salted with
+:data:`CACHE_FORMAT_VERSION` by the callers so that format changes
+invalidate old entries wholesale.  Corrupted or truncated disk entries
+are treated as misses (and deleted), never as errors.
+
+The global cache used by the experiment layer defaults to memory-only;
+the disk tier activates when ``REPRO_CACHE_DIR`` is set, when the CLI
+passes ``--cache-dir`` (or its default), or when
+:func:`configure_cache` is called explicitly.
+"""
+
+import hashlib
+import json
+import os
+import struct
+import tempfile
+import zipfile
+
+import numpy as np
+
+#: Bump when the on-disk payload layout or key semantics change; every
+#: caller folds this into its digest so stale entries simply miss.
+CACHE_FORMAT_VERSION = 1
+
+#: Filename prefix for every entry this cache writes, so ``clear()``
+#: only ever deletes files it owns.
+_FILE_PREFIX = "repro-"
+
+#: npz member holding the JSON metadata of an entry.
+_META_KEY = "__meta__"
+
+
+# ----------------------------------------------------------------------
+# canonical digests
+# ----------------------------------------------------------------------
+def canonical_bytes(obj):
+    """A stable byte encoding of nested Python/numpy values.
+
+    Supports ``None``, bools, ints, floats, strings, bytes, numpy
+    scalars and arrays, and (nested) tuples/lists/dicts.  Dict items are
+    sorted by their encoded keys, so insertion order never leaks into a
+    digest.  Floats encode via ``repr`` (exact round-trip in Python 3).
+    """
+    out = bytearray()
+    _encode(obj, out)
+    return bytes(out)
+
+
+def _encode(obj, out):
+    if obj is None:
+        out += b"N;"
+    elif isinstance(obj, bool):
+        out += b"B1;" if obj else b"B0;"
+    elif isinstance(obj, int):
+        out += b"I" + str(obj).encode() + b";"
+    elif isinstance(obj, float):
+        out += b"F" + repr(obj).encode() + b";"
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        out += b"S" + str(len(raw)).encode() + b":" + raw
+    elif isinstance(obj, bytes):
+        out += b"Y" + str(len(obj)).encode() + b":" + obj
+    elif isinstance(obj, np.generic):
+        _encode(obj.item(), out)
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        out += (b"A" + str(arr.dtype).encode() + b"|"
+                + str(arr.shape).encode() + b"|")
+        out += arr.tobytes()
+        out += b";"
+    elif isinstance(obj, (tuple, list)):
+        out += b"T("
+        for item in obj:
+            _encode(item, out)
+        out += b")"
+    elif isinstance(obj, dict):
+        items = sorted(
+            ((canonical_bytes(k), v) for k, v in obj.items()),
+            key=lambda kv: kv[0],
+        )
+        out += b"D{"
+        for kb, v in items:
+            out += kb
+            _encode(v, out)
+        out += b"}"
+    else:
+        raise TypeError(
+            f"cannot canonically encode {type(obj).__name__!r} for a "
+            "cache key; pass scalars, strings, arrays, tuples or dicts"
+        )
+
+
+def digest_of(*parts):
+    """SHA-256 hex digest of the canonical encoding of ``parts``."""
+    h = hashlib.sha256()
+    h.update(struct.pack("<I", len(parts)))
+    h.update(canonical_bytes(tuple(parts)))
+    return h.hexdigest()
+
+
+def decomp_signature(decomp):
+    """A digestable summary of a block decomposition (or ``None``).
+
+    Uses only the active-block geometry (duck-typed), which is exactly
+    what block preconditioners and event rescaling depend on.
+    """
+    if decomp is None:
+        return None
+    blocks = tuple(
+        (int(b.j0), int(b.j1), int(b.i0), int(b.i1))
+        for b in decomp.active_blocks
+    )
+    return ("decomp", blocks)
+
+
+# ----------------------------------------------------------------------
+# the cache
+# ----------------------------------------------------------------------
+class ArtifactCache:
+    """Two-tier (memory + content-addressed disk) artifact cache.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the disk tier; ``None`` disables persistence
+        (memory tier only).  Created on first write.
+    memory:
+        Keep a process-local object tier (default True).
+
+    Lookup counters: ``memory_hits`` / ``disk_hits`` count successful
+    lookups per tier; ``misses`` counts lookups that found nothing in
+    either tier (a disk lookup is only issued after a memory miss, so
+    the sum is consistent); ``writes`` counts disk stores.
+    """
+
+    def __init__(self, cache_dir=None, memory=True):
+        self.cache_dir = os.path.abspath(cache_dir) if cache_dir else None
+        self._memory = {} if memory else None
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # memory tier
+    # ------------------------------------------------------------------
+    def get_object(self, category, key):
+        """Live object for ``(category, key)`` or ``None``."""
+        if self._memory is None:
+            return None
+        obj = self._memory.get((category, key))
+        if obj is not None:
+            self.memory_hits += 1
+        return obj
+
+    def put_object(self, category, key, value):
+        """Remember a live object in the memory tier."""
+        if self._memory is not None:
+            self._memory[(category, key)] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # disk tier
+    # ------------------------------------------------------------------
+    def _path(self, category, key):
+        return os.path.join(self.cache_dir,
+                            f"{_FILE_PREFIX}{category}-{key}.npz")
+
+    def load(self, category, key):
+        """Disk entry as ``(arrays, meta)``; ``None`` (a miss) otherwise.
+
+        Corrupted, truncated or unreadable entries are deleted and
+        reported as misses, never raised.
+        """
+        if self.cache_dir is None:
+            self.misses += 1
+            return None
+        path = self._path(category, key)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                meta_raw = data[_META_KEY][()]
+                meta = json.loads(str(meta_raw))
+                arrays = {name: data[name] for name in data.files
+                          if name != _META_KEY}
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile, json.JSONDecodeError,
+                UnicodeDecodeError):
+            # Treat damage as a miss; drop the unusable file.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.disk_hits += 1
+        return arrays, meta
+
+    def store(self, category, key, arrays=None, meta=None):
+        """Atomically write ``(arrays, meta)``; returns the path or None.
+
+        The entry is written to a temporary file in the cache directory
+        and moved into place with ``os.replace``, so concurrent readers
+        and writers (the parallel pipeline's workers) never observe a
+        partial entry.
+        """
+        if self.cache_dir is None:
+            return None
+        os.makedirs(self.cache_dir, exist_ok=True)
+        payload = dict(arrays or {})
+        payload[_META_KEY] = np.array(json.dumps(meta if meta is not None
+                                                 else {}))
+        path = self._path(category, key)
+        fd, tmp = tempfile.mkstemp(prefix=f"{_FILE_PREFIX}tmp-",
+                                   dir=self.cache_dir)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return None
+        self.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # accounting + maintenance
+    # ------------------------------------------------------------------
+    def _disk_entries(self):
+        if self.cache_dir is None or not os.path.isdir(self.cache_dir):
+            return []
+        out = []
+        for name in os.listdir(self.cache_dir):
+            if name.startswith(_FILE_PREFIX) and name.endswith(".npz"):
+                out.append(os.path.join(self.cache_dir, name))
+        return out
+
+    @property
+    def hits(self):
+        """Total successful lookups across both tiers."""
+        return self.memory_hits + self.disk_hits
+
+    def counters(self):
+        """Snapshot of the lookup counters (plain dict)."""
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }
+
+    def stats(self):
+        """Entry counts, on-disk bytes and lookup counters."""
+        entries = self._disk_entries()
+        size = 0
+        for path in entries:
+            try:
+                size += os.path.getsize(path)
+            except OSError:
+                pass
+        out = {
+            "cache_dir": self.cache_dir,
+            "disk_entries": len(entries),
+            "disk_bytes": size,
+            "memory_entries": (0 if self._memory is None
+                               else len(self._memory)),
+        }
+        out.update(self.counters())
+        return out
+
+    def clear(self):
+        """Drop both tiers; returns the number of disk entries removed."""
+        removed = 0
+        for path in self._disk_entries():
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                pass
+        if self._memory is not None:
+            self._memory.clear()
+        return removed
+
+    def clear_memory(self):
+        """Drop only the memory tier (used to simulate a fresh process)."""
+        if self._memory is not None:
+            self._memory.clear()
+
+
+# ----------------------------------------------------------------------
+# the process-global cache
+# ----------------------------------------------------------------------
+_GLOBAL_CACHE = None
+
+
+def default_cache_dir():
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-artifacts``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro-artifacts")
+
+
+def get_cache():
+    """The process-global cache (memory-only unless configured).
+
+    The disk tier starts enabled only when ``REPRO_CACHE_DIR`` is set in
+    the environment; the CLI and the pipeline enable it explicitly via
+    :func:`configure_cache`.
+    """
+    global _GLOBAL_CACHE
+    if _GLOBAL_CACHE is None:
+        _GLOBAL_CACHE = ArtifactCache(
+            cache_dir=os.environ.get("REPRO_CACHE_DIR") or None)
+    return _GLOBAL_CACHE
+
+
+def set_cache(cache):
+    """Swap the process-global cache; returns the previous one."""
+    global _GLOBAL_CACHE
+    old = _GLOBAL_CACHE
+    _GLOBAL_CACHE = cache
+    return old
+
+
+def configure_cache(cache_dir=None, memory=True):
+    """Install (and return) a fresh global cache with the given tiers."""
+    set_cache(ArtifactCache(cache_dir=cache_dir, memory=memory))
+    return get_cache()

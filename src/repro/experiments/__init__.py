@@ -17,7 +17,11 @@ from repro.experiments.common import (
     measure_solver,
     rescale_events,
     geometry_decomposition,
+    run_solve_task,
+    solve_task,
+    solve_task_cost,
     solver_label,
+    standard_warmup_tasks,
     SOLVER_CONFIGS,
 )
 
@@ -27,6 +31,10 @@ __all__ = [
     "measure_solver",
     "rescale_events",
     "geometry_decomposition",
+    "run_solve_task",
+    "solve_task",
+    "solve_task_cost",
     "solver_label",
+    "standard_warmup_tasks",
     "SOLVER_CONFIGS",
 ]

@@ -16,6 +16,7 @@ from repro.experiments.common import (
     get_cached_config,
     measure_solver,
     rescaled_result_events,
+    solve_task,
 )
 from repro.perfmodel import YELLOWSTONE, phase_times
 from repro.perfmodel.pop import PopCostModel
@@ -41,6 +42,15 @@ def barotropic_day_time(config, result, cores, machine,
     times = phase_times(events, machine, decomp.num_active)
     steps = steps_per_day or config.steps_per_day
     return times.scaled(steps)
+
+
+def calibration_tasks(scale=0.25, tol=1.0e-13):
+    """The measured solve :func:`calibrated_pop_model` depends on.
+
+    Every experiment that prices whole-model time needs this anchor
+    solve; declaring it lets the parallel runner warm it exactly once.
+    """
+    return [solve_task("pop_0.1deg", scale, "chrongear", "diagonal", tol=tol)]
 
 
 def calibrated_pop_model(machine=YELLOWSTONE, scale=0.25, tol=1.0e-13):

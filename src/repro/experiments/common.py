@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.cache import CACHE_FORMAT_VERSION, digest_of, get_cache
 from repro.core.errors import ConfigurationError
 from repro.grid import get_config, pop_0p1deg, pop_1deg
 from repro.operators import apply_stencil
@@ -31,6 +32,7 @@ from repro.parallel.events import EventCounts
 from repro.precond import make_preconditioner
 from repro.precond.evp import evp_for_config
 from repro.solvers import ChronGearSolver, PCSISolver, PCGSolver, SerialContext
+from repro.solvers.result import SolveResult
 
 #: The four solver configurations of the paper's evaluation (plus the
 #: textbook-PCG lineage baseline available for extensions).
@@ -62,37 +64,66 @@ def solver_label(solver, precond):
 
 
 # ----------------------------------------------------------------------
-# one-shot measured solves, cached per process
+# one-shot measured solves, memoized through the artifact cache
 # ----------------------------------------------------------------------
-_CONFIG_CACHE = {}
-_SOLVE_CACHE = {}
-_PRECOND_CACHE = {}
+# All three former module-level dicts (_CONFIG_CACHE / _PRECOND_CACHE /
+# _SOLVE_CACHE) now live in the process-global ArtifactCache: configs
+# and preconditioner objects in its memory tier, EVP influence matrices
+# and full SolveResult event streams additionally in the disk tier (when
+# a cache directory is configured), shared across processes and runs.
+# Keys are content digests -- never bare config names -- so two configs
+# that share a name but differ in seed/scale/content cannot collide.
 
 
-def get_cached_config(name, scale=1.0, seed=None):
-    """Build (or fetch) a named grid configuration."""
-    key = (name, scale, seed)
-    if key not in _CONFIG_CACHE:
+def get_cached_config(name, scale=1.0, seed=None, cache=None):
+    """Build (or fetch) a named grid configuration.
+
+    Configurations are memoized in the cache's memory tier only: they
+    rebuild in seconds and their arrays are large, so persisting them
+    buys nothing the downstream artifact entries don't already provide.
+    """
+    cache = cache if cache is not None else get_cache()
+    key = (name, float(scale), seed)
+    cfg = cache.get_object("config", key)
+    if cfg is None:
         if name == "pop_1deg":
             cfg = pop_1deg(scale=scale, **({} if seed is None else {"seed": seed}))
         elif name in ("pop_0.1deg", "pop_0p1deg"):
             cfg = pop_0p1deg(scale=scale, **({} if seed is None else {"seed": seed}))
         else:
             cfg = get_config(name)
-        _CONFIG_CACHE[key] = cfg
-    return _CONFIG_CACHE[key]
+        cache.put_object("config", key, cfg)
+    return cfg
 
 
-def get_cached_preconditioner(config, kind, **kwargs):
-    """Build (or fetch) a preconditioner for a cached config."""
-    key = (config.name, kind, tuple(sorted(kwargs.items())))
-    if key not in _PRECOND_CACHE:
+def preconditioner_key(config, kind, **kwargs):
+    """Artifact-cache key for a preconditioner build.
+
+    Keyed on the grid's *content digest* (not its name): two same-name
+    configurations with different seeds get distinct keys.
+    """
+    return digest_of(CACHE_FORMAT_VERSION, "preconditioner",
+                     config.content_digest(), kind, dict(kwargs))
+
+
+def get_cached_preconditioner(config, kind, cache=None, **kwargs):
+    """Build (or fetch) a preconditioner for a cached config.
+
+    The built object is shared through the cache's memory tier; EVP
+    builds additionally round-trip their influence matrices through the
+    disk tier (see :func:`~repro.precond.evp.evp_for_config`), turning
+    the ``O(n^3)`` setup into an npz load in warm processes.
+    """
+    cache = cache if cache is not None else get_cache()
+    key = preconditioner_key(config, kind, **kwargs)
+    pre = cache.get_object("preconditioner", key)
+    if pre is None:
         if kind == "evp":
-            pre = evp_for_config(config, **kwargs)
+            pre = evp_for_config(config, cache=cache, **kwargs)
         else:
             pre = make_preconditioner(kind, config.stencil, **kwargs)
-        _PRECOND_CACHE[key] = pre
-    return _PRECOND_CACHE[key]
+        cache.put_object("preconditioner", key, pre)
+    return pre
 
 
 def reference_rhs(config, seed=20151115):
@@ -106,29 +137,179 @@ def reference_rhs(config, seed=20151115):
     return apply_stencil(config.stencil, x_ref)
 
 
+def _json_safe(value):
+    """Coerce a diagnostics value into JSON-representable form.
+
+    Numpy scalars become Python scalars, tuples become lists; anything
+    JSON cannot hold round-trips as its ``repr`` string (diagnostics
+    only -- measurements never flow through this path).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+def _events_to_meta(events):
+    return {name: vars(c) for name, c in events.items()
+            if any(vars(c).values())}
+
+
+def _events_from_meta(meta):
+    return {name: EventCounts(**{k: int(v) for k, v in counts.items()})
+            for name, counts in meta.items()}
+
+
+def result_to_payload(result):
+    """Split a :class:`SolveResult` into npz arrays + JSON metadata.
+
+    Floats survive exactly (JSON emits shortest round-trip reprs); the
+    solution array rides in the npz tier bit-for-bit.
+    """
+    arrays = {"x": np.asarray(result.x)}
+    meta = {
+        "iterations": int(result.iterations),
+        "converged": bool(result.converged),
+        "residual_norm": float(result.residual_norm),
+        "b_norm": float(result.b_norm),
+        "residual_history": [[int(i), float(r)]
+                             for i, r in result.residual_history],
+        "solver": result.solver,
+        "preconditioner": result.preconditioner,
+        "events": _events_to_meta(result.events),
+        "setup_events": _events_to_meta(result.setup_events),
+        "extra": _json_safe(result.extra),
+    }
+    return arrays, meta
+
+
+def result_from_payload(arrays, meta):
+    """Rebuild a :class:`SolveResult` from a cached payload.
+
+    Raises ``KeyError``/``TypeError``/``ValueError`` on malformed
+    payloads; callers treat those as cache misses.
+    """
+    return SolveResult(
+        x=arrays["x"],
+        iterations=int(meta["iterations"]),
+        converged=bool(meta["converged"]),
+        residual_norm=float(meta["residual_norm"]),
+        b_norm=float(meta["b_norm"]),
+        residual_history=[(int(i), float(r))
+                          for i, r in meta["residual_history"]],
+        solver=meta["solver"],
+        preconditioner=meta["preconditioner"],
+        events=_events_from_meta(meta["events"]),
+        setup_events=_events_from_meta(meta["setup_events"]),
+        extra=dict(meta["extra"]),
+    )
+
+
+def solve_key(config, solver, precond, tol, check_freq, max_iterations,
+              **solver_kwargs):
+    """Artifact-cache key for one measured solve (content-addressed)."""
+    return digest_of(CACHE_FORMAT_VERSION, "solve",
+                     config.content_digest(), solver, precond,
+                     float(tol), int(check_freq), int(max_iterations),
+                     dict(solver_kwargs))
+
+
 def measure_solver(config, solver="chrongear", precond="diagonal",
                    tol=1.0e-13, check_freq=10, max_iterations=60000,
-                   **solver_kwargs):
+                   cache=None, **solver_kwargs):
     """Solve once and cache the :class:`SolveResult` (with events).
 
     The context carries no decomposition: recorded flops correspond to a
     single rank owning the whole grid and are rescaled per core count by
-    :func:`rescale_events`.
+    :func:`rescale_events`.  The full result -- solution, residual
+    history and the per-phase event streams every timing experiment is
+    priced from -- is memoized in the artifact cache's memory tier and
+    persisted to its disk tier, so warm processes skip the solve
+    entirely and still observe identical measurements.
     """
-    key = (config.name, solver, precond, tol, check_freq,
-           tuple(sorted(solver_kwargs.items())))
-    if key in _SOLVE_CACHE:
-        return _SOLVE_CACHE[key]
-    pre = get_cached_preconditioner(config, precond)
+    cache = cache if cache is not None else get_cache()
+    key = solve_key(config, solver, precond, tol, check_freq,
+                    max_iterations, **solver_kwargs)
+    result = cache.get_object("solve", key)
+    if result is not None:
+        return result
+    loaded = cache.load("solve", key)
+    if loaded is not None:
+        try:
+            result = result_from_payload(*loaded)
+        except (KeyError, TypeError, ValueError):
+            result = None
+        if result is not None:
+            return cache.put_object("solve", key, result)
+    pre = get_cached_preconditioner(config, precond, cache=cache)
     ctx = SerialContext(config.stencil, pre)
     cls = {"chrongear": ChronGearSolver, "pcsi": PCSISolver,
            "pcg": PCGSolver}[solver]
+    extra_kwargs = dict(solver_kwargs)
+    if cls is PCSISolver:
+        extra_kwargs.setdefault("bounds_cache", cache)
     result = cls(ctx, tol=tol, check_freq=check_freq,
-                 max_iterations=max_iterations, **solver_kwargs).solve(
+                 max_iterations=max_iterations, **extra_kwargs).solve(
         reference_rhs(config))
     result.extra["measured_points"] = config.ny * config.nx
-    _SOLVE_CACHE[key] = result
+    cache.put_object("solve", key, result)
+    cache.store("solve", key, *result_to_payload(result))
     return result
+
+
+# ----------------------------------------------------------------------
+# warmup tasks (pipeline pre-solves)
+# ----------------------------------------------------------------------
+# A *solve task* names one measured solve as a plain picklable tuple
+# ``(config_name, scale, solver, precond, tol)``.  Experiment modules
+# advertise the tasks they will need via a ``warmup_tasks(**kwargs)``
+# function; the parallel runner fans the deduplicated union out to
+# worker processes, which execute them with :func:`run_solve_task` and
+# thereby warm the shared disk cache before the plan steps run.
+
+
+def solve_task(config_name, scale, solver, precond, tol=1.0e-13):
+    """Normalize one warmup solve task tuple."""
+    return (config_name, float(scale), solver, precond, float(tol))
+
+
+def run_solve_task(task):
+    """Execute one warmup solve task (in a worker or inline)."""
+    config_name, scale, solver, precond, tol = task
+    cfg = get_cached_config(config_name, scale=scale)
+    measure_solver(cfg, solver=solver, precond=precond, tol=tol)
+    return task
+
+
+def solve_task_cost(task):
+    """Rough relative cost of a task, for longest-first scheduling.
+
+    Grid points dominate; EVP setup and P-CSI's extra iterations get
+    flat multipliers.  Only the *ordering* matters.
+    """
+    config_name, scale, solver, precond, _tol = task
+    ny, nx = FULL_SHAPES.get(config_name, (384, 320))
+    points = ny * nx * scale * scale
+    mult = (2.0 if precond == "evp" else 1.0)
+    mult *= (1.5 if solver == "pcsi" else 1.0)
+    return points * mult
+
+
+def standard_warmup_tasks(configs, combos=SOLVER_CONFIGS, tol=1.0e-13):
+    """Tasks for the cross product of ``configs`` x solver ``combos``.
+
+    ``configs`` is an iterable of ``(config_name, scale)`` pairs.
+    """
+    return [solve_task(name, scale, solver, precond, tol=tol)
+            for name, scale in configs
+            for solver, precond in combos]
 
 
 # ----------------------------------------------------------------------

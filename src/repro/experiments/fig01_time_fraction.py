@@ -9,14 +9,23 @@ The 470-core barotropic share is the model's calibration anchor (see
 :mod:`repro.experiments.calibration`); everything else is emergent.
 """
 
+from repro.experiments.calibration import calibration_tasks
 from repro.experiments.common import (
     CORES_0P1DEG,
     ExperimentResult,
     Series,
     print_result,
+    solve_task,
 )
 from repro.experiments.perf_sweeps import whole_model_sweep
 from repro.perfmodel import YELLOWSTONE
+
+
+def warmup_tasks(cores=CORES_0P1DEG, machine=YELLOWSTONE, scale=0.25,
+                 combo=("chrongear", "diagonal")):
+    """Measured solves :func:`run` will need (for pipeline warmup)."""
+    return [solve_task("pop_0.1deg", scale, combo[0], combo[1])] \
+        + calibration_tasks()
 
 
 def run(cores=CORES_0P1DEG, machine=YELLOWSTONE, scale=0.25,

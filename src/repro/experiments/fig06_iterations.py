@@ -15,9 +15,15 @@ from repro.experiments.common import (
     measure_solver,
     print_result,
     solver_label,
+    standard_warmup_tasks,
 )
 
 CONFIG_SCALES = (("pop_1deg", 1.0), ("pop_0.1deg", 0.25))
+
+
+def warmup_tasks(configs=CONFIG_SCALES, tol=1.0e-13, combos=SOLVER_CONFIGS):
+    """Measured solves :func:`run` will need (for pipeline warmup)."""
+    return standard_warmup_tasks(configs, combos=combos, tol=tol)
 
 
 def run(configs=CONFIG_SCALES, tol=1.0e-13, combos=SOLVER_CONFIGS):

@@ -13,9 +13,16 @@ from repro.experiments.common import (
     Series,
     print_result,
     solver_label,
+    standard_warmup_tasks,
 )
 from repro.experiments.perf_sweeps import barotropic_sweep
 from repro.perfmodel import YELLOWSTONE
+
+
+def warmup_tasks(cores=CORES_1DEG, machine=YELLOWSTONE, scale=1.0,
+                 tol=1.0e-13):
+    """Measured solves :func:`run` will need (for pipeline warmup)."""
+    return standard_warmup_tasks([("pop_1deg", scale)], tol=tol)
 
 
 def run(cores=CORES_1DEG, machine=YELLOWSTONE, scale=1.0, tol=1.0e-13):

@@ -14,9 +14,18 @@ from repro.experiments.common import (
     Series,
     print_result,
     solver_label,
+    standard_warmup_tasks,
 )
+from repro.experiments.calibration import calibration_tasks
 from repro.experiments.perf_sweeps import whole_model_sweep
 from repro.perfmodel import YELLOWSTONE
+
+
+def warmup_tasks(cores=CORES_0P1DEG, machine=YELLOWSTONE, scale=0.25,
+                 tol=1.0e-13):
+    """Measured solves :func:`run` will need (for pipeline warmup)."""
+    return (standard_warmup_tasks([("pop_0.1deg", scale)], tol=tol)
+            + calibration_tasks())
 
 
 def run(cores=CORES_0P1DEG, machine=YELLOWSTONE, scale=0.25, tol=1.0e-13):

@@ -7,7 +7,16 @@ the barotropic mode is only about 16% of the total execution time at
 
 from repro.experiments.common import CORES_0P1DEG, print_result
 from repro.experiments.fig01_time_fraction import run as _run_fraction
+from repro.experiments.fig01_time_fraction import (
+    warmup_tasks as _fraction_warmup,
+)
 from repro.perfmodel import YELLOWSTONE
+
+
+def warmup_tasks(cores=CORES_0P1DEG, machine=YELLOWSTONE, scale=0.25):
+    """Measured solves :func:`run` will need (for pipeline warmup)."""
+    return _fraction_warmup(cores=cores, machine=machine, scale=scale,
+                            combo=("pcsi", "evp"))
 
 
 def run(cores=CORES_0P1DEG, machine=YELLOWSTONE, scale=0.25):

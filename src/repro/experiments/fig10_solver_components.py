@@ -23,8 +23,14 @@ from repro.experiments.common import (
     measure_solver,
     rescaled_result_events,
 )
+from repro.experiments.common import standard_warmup_tasks
 from repro.perfmodel import YELLOWSTONE
 from repro.perfmodel.timing import halo_seconds, phase_times
+
+
+def warmup_tasks(cores=CORES_0P1DEG, machine=YELLOWSTONE, scale=0.25):
+    """Measured solves :func:`run` will need (for pipeline warmup)."""
+    return standard_warmup_tasks([("pop_0.1deg", scale)])
 
 
 def run(cores=CORES_0P1DEG, machine=YELLOWSTONE, scale=0.25):

@@ -19,8 +19,15 @@ from repro.experiments.common import (
 from repro.experiments.perf_sweeps import noisy_barotropic_sweep
 from repro.perfmodel import EDISON
 from repro.perfmodel.pop import simulation_rate_sypd
-from repro.experiments.calibration import calibrated_pop_model
-from repro.experiments.common import FULL_SHAPES
+from repro.experiments.calibration import calibrated_pop_model, calibration_tasks
+from repro.experiments.common import FULL_SHAPES, standard_warmup_tasks
+
+
+def warmup_tasks(cores=CORES_0P1DEG, machine=EDISON, scale=0.25, seed=2015,
+                 n_runs=5, best_k=3):
+    """Measured solves :func:`run` will need (for pipeline warmup)."""
+    return (standard_warmup_tasks([("pop_0.1deg", scale)])
+            + calibration_tasks())
 
 
 def run(cores=CORES_0P1DEG, machine=EDISON, scale=0.25, seed=2015,

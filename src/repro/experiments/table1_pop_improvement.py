@@ -14,16 +14,23 @@ baseline (26 vs 18 units/point times more iterations), so the total gets
 slightly worse -- exactly the regime trade-off Eqs. (2)/(6) predict.
 """
 
+from repro.experiments.calibration import calibration_tasks
 from repro.experiments.common import (
     ExperimentResult,
     Series,
     print_result,
     solver_label,
+    standard_warmup_tasks,
 )
 from repro.experiments.perf_sweeps import whole_model_sweep
 from repro.perfmodel import YELLOWSTONE
 
 TABLE1_CORES = (48, 96, 192, 384, 768)
+
+
+def warmup_tasks(cores=TABLE1_CORES, machine=YELLOWSTONE, scale=1.0):
+    """Measured solves :func:`run` will need (for pipeline warmup)."""
+    return standard_warmup_tasks([("pop_1deg", scale)]) + calibration_tasks()
 
 #: The three non-baseline rows of the paper's table.
 TABLE1_ROWS = (

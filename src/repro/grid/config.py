@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.cache import digest_of
 from repro.core.constants import SECONDS_PER_DAY
 from repro.core.errors import ConfigurationError
 from repro.grid.metrics import GridMetrics, dipole_metrics, uniform_metrics
@@ -80,6 +81,28 @@ class GridConfig:
     def n_ocean(self):
         """Ocean point count."""
         return self.topo.n_ocean
+
+    def content_digest(self):
+        """SHA-256 digest of the grid *content* (memoized).
+
+        Combines the stencil digest (coefficients + mask + ``phi``) with
+        the topography depths, grid metrics and time stepping, so two
+        configurations that merely share a ``name`` -- e.g. ``pop_1deg``
+        built from two different seeds -- can never collide in a cache
+        key.  The instance is treated as immutable after assembly.
+        """
+        cached = getattr(self, "_content_digest", None)
+        if cached is None:
+            cached = digest_of(
+                "grid-config",
+                self.stencil.content_digest(),
+                np.asarray(self.topo.depth, dtype=np.float64),
+                self.metrics.dxt, self.metrics.dyt,
+                self.metrics.dxu, self.metrics.dyu,
+                float(self.dt), int(self.steps_per_day),
+            )
+            object.__setattr__(self, "_content_digest", cached)
+        return cached
 
     def describe(self):
         """One-line human-readable summary."""

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.cache import digest_of
 from repro.core.constants import GRAVITY_M_S2
 from repro.core.errors import GridError
 
@@ -102,6 +103,24 @@ class StencilCoeffs:
     def diagonal(self):
         """The matrix diagonal (a copy of ``c``)."""
         return self.c.copy()
+
+    def content_digest(self):
+        """SHA-256 digest of the operator *content* (memoized).
+
+        Covers the nine coefficient arrays, the ocean mask and ``phi``
+        -- everything a solve or a preconditioner build depends on --
+        so two stencils with identical content share cache entries no
+        matter how they were constructed.  The digest is cached on the
+        instance; coefficient arrays are treated as immutable after
+        assembly throughout this code base.
+        """
+        cached = getattr(self, "_content_digest", None)
+        if cached is None:
+            parts = [getattr(self, name) for name in COEFF_NAMES]
+            parts.append(np.asarray(self.mask, dtype=bool))
+            cached = digest_of("stencil", self.phi, *parts)
+            object.__setattr__(self, "_content_digest", cached)
+        return cached
 
     # ------------------------------------------------------------------
     def symmetry_error(self):

@@ -103,6 +103,16 @@ class EventLedger:
         bucket.allreduces += 1
         bucket.allreduce_words += int(words)
 
+    def merge(self, phases):
+        """Add a per-phase ``{name: EventCounts}`` mapping into the ledger.
+
+        Used to *replay* memoized event streams -- e.g. a cached Lanczos
+        estimation's setup events -- so downstream timing models observe
+        exactly the totals a fresh run would have recorded.
+        """
+        for name, counts in phases.items():
+            self._phases[name] = self.counts(name) + counts
+
     def _bucket(self, phase):
         if phase not in self._phases:
             self._phases[phase] = EventCounts()

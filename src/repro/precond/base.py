@@ -73,6 +73,19 @@ class Preconditioner(abc.ABC):
         return out
 
     # ------------------------------------------------------------------
+    # caching
+    # ------------------------------------------------------------------
+    def cache_token(self):
+        """A digestable token of the parameters that shape ``M``.
+
+        Folded into artifact-cache keys (e.g. for memoized eigenvalue
+        bounds) alongside the stencil digest and decomposition
+        signature.  Subclasses with tunable parameters must override it
+        so differently configured preconditioners never share entries.
+        """
+        return (type(self).__name__, self.name)
+
+    # ------------------------------------------------------------------
     # cost accounting (flop units per the paper's theta-bookkeeping)
     # ------------------------------------------------------------------
     @abc.abstractmethod

@@ -48,6 +48,7 @@ any significant impact on the convergence rate" (paper section 4.3).
 
 import numpy as np
 
+from repro.core.cache import CACHE_FORMAT_VERSION, decomp_signature, digest_of
 from repro.core.errors import SolverError
 from repro.grid.stencil import build_stencil
 from repro.parallel.decomposition import _split_extent
@@ -84,13 +85,19 @@ class EVPTileEngine:
         shape ``(B, my, mx)`` -- one slice per tile, couplings crossing
         the tile edge already zeroed (see
         :meth:`StencilCoeffs.extract_block`).
+    influence:
+        Optional ``(w, r)`` pair of precomputed ``(B, k, k)`` influence
+        matrices and their inverses (from a previous engine's
+        :attr:`influence_matrix` / :attr:`correction_matrix`, typically
+        via the artifact cache).  Skips the ``O(n^3)`` construction;
+        mismatched shapes fall back to a fresh build.
 
     The engine marches all ``B`` tiles in lockstep along anti-diagonals,
     so the Python-level loop is ``O(my + mx)`` regardless of the batch
     size.
     """
 
-    def __init__(self, coeffs):
+    def __init__(self, coeffs, influence=None):
         self.coeffs = {name: np.ascontiguousarray(arr, dtype=np.float64)
                        for name, arr in coeffs.items()}
         batch, my, mx = self.coeffs["c"].shape
@@ -119,7 +126,15 @@ class EVPTileEngine:
         self._march_steps = self._build_march_steps()
         self._w = None
         self._r = None
-        self._build_influence()
+        if influence is not None:
+            w, r = influence
+            expect = (self.batch, self.k, self.k)
+            if (getattr(w, "shape", None) == expect
+                    and getattr(r, "shape", None) == expect):
+                self._w = np.ascontiguousarray(w, dtype=np.float64)
+                self._r = np.ascontiguousarray(r, dtype=np.float64)
+        if self._w is None:
+            self._build_influence()
 
     # ------------------------------------------------------------------
     # geometry
@@ -274,6 +289,11 @@ class EVPTileEngine:
         """The ``(B, k, k)`` influence matrices ``W`` (read-only)."""
         return self._w
 
+    @property
+    def correction_matrix(self):
+        """The ``(B, k, k)`` inverses ``W^-1`` used by :meth:`solve`."""
+        return self._r
+
     def influence_condition(self):
         """Per-tile condition number of ``W`` -- the round-off driver."""
         return np.linalg.cond(self._w)
@@ -345,6 +365,11 @@ class EVPBlockPreconditioner(Preconditioner):
         section 4.3; halves the cost, default True).
     embedded_stencil:
         Pre-built embedded operator; overrides ``metrics``/``topo``.
+    influence_state:
+        Optional dict of precomputed influence arrays (as returned by
+        :meth:`influence_state`, typically loaded from the artifact
+        cache); shape groups found in it skip their ``O(n^3)``
+        influence-matrix construction.
     """
 
     name = "evp"
@@ -352,7 +377,7 @@ class EVPBlockPreconditioner(Preconditioner):
     def __init__(self, stencil, decomp=None, *, metrics=None, topo=None,
                  tile_size=DEFAULT_TILE_SIZE,
                  land_epsilon=DEFAULT_LAND_EPSILON, simplified=True,
-                 embedded_stencil=None):
+                 embedded_stencil=None, influence_state=None):
         super().__init__(stencil, decomp=decomp)
         if tile_size < 1:
             raise SolverError(f"tile_size must be >= 1, got {tile_size}")
@@ -380,7 +405,7 @@ class EVPBlockPreconditioner(Preconditioner):
         self.embedded_stencil = embedded_stencil
 
         self._tiles = self._make_tiles()
-        self._engines, self._groups = self._build_engines()
+        self._engines, self._groups = self._build_engines(influence_state)
         self._mask_f = self.mask.astype(np.float64)
         self._gather_idx = self._build_gather_indices()
         self._stack_idx = None
@@ -417,8 +442,16 @@ class EVPBlockPreconditioner(Preconditioner):
                     tiles.append((rank, j0 + tj0, j0 + tj1, i0 + ti0, i0 + ti1))
         return tiles
 
-    def _build_engines(self):
-        """Group tiles by shape and build one batched engine per group."""
+    def _build_engines(self, influence_state=None):
+        """Group tiles by shape and build one batched engine per group.
+
+        ``influence_state`` (see :meth:`influence_state`) supplies
+        precomputed influence matrices per shape group; groups found in
+        it skip the ``O(n^3)`` construction.  Tile enumeration and the
+        within-group stacking order are deterministic functions of the
+        grid shape, decomposition and ``tile_size``, so the batch axis
+        lines up across processes with the same inputs.
+        """
         by_shape = {}
         for tidx, (rank, j0, j1, i0, i1) in enumerate(self._tiles):
             by_shape.setdefault((j1 - j0, i1 - i0), []).append(tidx)
@@ -434,9 +467,36 @@ class EVPBlockPreconditioner(Preconditioner):
                 for name in stacked:
                     stacked[name].append(getattr(sub, name))
             coeffs = {name: np.stack(arrs) for name, arrs in stacked.items()}
-            engines[shape] = EVPTileEngine(coeffs)
+            engines[shape] = EVPTileEngine(
+                coeffs, influence=_influence_for_shape(influence_state, shape))
             groups[shape] = tile_indices
         return engines, groups
+
+    def influence_state(self):
+        """Per shape-group influence arrays, ready for npz persistence.
+
+        Keys are ``w_<my>x<mx>`` / ``r_<my>x<mx>``.  Feeding the dict
+        back through the ``influence_state`` constructor argument skips
+        every group's ``O(n^3)`` influence build and reproduces
+        ``apply_global``/``apply_stack`` output bit-identically: the
+        marching coefficients are rebuilt from the stencil either way,
+        and ``(W, W^-1)`` fully determine the ring correction.
+        """
+        arrays = {}
+        for (my, mx), engine in self._engines.items():
+            arrays[f"w_{my}x{mx}"] = engine.influence_matrix
+            arrays[f"r_{my}x{mx}"] = engine.correction_matrix
+        return arrays
+
+    def cache_token(self):
+        """Parameters that shape ``M`` (see :meth:`Preconditioner.cache_token`).
+
+        The embedded-stencil digest subsumes ``land_epsilon`` and
+        ``simplified`` (both change its content); the explicit fields
+        keep the token readable and guard the degenerate all-ocean case.
+        """
+        return ("evp", self.tile_size, self.land_epsilon, self.simplified,
+                self.embedded_stencil.content_digest())
 
     @property
     def n_tiles(self):
@@ -615,9 +675,66 @@ def _dense_tile_apply(coeffs, x):
     return out
 
 
-def evp_for_config(config, decomp=None, **kwargs):
-    """Build an :class:`EVPBlockPreconditioner` from a ``GridConfig``."""
-    return EVPBlockPreconditioner(
-        config.stencil, decomp=decomp,
-        metrics=config.metrics, topo=config.topo, **kwargs,
+def _influence_for_shape(state, shape):
+    """The ``(w, r)`` pair for one shape group, or ``None``."""
+    if not state:
+        return None
+    my, mx = shape
+    w = state.get(f"w_{my}x{mx}")
+    r = state.get(f"r_{my}x{mx}")
+    if w is None or r is None:
+        return None
+    return (w, r)
+
+
+def evp_influence_key(config, decomp=None, tile_size=DEFAULT_TILE_SIZE,
+                      land_epsilon=DEFAULT_LAND_EPSILON, simplified=True):
+    """Artifact-cache key for a configuration's EVP influence matrices.
+
+    Keyed on grid *content* (not name), decomposition geometry and every
+    parameter that changes the tiling or the embedded operator, salted
+    with the cache format version.
+    """
+    return digest_of(
+        CACHE_FORMAT_VERSION, "evp-influence",
+        config.content_digest(), decomp_signature(decomp),
+        int(tile_size), float(land_epsilon), bool(simplified),
     )
+
+
+def evp_for_config(config, decomp=None, cache=None, **kwargs):
+    """Build an :class:`EVPBlockPreconditioner` from a ``GridConfig``.
+
+    With ``cache`` (an :class:`~repro.core.cache.ArtifactCache`), the
+    per-shape-group influence matrices -- the ``O(n^3)`` part of setup
+    -- are loaded from the cache's disk tier when present and stored
+    after a fresh build otherwise.  ``cache=None`` (the default)
+    preserves plain construction; a pre-built ``embedded_stencil`` in
+    ``kwargs`` also bypasses the cache, since its content is not part
+    of the key.
+    """
+    def build(**extra):
+        return EVPBlockPreconditioner(
+            config.stencil, decomp=decomp,
+            metrics=config.metrics, topo=config.topo, **kwargs, **extra,
+        )
+
+    if cache is None or "embedded_stencil" in kwargs:
+        return build()
+    key = evp_influence_key(
+        config, decomp=decomp,
+        tile_size=kwargs.get("tile_size", DEFAULT_TILE_SIZE),
+        land_epsilon=kwargs.get("land_epsilon", DEFAULT_LAND_EPSILON),
+        simplified=kwargs.get("simplified", True),
+    )
+    loaded = cache.load("evp-influence", key)
+    if loaded is not None:
+        arrays, _meta = loaded
+        return build(influence_state=arrays)
+    precond = build()
+    cache.store(
+        "evp-influence", key, arrays=precond.influence_state(),
+        meta={"config": config.name, "shape": list(config.shape),
+              "n_tiles": precond.n_tiles},
+    )
+    return precond

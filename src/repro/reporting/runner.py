@@ -9,10 +9,35 @@ paper values.  This is the automated backbone of EXPERIMENTS.md:
     from repro.reporting import run_all
     report = run_all(output_dir="results")
     print(report["rendered"])
+
+Parallel pipeline
+-----------------
+With ``jobs > 1`` the plan fans out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` in two waves sharing
+one artifact-cache directory (an ephemeral one is created when the
+global cache has no disk tier):
+
+1. **warmup** -- every measured solve the plan will need (declared by
+   the experiment modules' ``warmup_tasks`` hooks) is deduplicated,
+   sorted longest-first and executed across the workers, which persist
+   the results -- EVP influence matrices, eigenbounds, full solve event
+   streams -- to the shared disk cache;
+2. **steps** -- the plan steps run across the same pool (each mostly
+   *loading* solves now) and are collected deterministically in plan
+   order; extraction and saving stay in the parent.
+
+Measured numbers are identical with and without the cache and at any
+job count: cached solves replay the exact event streams a fresh solve
+records (asserted by the pipeline tests).
 """
 
 import importlib
+import shutil
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
 
+from repro.core.cache import ArtifactCache, get_cache, set_cache
 from repro.reporting.compare import comparison_table, render_comparison
 from repro.reporting.serialize import save_result
 
@@ -149,8 +174,75 @@ VERIFICATION_PLAN = [
 ]
 
 
+# ----------------------------------------------------------------------
+# execution machinery
+# ----------------------------------------------------------------------
+def _execute_step(module_path, kwargs):
+    """Run one plan step in the current process.
+
+    Returns ``(result, seconds, cache_delta)`` where ``cache_delta`` is
+    the change in the process-global cache's lookup counters across the
+    step.  Used both inline (``jobs=1``) and inside pool workers.
+    """
+    cache = get_cache()
+    before = cache.counters()
+    start = time.perf_counter()
+    module = importlib.import_module(module_path)
+    result = module.run(**kwargs)
+    seconds = time.perf_counter() - start
+    after = cache.counters()
+    delta = {name: after[name] - before[name] for name in after}
+    return result, seconds, delta
+
+
+def _worker_init(cache_dir):
+    """Pool initializer: point the worker's global cache at the shared
+    disk directory (fresh memory tier, fresh counters)."""
+    set_cache(ArtifactCache(cache_dir=cache_dir))
+
+
+def _run_warmup_task(task):
+    """Execute one warmup solve in a worker (writes the shared cache)."""
+    from repro.experiments.common import run_solve_task
+
+    return run_solve_task(task)
+
+
+def _gather_warmup_tasks(steps):
+    """Deduplicated, longest-first warmup tasks declared by the plan."""
+    from repro.experiments.common import solve_task_cost
+
+    tasks = []
+    seen = set()
+    for module_path, kwargs, _extractor in steps:
+        module = importlib.import_module(module_path)
+        declare = getattr(module, "warmup_tasks", None)
+        if declare is None:
+            continue
+        for task in declare(**kwargs):
+            if task not in seen:
+                seen.add(task)
+                tasks.append(task)
+    tasks.sort(key=solve_task_cost, reverse=True)
+    return tasks
+
+
+def _make_pool(jobs, cache_dir):
+    import multiprocessing
+
+    try:
+        # fork shares the parent's warmed memory tier for free and skips
+        # re-import; unavailable on some platforms.
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:
+        mp_context = multiprocessing.get_context()
+    return ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context,
+                               initializer=_worker_init,
+                               initargs=(cache_dir,))
+
+
 def run_all(output_dir=None, plan=None, include_verification=False,
-            progress=None):
+            progress=None, jobs=1):
     """Execute a plan; returns dict with results, comparisons, rendering.
 
     Parameters
@@ -159,32 +251,117 @@ def run_all(output_dir=None, plan=None, include_verification=False,
         If given, each regenerated figure is saved there as JSON.
     plan:
         Override the default plan (list of
-        ``(module_path, kwargs, extractor)``).
+        ``(module_path, kwargs, extractor)``; ``extractor`` may be
+        ``None`` to skip measurement extraction for a step).
     include_verification:
         Append the slow fig13 verification run.
     progress:
-        Optional callable invoked with each experiment name as it starts.
+        Optional callable invoked with each experiment name as it
+        starts (before its module import, so slow imports are
+        attributed to the right step).
+    jobs:
+        Number of worker processes.  ``1`` (default) runs everything in
+        this process; ``> 1`` fans warmup solves and plan steps over a
+        process pool sharing one cache directory (see the module
+        docstring).  Results are identical at any job count.
+
+    Returns
+    -------
+    dict with ``results``, ``measurements``, ``comparisons``,
+    ``rendered``, plus ``timings`` (per step, in plan order:
+    ``{"step", "seconds", "cache_hits", "cache_misses"}``), ``jobs``,
+    ``cache`` (global-cache stats) and -- when ``jobs > 1`` --
+    ``warmup`` (task count, wall seconds, errors).
     """
     steps = list(plan if plan is not None else DEFAULT_PLAN)
     if include_verification:
         steps += VERIFICATION_PLAN
+    jobs = max(1, int(jobs))
 
-    results = {}
-    measurements = {}
-    for module_path, kwargs, extractor in steps:
-        module = importlib.import_module(module_path)
-        if progress is not None:
-            progress(module_path)
-        result = module.run(**kwargs)
-        results[result.name] = result
-        if output_dir:
-            save_result(result, output_dir)
-        measurements.update(extractor(result))
+    cache = get_cache()
+    ephemeral_dir = None
+    pool = None
+    warmup_report = None
+    try:
+        if jobs > 1:
+            cache_dir = cache.cache_dir
+            if cache_dir is None:
+                # Workers can only share artifacts through the disk
+                # tier; give a memory-only global cache an ephemeral one
+                # for the duration of the run.
+                ephemeral_dir = tempfile.mkdtemp(prefix="repro-cache-")
+                cache_dir = ephemeral_dir
+                cache.cache_dir = cache_dir
+            pool = _make_pool(jobs, cache_dir)
+            tasks = _gather_warmup_tasks(steps)
+            if tasks:
+                if progress is not None:
+                    progress(f"warmup ({len(tasks)} solves, "
+                             f"jobs={jobs})")
+                start = time.perf_counter()
+                errors = []
+                futures = [pool.submit(_run_warmup_task, t) for t in tasks]
+                for task, future in zip(tasks, futures):
+                    try:
+                        future.result()
+                    except Exception as exc:  # the step will retry inline
+                        errors.append((task, repr(exc)))
+                warmup_report = {
+                    "tasks": len(tasks),
+                    "seconds": time.perf_counter() - start,
+                    "errors": errors,
+                }
+
+        if pool is not None:
+            submitted = []
+            for module_path, kwargs, _extractor in steps:
+                if progress is not None:
+                    progress(module_path)
+                submitted.append(pool.submit(_execute_step, module_path,
+                                             kwargs))
+        else:
+            submitted = None
+
+        results = {}
+        measurements = {}
+        timings = []
+        for index, (module_path, kwargs, extractor) in enumerate(steps):
+            if submitted is not None:
+                result, seconds, delta = submitted[index].result()
+            else:
+                if progress is not None:
+                    progress(module_path)
+                result, seconds, delta = _execute_step(module_path, kwargs)
+            results[result.name] = result
+            if output_dir:
+                save_result(result, output_dir)
+            if extractor is not None:
+                measurements.update(extractor(result))
+            timings.append({
+                "step": module_path,
+                "seconds": seconds,
+                "cache_hits": (delta.get("memory_hits", 0)
+                               + delta.get("disk_hits", 0)),
+                "cache_misses": delta.get("misses", 0),
+            })
+    finally:
+        if pool is not None:
+            pool.shutdown()
+        if ephemeral_dir is not None:
+            shutil.rmtree(ephemeral_dir, ignore_errors=True)
+            # Keep the warmed memory tier; detach the vanished disk dir.
+            cache.cache_dir = None
 
     comparisons = comparison_table(measurements)
-    return {
+    report = {
         "results": results,
         "measurements": measurements,
         "comparisons": comparisons,
         "rendered": render_comparison(comparisons),
+        "timings": timings,
+        "jobs": jobs,
+        "cache": get_cache().stats(),
     }
+    if warmup_report is not None:
+        report["warmup"] = warmup_report
+    return report

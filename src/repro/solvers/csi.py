@@ -46,13 +46,19 @@ class PCSISolver(IterativeSolver):
         forces a fixed step count (the Figure 3 sweep).
     nu_safety, mu_safety:
         Interval widening factors applied to the Lanczos estimates.
+    bounds_cache:
+        Optional :class:`~repro.core.cache.ArtifactCache` memoizing the
+        raw Lanczos estimates across solver instances and processes; on
+        a hit the recorded estimation events are replayed into the
+        ledger, so modeled timings are unchanged (see
+        :func:`~repro.solvers.lanczos.estimate_eigenbounds`).
     """
 
     name = "pcsi"
 
     def __init__(self, context, eig_bounds=None, lanczos_tol=0.15,
                  lanczos_steps=None, lanczos_seed=0,
-                 nu_safety=0.5, mu_safety=1.05, **kwargs):
+                 nu_safety=0.5, mu_safety=1.05, bounds_cache=None, **kwargs):
         super().__init__(context, **kwargs)
         if eig_bounds is not None:
             nu, mu = float(eig_bounds[0]), float(eig_bounds[1])
@@ -67,6 +73,7 @@ class PCSISolver(IterativeSolver):
         self.lanczos_seed = lanczos_seed
         self.nu_safety = nu_safety
         self.mu_safety = mu_safety
+        self.bounds_cache = bounds_cache
 
     @staticmethod
     def _check_bounds(nu, mu):
@@ -87,7 +94,7 @@ class PCSISolver(IterativeSolver):
                 self.context, tol=self.lanczos_tol,
                 steps=self.lanczos_steps, seed=self.lanczos_seed,
                 nu_safety=self.nu_safety, mu_safety=self.mu_safety,
-                phase="setup",
+                phase="setup", cache=self.bounds_cache,
             )
             self._check_bounds(nu, mu)
             self._bounds = (nu, mu)

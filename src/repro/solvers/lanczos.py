@@ -22,9 +22,11 @@ ablation bench quantifies the sensitivity.
 import numpy as np
 from scipy.linalg import eigvalsh_tridiagonal
 
+from repro.core.cache import CACHE_FORMAT_VERSION, decomp_signature, digest_of
 from repro.core.constants import DEFAULT_LANCZOS_TOLERANCE
 from repro.core.errors import SolverError
 from repro.core.rng import make_rng
+from repro.parallel.events import EventCounts
 
 
 class LanczosEstimator:
@@ -163,9 +165,53 @@ def _scale_vec(ctx, v, factor):
     ctx.axpy(factor - 1.0, ctx.copy(v), v)
 
 
+def eigenbounds_key(context, tol=DEFAULT_LANCZOS_TOLERANCE, max_steps=60,
+                    steps=None, seed=0, phase="setup"):
+    """Artifact-cache key for an estimation on ``context``.
+
+    Covers everything the raw Ritz values *and* the recorded event
+    stream depend on: the operator content, the decomposition geometry,
+    the preconditioner parameters, the context flavor (serial vs
+    distributed contexts record different communication events) and the
+    stopping controls.  The safety factors are deliberately excluded --
+    they are applied after estimation, so one cached estimation serves
+    every widening policy.
+    """
+    precond = context.preconditioner
+    return digest_of(
+        CACHE_FORMAT_VERSION, "eigenbounds",
+        type(context).__name__,
+        context.stencil.content_digest(),
+        decomp_signature(getattr(context, "decomp", None)),
+        precond.cache_token(),
+        float(tol), int(max_steps),
+        None if steps is None else int(steps),
+        seed, phase,
+    )
+
+
+def _eigenbounds_payload_to_info(payload):
+    """Rebuild the estimator's info dict from a cached payload.
+
+    Raises ``KeyError``/``TypeError``/``ValueError`` on malformed
+    payloads (the caller treats those as cache misses).
+    """
+    info = {
+        "nu": float(payload["nu"]),
+        "mu": float(payload["mu"]),
+        "steps": int(payload["steps"]),
+        "history": [(float(h[0]), float(h[1])) for h in payload["history"]],
+        "cached": True,
+    }
+    events = {name: EventCounts(**{k: int(v) for k, v in counts.items()})
+              for name, counts in payload["events"].items()}
+    return info, events
+
+
 def estimate_eigenbounds(context, tol=DEFAULT_LANCZOS_TOLERANCE,
                          max_steps=60, steps=None, seed=0,
-                         nu_safety=0.5, mu_safety=1.05, phase="setup"):
+                         nu_safety=0.5, mu_safety=1.05, phase="setup",
+                         cache=None):
     """Convenience wrapper: run Lanczos and widen by safety factors.
 
     Ritz values approach the true spectrum from the inside, so the
@@ -175,10 +221,50 @@ def estimate_eigenbounds(context, tol=DEFAULT_LANCZOS_TOLERANCE,
     leaves modes outside the interval that the iteration amplifies --
     the eigen-margin ablation bench quantifies both directions.
     Returns ``(nu, mu, info)``.
+
+    With ``cache`` (an :class:`~repro.core.cache.ArtifactCache`), the
+    raw estimates are memoized under :func:`eigenbounds_key` and -- on a
+    hit -- the events the original estimation recorded are *replayed*
+    into the context's ledger, so modeled timings are identical whether
+    the estimation ran or was recalled.  ``info["cached"]`` marks hits.
     """
+    key = None
+    if cache is not None:
+        key = eigenbounds_key(context, tol=tol, max_steps=max_steps,
+                              steps=steps, seed=seed, phase=phase)
+        payload = cache.get_object("eigenbounds", key)
+        if payload is None:
+            loaded = cache.load("eigenbounds", key)
+            if loaded is not None:
+                payload = loaded[1]
+        if payload is not None:
+            try:
+                info, events = _eigenbounds_payload_to_info(payload)
+            except (KeyError, TypeError, ValueError):
+                info = None
+            if info is not None:
+                cache.put_object("eigenbounds", key, payload)
+                context.ledger.merge(events)
+                return _widen(info, nu_safety, mu_safety)
+
     estimator = LanczosEstimator(context, tol=tol, max_steps=max_steps,
                                  seed=seed, phase=phase)
+    before = context.ledger.snapshot()
     info = estimator.run(steps=steps)
+    if cache is not None:
+        recorded = context.ledger.since(before)
+        payload = {
+            "nu": info["nu"], "mu": info["mu"], "steps": info["steps"],
+            "history": [[float(a), float(b)] for a, b in info["history"]],
+            "events": {name: vars(c) for name, c in recorded.items()
+                       if any(vars(c).values())},
+        }
+        cache.put_object("eigenbounds", key, payload)
+        cache.store("eigenbounds", key, meta=payload)
+    return _widen(info, nu_safety, mu_safety)
+
+
+def _widen(info, nu_safety, mu_safety):
     nu = info["nu"] * nu_safety
     mu = info["mu"] * mu_safety
     if nu <= 0.0:

@@ -1,0 +1,165 @@
+"""Unit tests for the content-addressed artifact cache."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.cache import (
+    ArtifactCache,
+    canonical_bytes,
+    configure_cache,
+    default_cache_dir,
+    digest_of,
+    get_cache,
+    set_cache,
+)
+
+
+@pytest.fixture()
+def restore_global_cache():
+    """Snapshot and restore the process-global cache around a test."""
+    saved = get_cache()
+    yield
+    set_cache(saved)
+
+
+class TestCanonicalBytes:
+    def test_deterministic(self):
+        parts = ("abc", 3, 2.5, None, True, (1, 2), {"k": "v"})
+        assert canonical_bytes(parts) == canonical_bytes(parts)
+
+    def test_type_punning_is_distinguished(self):
+        # 1, 1.0, "1" and True must all encode differently.
+        encodings = {canonical_bytes(v) for v in (1, 1.0, "1", True)}
+        assert len(encodings) == 4
+
+    def test_dict_order_independent(self):
+        a = {"x": 1, "y": 2}
+        b = {"y": 2, "x": 1}
+        assert canonical_bytes(a) == canonical_bytes(b)
+
+    def test_array_content_dtype_shape(self):
+        base = np.arange(6, dtype=np.float64)
+        assert canonical_bytes(base) == canonical_bytes(base.copy())
+        assert canonical_bytes(base) != canonical_bytes(
+            base.astype(np.float32))
+        assert canonical_bytes(base) != canonical_bytes(base.reshape(2, 3))
+        bumped = base.copy()
+        bumped[0] += 1e-12
+        assert canonical_bytes(base) != canonical_bytes(bumped)
+
+
+class TestDigestOf:
+    def test_stable_and_sensitive(self):
+        assert digest_of("a", 1) == digest_of("a", 1)
+        assert digest_of("a", 1) != digest_of("a", 2)
+        assert digest_of("a", 1) != digest_of("b", 1)
+        assert digest_of("a", 1) != digest_of("a", 1, None)
+
+    def test_is_hex_string(self):
+        key = digest_of("anything")
+        assert isinstance(key, str)
+        int(key, 16)  # raises if not hex
+
+
+class TestMemoryTier:
+    def test_put_get_roundtrip(self):
+        cache = ArtifactCache()
+        obj = {"payload": 42}
+        assert cache.get_object("cat", "key") is None
+        cache.put_object("cat", "key", obj)
+        assert cache.get_object("cat", "key") is obj
+        assert cache.memory_hits == 1
+
+    def test_categories_do_not_collide(self):
+        cache = ArtifactCache()
+        cache.put_object("a", "key", 1)
+        cache.put_object("b", "key", 2)
+        assert cache.get_object("a", "key") == 1
+        assert cache.get_object("b", "key") == 2
+
+    def test_memory_disabled(self):
+        cache = ArtifactCache(memory=False)
+        cache.put_object("cat", "key", 1)
+        assert cache.get_object("cat", "key") is None
+
+
+class TestDiskTier:
+    def test_store_load_roundtrip(self, tmp_path):
+        cache = ArtifactCache(cache_dir=str(tmp_path))
+        arrays = {"w": np.arange(12.0).reshape(3, 4),
+                  "m": np.array([True, False])}
+        meta = {"shape": [3, 4], "note": "hello", "pi": 3.14159}
+        key = digest_of("roundtrip")
+        cache.store("cat", key, arrays, meta)
+        loaded_arrays, loaded_meta = cache.load("cat", key)
+        assert loaded_meta == meta
+        for name, arr in arrays.items():
+            np.testing.assert_array_equal(loaded_arrays[name], arr)
+            assert loaded_arrays[name].dtype == arr.dtype
+        assert cache.disk_hits == 1
+        assert cache.writes == 1
+
+    def test_no_disk_tier_without_dir(self):
+        cache = ArtifactCache()
+        key = digest_of("nodir")
+        cache.store("cat", key, {"a": np.zeros(2)}, {})
+        assert cache.load("cat", key) is None
+        assert cache.writes == 0
+
+    def test_missing_key_is_miss(self, tmp_path):
+        cache = ArtifactCache(cache_dir=str(tmp_path))
+        assert cache.load("cat", digest_of("absent")) is None
+        assert cache.misses == 1
+
+    def test_corrupted_entry_is_miss_and_deleted(self, tmp_path):
+        cache = ArtifactCache(cache_dir=str(tmp_path))
+        key = digest_of("corrupt")
+        cache.store("cat", key, {"a": np.ones(3)}, {"ok": True})
+        (path,) = cache._disk_entries()
+        with open(path, "wb") as handle:
+            handle.write(b"this is not an npz file")
+        assert cache.load("cat", key) is None
+        assert not os.path.exists(path)
+        # a subsequent store works again
+        cache.store("cat", key, {"a": np.ones(3)}, {"ok": True})
+        assert cache.load("cat", key) is not None
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = ArtifactCache(cache_dir=str(tmp_path))
+        for tag in ("one", "two"):
+            cache.store("cat", digest_of(tag), {"a": np.zeros(4)}, {})
+        cache.put_object("cat", "memkey", object())
+        stats = cache.stats()
+        assert stats["disk_entries"] == 2
+        assert stats["disk_bytes"] > 0
+        assert stats["cache_dir"] == str(tmp_path)
+        removed = cache.clear()
+        assert removed == 2
+        assert cache.stats()["disk_entries"] == 0
+        assert cache.get_object("cat", "memkey") is None
+
+    def test_clear_memory_keeps_disk(self, tmp_path):
+        cache = ArtifactCache(cache_dir=str(tmp_path))
+        key = digest_of("keepdisk")
+        cache.store("cat", key, {"a": np.zeros(2)}, {"v": 1})
+        cache.put_object("cat", key, "obj")
+        cache.clear_memory()
+        assert cache.get_object("cat", key) is None
+        assert cache.load("cat", key) is not None
+
+
+class TestGlobalCache:
+    def test_default_cache_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == str(tmp_path / "custom")
+
+    def test_configure_installs_and_returns(self, restore_global_cache,
+                                            tmp_path):
+        cache = configure_cache(cache_dir=str(tmp_path))
+        assert get_cache() is cache
+        assert cache.cache_dir == str(tmp_path)
+        memory_only = configure_cache(cache_dir=None)
+        assert get_cache() is memory_only
+        assert memory_only.cache_dir is None
