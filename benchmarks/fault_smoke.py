@@ -1,0 +1,222 @@
+"""Fault-injection smoke: the injector x engine matrix, end to end.
+
+Runs every fault injector against every execution engine and asserts the
+guardrail contract from the outside, the way CI consumes it: each
+injected corruption must surface as a structured
+:class:`~repro.solvers.health.SolverDiagnosis` (or, for the eigenbound
+skew with recovery enabled, as a converged solve whose retry cost sits
+in the ``"recovery"`` phase) -- never a silent wrong answer, never an
+unhandled exception.
+
+Writes one JSON document per run with the diagnosis of every scenario
+(uploaded as a CI artifact), and exits non-zero if any scenario breaks
+the contract.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/fault_smoke.py --out fault_diagnoses.json
+"""
+
+import argparse
+import json
+import sys
+import traceback
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.errors import ConvergenceError  # noqa: E402
+from repro.grid import test_config as make_test_config  # noqa: E402
+from repro.operators import apply_stencil  # noqa: E402
+from repro.parallel import (  # noqa: E402
+    VirtualMachine,
+    decompose,
+    make_fault,
+)
+from repro.precond import make_preconditioner  # noqa: E402
+from repro.solvers import (  # noqa: E402
+    RECOVERABLE_KINDS,
+    ChronGearSolver,
+    DistributedContext,
+    PCGSolver,
+    PCSISolver,
+    PipeCGSolver,
+)
+
+ENGINES = ("perrank", "batched")
+
+SOLVERS = {
+    "chrongear": ChronGearSolver,
+    "pcsi": PCSISolver,
+    "pcg": PCGSolver,
+    "pipecg": PipeCGSolver,
+}
+
+#: The matrix: (scenario name, solver, fault spec, solver kwargs,
+#: expected outcome).  ``diagnosed`` = the solve must fail with a
+#: structured diagnosis; ``recovered`` = the solve must converge with
+#: recovery cost in the ledger's "recovery" phase; ``entry_refused`` =
+#: the entry guard must refuse before iterating.
+SCENARIOS = [
+    ("halo-chrongear", "chrongear",
+     ("halo", {"rank": 2, "at": 6}), {}, "diagnosed"),
+    ("halo-pcg", "pcg",
+     ("halo", {"rank": 2, "at": 6}), {}, "diagnosed"),
+    ("halo-pipecg", "pipecg",
+     ("halo", {"rank": 2, "at": 6}), {}, "diagnosed"),
+    ("halo-pcsi", "pcsi",
+     ("halo", {"rank": 1, "at": 40}),
+     {"eig_bounds": (0.05, 2.5), "max_recoveries": 0}, "diagnosed"),
+    ("reduction-chrongear", "chrongear",
+     ("reduction", {"rank": 3, "at": 4}), {}, "diagnosed"),
+    ("reduction-pcg", "pcg",
+     ("reduction", {"rank": 3, "at": 4}), {}, "diagnosed"),
+    ("reduction-pipecg", "pipecg",
+     ("reduction", {"rank": 3, "at": 4}), {}, "diagnosed"),
+    ("eigenbounds-pcsi-bare", "pcsi",
+     ("eigenbounds", {"mu_factor": 0.3}),
+     {"max_recoveries": 0}, "diagnosed"),
+    ("eigenbounds-pcsi-recovered", "pcsi",
+     ("eigenbounds", {"mu_factor": 0.3}),
+     {"max_recoveries": 2}, "recovered"),
+    ("eigenbounds-pcsi-fallback", "pcsi",
+     ("eigenbounds", {"mu_factor": 0.1, "persistent": True}),
+     {"max_recoveries": 1, "fallback": "chrongear"}, "recovered"),
+    ("nan-rhs-chrongear", "chrongear",
+     ("nan_rhs", {"seed": 11}), {}, "entry_refused"),
+    ("nan-rhs-pcsi", "pcsi",
+     ("nan_rhs", {"seed": 11}),
+     {"eig_bounds": (0.05, 2.5), "max_recoveries": 0}, "entry_refused"),
+]
+
+
+def _run_scenario(config, decomp, engine, solver_key, fault_spec,
+                  kwargs, expected):
+    kind, params = fault_spec
+    fault = make_fault(kind, **params)
+    vm_faults = [] if kind == "nan_rhs" else [fault]
+    vm = VirtualMachine(decomp, mask=config.mask, engine=engine,
+                        faults=vm_faults)
+    pre = make_preconditioner("diagonal", config.stencil, decomp=decomp)
+    ctx = DistributedContext(config.stencil, pre, vm)
+    solver = SOLVERS[solver_key](ctx, tol=1e-10, max_iterations=3000,
+                                 **kwargs)
+
+    rng = np.random.default_rng(1)
+    b = apply_stencil(config.stencil,
+                      rng.standard_normal(config.shape) * config.mask)
+    if kind == "nan_rhs":
+        b = fault.on_rhs(b, config.mask)
+
+    record = {"fault": fault.describe(), "expected": expected}
+    try:
+        result = solver.solve(b)
+    except ConvergenceError as err:
+        record["outcome"] = "diagnosed"
+        record["diagnosis"] = err.diagnosis.to_dict() if err.diagnosis \
+            else None
+        record["iterations"] = err.iterations
+        if err.diagnosis is None:
+            record["violation"] = "ConvergenceError without a diagnosis"
+        elif expected == "entry_refused" and err.iterations != 0:
+            record["violation"] = (
+                f"entry guard missed the bad input: "
+                f"{err.iterations} iterations ran")
+        elif expected == "recovered":
+            record["violation"] = "expected recovery, got failure"
+        elif expected == "entry_refused" and \
+                err.diagnosis.kind != "nonfinite_input":
+            record["violation"] = (
+                f"expected nonfinite_input, got {err.diagnosis.kind}")
+    except Exception as exc:  # noqa: BLE001 -- the contract under test
+        record["outcome"] = "unhandled_exception"
+        record["violation"] = f"{type(exc).__name__}: {exc}"
+        record["traceback"] = traceback.format_exc()
+    else:
+        record["outcome"] = "converged" if result.converged else "returned"
+        record["iterations"] = result.iterations
+        record["recoveries"] = result.extra.get("recoveries", 0)
+        if expected == "recovered":
+            recovery = result.setup_events.get("recovery")
+            if not result.converged:
+                record["violation"] = "recovery did not converge"
+            elif record["recoveries"] < 1:
+                record["violation"] = "converged without any recovery"
+            elif recovery is None or recovery.flops == 0:
+                record["violation"] = \
+                    "no cost charged to the 'recovery' phase"
+            else:
+                record["recovery_flops"] = recovery.flops
+                record["recovery_diagnoses"] = \
+                    result.extra["recovery_diagnoses"]
+        else:
+            # A fault was injected and the solve "succeeded": only a
+            # *true* solution is not a silent wrong answer.
+            true_res = b - apply_stencil(config.stencil,
+                                         result.x * config.mask)
+            true_norm = float(np.linalg.norm(true_res[config.mask]))
+            record["true_residual_norm"] = true_norm
+            if not (np.isfinite(true_norm)
+                    and true_norm <= 10 * solver.tol * result.b_norm):
+                record["violation"] = (
+                    f"silent wrong answer: true |b - A x| = {true_norm:.3e}")
+
+    if expected == "diagnosed" and record["outcome"] not in (
+            "diagnosed",) and "violation" not in record:
+        # Converged despite the fault, but the true-residual check above
+        # proved the answer honest -- acceptable (e.g. a transient
+        # factor-type perturbation), record it as such.
+        record["note"] = "fault absorbed; answer verified against A"
+    if expected == "recovered" and record["outcome"] == "diagnosed" \
+            and "violation" not in record:
+        record["violation"] = "expected recovery, got failure"
+    return record
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out", default="fault_diagnoses.json",
+                        help="path for the diagnosis JSON report")
+    args = parser.parse_args(argv)
+
+    config = make_test_config(32, 48, seed=7)
+    decomp = decompose(config.ny, config.nx, 4, 4, mask=config.mask)
+
+    report = {"grid": config.name, "blocks": "4x4", "scenarios": {}}
+    violations = []
+    for name, solver_key, fault_spec, kwargs, expected in SCENARIOS:
+        for engine in ENGINES:
+            key = f"{name}[{engine}]"
+            record = _run_scenario(config, decomp, engine, solver_key,
+                                   fault_spec, dict(kwargs), expected)
+            report["scenarios"][key] = record
+            status = record.get("violation") or record["outcome"]
+            print(f"  {key:44s} {status}")
+            if "violation" in record:
+                violations.append((key, record["violation"]))
+
+    # Diagnosed failures of recoverable kinds must be flagged as such
+    # (the recovery policy keys off this bit).
+    for key, record in report["scenarios"].items():
+        diag = record.get("diagnosis")
+        if diag and diag["kind"] in RECOVERABLE_KINDS:
+            assert diag["recoverable"], key
+
+    report["violations"] = [
+        {"scenario": k, "violation": v} for k, v in violations]
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\n{len(report['scenarios'])} scenarios -> {out}")
+    if violations:
+        print(f"CONTRACT VIOLATIONS ({len(violations)}):")
+        for key, violation in violations:
+            print(f"  {key}: {violation}")
+        return 1
+    print("all faults diagnosed, recovered, or verified -- contract holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,11 @@ Commands
 ``solve``
     One-off barotropic solve on a named configuration with a chosen
     solver/preconditioner; prints iterations and modeled times.
+    ``--engine {serial,perrank,batched}`` selects the execution
+    substrate; ``--inject-fault SPEC`` (repeatable) attaches
+    deterministic fault injectors to exercise the solver guardrails,
+    and ``--max-recoveries`` / ``--fallback chrongear`` control P-CSI's
+    divergence recovery.  A diagnosed failure exits with status 3.
 ``machines``
     Print the calibrated machine models.
 ``report [--out DIR] [--verification] [--jobs N] [--no-cache]
@@ -101,6 +106,7 @@ def cmd_run(args):
 def cmd_solve(args):
     import numpy as np
 
+    from repro.core.errors import ConvergenceError
     from repro.experiments.common import (
         FULL_SHAPES,
         geometry_decomposition,
@@ -108,37 +114,99 @@ def cmd_solve(args):
         rescale_events,
     )
     from repro.operators import apply_stencil
+    from repro.parallel import VirtualMachine, decompose, parse_fault_spec
     from repro.perfmodel import get_machine, phase_times
     from repro.precond import make_preconditioner
     from repro.precond.evp import evp_for_config
-    from repro.solvers import SerialContext, make_solver
+    from repro.solvers import DistributedContext, SerialContext, make_solver
 
     config = get_cached_config(args.config, scale=args.scale)
     print(config.describe())
-    if args.precond == "evp":
-        pre = evp_for_config(config)
+
+    faults = [parse_fault_spec(spec) for spec in args.inject_fault]
+    vm_faults = [f for f in faults if f.kind != "nan_rhs"]
+    engine = args.engine
+    if vm_faults and engine == "serial":
+        # Halo / reduction / eigenbound faults live in the virtual
+        # machine, which the serial context bypasses.
+        print("note: --inject-fault requires the virtual machine; "
+              "switching to --engine perrank")
+        engine = "perrank"
+
+    decomp = None
+    if engine == "serial":
+        if args.precond == "evp":
+            pre = evp_for_config(config)
+        else:
+            pre = make_preconditioner(args.precond, config.stencil)
+        ctx = SerialContext(config.stencil, pre)
     else:
-        pre = make_preconditioner(args.precond, config.stencil)
-    ctx = SerialContext(config.stencil, pre)
-    solver = make_solver(args.solver, ctx, tol=args.tol)
+        by, bx = (int(p) for p in args.blocks.split(","))
+        decomp = decompose(config.ny, config.nx, by, bx, mask=config.mask)
+        vm = VirtualMachine(decomp, mask=config.mask, engine=engine,
+                            faults=vm_faults)
+        if args.precond == "evp":
+            pre = evp_for_config(config, decomp=decomp)
+        else:
+            pre = make_preconditioner(args.precond, config.stencil,
+                                      decomp=decomp)
+        ctx = DistributedContext(config.stencil, pre, vm)
+    for fault in faults:
+        print(f"injecting fault: {fault.describe()}")
+
+    extra_kwargs = {}
+    if args.solver.lower() in ("pcsi", "csi"):
+        extra_kwargs["max_recoveries"] = args.max_recoveries
+        extra_kwargs["fallback"] = args.fallback
+    solver = make_solver(args.solver, ctx, tol=args.tol, **extra_kwargs)
     rng = np.random.default_rng(args.seed)
     b = apply_stencil(config.stencil,
                       rng.standard_normal(config.shape) * config.mask)
-    result = solver.solve(b)
+    for fault in faults:
+        b = fault.on_rhs(b, config.mask)
+
+    try:
+        result = solver.solve(b)
+    except ConvergenceError as err:
+        print(f"solve FAILED: {err.diagnosis.describe()}"
+              if err.diagnosis is not None else f"solve FAILED: {err}")
+        if err.result is not None:
+            print(f"  partial result: {err.result.describe()}")
+            for diag in err.result.extra.get("recovery_diagnoses", []):
+                print(f"  recovery attempted after: [{diag['kind']}] "
+                      f"{diag['message']}")
+        return 3
     print(result.describe())
+    if result.extra.get("recoveries"):
+        print(f"  recovered after {result.extra['recoveries']} failed "
+              f"attempt(s):")
+        for diag in result.extra.get("recovery_diagnoses", []):
+            print(f"    [{diag['kind']}] @ iteration {diag['iteration']}: "
+                  f"{diag['message']}")
+        rec = result.setup_events.get("recovery")
+        if rec is not None:
+            print(f"    recovery cost: {rec.flops} flops, "
+                  f"{rec.halo_exchanges} halo exchanges, "
+                  f"{rec.allreduces} reductions")
 
     machine = get_machine(args.machine)
-    base = args.config.split("@")[0]
-    shape = FULL_SHAPES.get(base, config.shape)
-    for cores in args.cores:
-        decomp = geometry_decomposition(shape, cores)
-        events = rescale_events(result.events,
-                                config.ny * config.nx, decomp)
-        t = phase_times(events, machine, decomp.num_active)
-        print(f"  modeled @ {cores:>6d} cores on {machine.name}: "
-              f"{t.total * config.steps_per_day:8.3f} s/simulated-day "
-              f"(comp {t.computation:.2e}  precond {t.preconditioning:.2e}  "
-              f"halo {t.boundary:.2e}  reduce {t.reduction:.2e} per solve)")
+    if engine == "serial":
+        base = args.config.split("@")[0]
+        shape = FULL_SHAPES.get(base, config.shape)
+        for cores in args.cores:
+            model_decomp = geometry_decomposition(shape, cores)
+            events = rescale_events(result.events,
+                                    config.ny * config.nx, model_decomp)
+            t = phase_times(events, machine, model_decomp.num_active)
+            print(f"  modeled @ {cores:>6d} cores on {machine.name}: "
+                  f"{t.total * config.steps_per_day:8.3f} s/simulated-day "
+                  f"(comp {t.computation:.2e}  precond "
+                  f"{t.preconditioning:.2e}  halo {t.boundary:.2e}  "
+                  f"reduce {t.reduction:.2e} per solve)")
+    else:
+        t = phase_times(result.events, machine, decomp.num_active)
+        print(f"  modeled on {machine.name} @ {decomp.num_active} ranks: "
+              f"{t.total * config.steps_per_day:8.3f} s/simulated-day")
     return 0
 
 
@@ -163,9 +231,16 @@ def cmd_report(args):
     print("step timings:")
     for entry in report.get("timings", []):
         step = entry["step"].rsplit(".", 1)[-1]
+        if entry.get("failed"):
+            print(f"  {step:28s}   FAILED (diagnosed solver failure)")
+            continue
         print(f"  {step:28s} {entry['seconds']:8.2f} s  "
               f"(cache hits {entry['cache_hits']}, "
               f"misses {entry['cache_misses']})")
+    for entry in report.get("diagnoses", []):
+        diag = entry["diagnosis"] or {}
+        print(f"  diagnosis [{diag.get('kind', '?')}] in "
+              f"{entry['step']}: {diag.get('message', entry['error'])}")
     stats = cache.stats()
     print(f"cache: {stats['memory_hits']} memory hits, "
           f"{stats['disk_hits']} disk hits, {stats['misses']} misses, "
@@ -224,6 +299,26 @@ def build_parser():
     p_solve.add_argument("--machine", default="yellowstone")
     p_solve.add_argument("--cores", type=int, nargs="*",
                          default=[470, 16875])
+    p_solve.add_argument("--engine", default="serial",
+                         choices=["serial", "perrank", "batched"],
+                         help="serial context (default) or a virtual-"
+                              "machine execution engine")
+    p_solve.add_argument("--blocks", default="4,4",
+                         help="block grid 'by,bx' for the virtual "
+                              "machine (default: 4,4)")
+    p_solve.add_argument("--inject-fault", action="append", default=[],
+                         metavar="SPEC",
+                         help="attach a fault injector, e.g. "
+                              "'halo:rank=1,at=2', 'reduction:value=nan'"
+                              ", 'eigenbounds:nu_factor=12', 'nan_rhs'; "
+                              "repeatable")
+    p_solve.add_argument("--max-recoveries", type=int, default=2,
+                         help="P-CSI divergence recovery attempts "
+                              "(default: 2)")
+    p_solve.add_argument("--fallback", default=None,
+                         choices=["chrongear"],
+                         help="P-CSI last-resort solver once recoveries "
+                              "are exhausted")
 
     sub.add_parser("machines", help="print machine models")
 

@@ -36,7 +36,10 @@ import numpy as np
 
 #: Bump when the on-disk payload layout or key semantics change; every
 #: caller folds this into its digest so stale entries simply miss.
-CACHE_FORMAT_VERSION = 1
+#: v2: the solver contexts gained a true ``scale`` primitive (replacing
+#: the ``axpy(factor-1, copy(v), v)`` workaround), which changes cached
+#: numerics (Lanczos eigenbounds, solve iterates) in the last bits.
+CACHE_FORMAT_VERSION = 2
 
 #: Filename prefix for every entry this cache writes, so ``clear()``
 #: only ever deletes files it owns.

@@ -20,7 +20,9 @@ Contents
 * :mod:`repro.parallel.reduction` -- masked global sums with a binomial
   reduction-tree cost shape,
 * :mod:`repro.parallel.vm` -- the :class:`VirtualMachine` façade
-  (scatter / gather / exchange / reduce).
+  (scatter / gather / exchange / reduce),
+* :mod:`repro.parallel.faults` -- deterministic fault injectors that
+  exercise the solver guardrails.
 """
 
 from repro.parallel.events import EventLedger, EventCounts
@@ -42,6 +44,17 @@ from repro.parallel.placement import (
     placement_for_block_size,
 )
 from repro.parallel.vm import VirtualMachine
+from repro.parallel.faults import (
+    FaultInjectionError,
+    FaultInjector,
+    HaloFault,
+    ReductionFault,
+    EigenboundsFault,
+    RHSFault,
+    FAULTS,
+    make_fault,
+    parse_fault_spec,
+)
 
 __all__ = [
     "EventLedger",
@@ -60,4 +73,13 @@ __all__ = [
     "PlacementReport",
     "balanced_rank_assignment",
     "placement_for_block_size",
+    "FaultInjectionError",
+    "FaultInjector",
+    "HaloFault",
+    "ReductionFault",
+    "EigenboundsFault",
+    "RHSFault",
+    "FAULTS",
+    "make_fault",
+    "parse_fault_spec",
 ]

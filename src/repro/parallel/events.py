@@ -27,7 +27,10 @@ match the paper's cost decomposition (section 2.2):
 * ``"boundary"``      -- halo updates,
 * ``"reduction"``     -- masked global sums (including the masking flops),
 * ``"setup"``         -- one-time costs (preconditioner factorization,
-  Lanczos eigenvalue estimation).
+  Lanczos eigenvalue estimation),
+* ``"recovery"``      -- work burned by failed solve attempts and the
+  re-estimation that follows (see the P-CSI recovery policy); priced as
+  a one-time cost by the machine models, like setup.
 """
 
 from dataclasses import dataclass, field
@@ -112,6 +115,33 @@ class EventLedger:
         """
         for name, counts in phases.items():
             self._phases[name] = self.counts(name) + counts
+
+    def transfer(self, snapshot, phase):
+        """Move everything recorded since ``snapshot`` into ``phase``.
+
+        Used by the P-CSI recovery policy: a failed attempt's events
+        were recorded under the usual phases (computation, boundary,
+        ...), but the work was recovery overhead, not productive solve
+        time -- re-charging it to a dedicated phase keeps both the
+        per-phase breakdown of the eventual successful solve and the
+        total modeled cost honest.  Events already in ``phase`` within
+        the window stay put.  Returns the moved :class:`EventCounts`
+        total.
+        """
+        moved = EventCounts()
+        for name, delta in self.since(snapshot).items():
+            if name == phase or not any(vars(delta).values()):
+                continue
+            bucket = self._bucket(name)
+            bucket.flops -= delta.flops
+            bucket.halo_exchanges -= delta.halo_exchanges
+            bucket.halo_words -= delta.halo_words
+            bucket.allreduces -= delta.allreduces
+            bucket.allreduce_words -= delta.allreduce_words
+            moved = moved + delta
+        if any(vars(moved).values()):
+            self._phases[phase] = self.counts(phase) + moved
+        return moved
 
     def _bucket(self, phase):
         if phase not in self._phases:

@@ -1,0 +1,316 @@
+"""Deterministic fault injection for the virtual parallel machine.
+
+The guardrail subsystem (:mod:`repro.solvers.health`,
+:mod:`repro.solvers.base`) claims that *no* corrupted solve escapes
+undiagnosed.  This module is how the claim is tested: seed-driven
+injectors attach to a :class:`~repro.parallel.vm.VirtualMachine` and
+corrupt exactly one well-defined thing -- a halo ring after an exchange,
+one rank's partial inside a global reduction, the Lanczos eigenvalue
+bounds handed to P-CSI, or the right-hand side itself -- and the test
+matrix (``tests/test_faults.py``, ``benchmarks/fault_smoke.py``) asserts
+every injection surfaces as a structured
+:class:`~repro.solvers.health.SolverDiagnosis` under **both** execution
+engines.
+
+Faults mirror failure modes real POP runs hit at scale: a dropped or
+reordered MPI message (halo corruption), a flaky node producing garbage
+partial sums (reduction corruption), Lanczos bounds estimated from a
+different (or buggy) preconditioner configuration (eigenbound skew), and
+an upstream tendency blow-up (NaN in the right-hand side).
+
+Determinism and engine parity
+-----------------------------
+Injectors hold no hidden global state: each counts the events it
+observes (halo rounds, reductions, estimations) and fires when its
+``at``-th event arrives (every event from ``at`` on with
+``persistent=True``).  Both engines drive the hooks from the same
+logical event stream, and the corruption itself goes through
+layout-agnostic accessors (``BlockField.local`` views, per-rank partial
+lists), so an injected run stays bit-identical across engines -- which
+``tests/test_engine_parity.py`` checks.
+"""
+
+import math
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.core.rng import make_rng
+
+
+class FaultInjectionError(ReproError):
+    """Raised for malformed fault specs or parameters."""
+
+
+class FaultInjector:
+    """Base class: counts events, fires at the ``at``-th one.
+
+    Parameters
+    ----------
+    at:
+        1-based index of the observed event (halo round, reduction,
+        eigenbound estimation...) at which the fault fires.
+    persistent:
+        Fire on every event from ``at`` on (a hard fault) instead of
+        exactly once (a transient).
+    seed:
+        Drives any randomized placement (e.g. which halo column is
+        corrupted) via :func:`~repro.core.rng.make_rng` -- same seed,
+        same corruption, regardless of engine.
+    """
+
+    kind = "fault"
+
+    def __init__(self, at=1, persistent=False, seed=0):
+        if at < 1:
+            raise FaultInjectionError(f"at must be >= 1, got {at}")
+        self.at = int(at)
+        self.persistent = bool(persistent)
+        self.seed = int(seed)
+        self.fired = 0
+
+    def _fires(self, count):
+        hit = count >= self.at if self.persistent else count == self.at
+        if hit:
+            self.fired += 1
+        return hit
+
+    # ------------------------------------------------------------------
+    # hooks -- the VM (and P-CSI, for eigenbounds) calls every hook on
+    # every event; each injector reacts only to the events it targets.
+    # ------------------------------------------------------------------
+    def on_exchange(self, field, count, vm):
+        """Called after halo round ``count`` filled ``field``'s rings."""
+
+    def on_reduction(self, partials, count):
+        """Called with the per-rank partials of reduction ``count``
+        (twice, once per list, for fused pair reductions) before the
+        global sum."""
+
+    def on_eigenbounds(self, nu, mu):
+        """Called with each freshly estimated ``(nu, mu)``; returns the
+        (possibly skewed) bounds to use."""
+        return nu, mu
+
+    def on_rhs(self, b, mask=None):
+        """Called with the right-hand side before a solve; returns the
+        (possibly corrupted) array to use."""
+        return b
+
+    def describe(self):
+        """Human-readable one-liner for logs and smoke reports."""
+        when = f">={self.at}" if self.persistent else f"={self.at}"
+        return f"{self.kind}(at{when}, seed={self.seed})"
+
+
+class HaloFault(FaultInjector):
+    """Corrupt one rank's halo ring after an exchange.
+
+    Models a dropped/garbled neighbor message.  The corrupted cell sits
+    in the ring row directly above the interior (``local[h-1, col]``) --
+    the row the 5-point stencil actually reads -- at a seed-derived
+    column inside the neighbor-filled span, so the next matvec drags the
+    poison into the interior and, a few iterations later, into a checked
+    residual norm or reduced scalar.
+    """
+
+    kind = "halo"
+
+    def __init__(self, rank=0, value=float("nan"), **kwargs):
+        super().__init__(**kwargs)
+        self.rank = int(rank)
+        self.value = float(value)
+
+    def on_exchange(self, field, count, vm):
+        if not self._fires(count):
+            return
+        if not (0 <= self.rank < vm.num_ranks):
+            raise FaultInjectionError(
+                f"halo fault rank {self.rank} out of range "
+                f"(machine has {vm.num_ranks} ranks)")
+        h = field.decomp.halo_width
+        local = field.local(self.rank)
+        span = local.shape[1] - 2 * h
+        col = h + int(make_rng([self.seed, count]).integers(span))
+        local[h - 1, col] = self.value
+
+    def describe(self):
+        return (f"halo(rank={self.rank}, value={self.value}, "
+                f"{super().describe()})")
+
+
+class ReductionFault(FaultInjector):
+    """Corrupt one rank's partial sum inside a global reduction.
+
+    Models a flaky node: ``value`` replaces the partial outright
+    (default NaN -- poisons the reduced scalar immediately), or
+    ``factor`` multiplies it (a silent wrong answer, which must still be
+    caught -- as divergence or budget exhaustion -- rather than
+    converging to garbage).
+    """
+
+    kind = "reduction"
+
+    def __init__(self, rank=0, value=float("nan"), factor=None, **kwargs):
+        super().__init__(**kwargs)
+        self.rank = int(rank)
+        self.value = None if factor is not None else float(value)
+        self.factor = None if factor is None else float(factor)
+
+    def on_reduction(self, partials, count):
+        if not self._fires(count):
+            return
+        if not (0 <= self.rank < len(partials)):
+            raise FaultInjectionError(
+                f"reduction fault rank {self.rank} out of range "
+                f"({len(partials)} partials)")
+        if self.factor is not None:
+            partials[self.rank] = partials[self.rank] * self.factor
+        else:
+            partials[self.rank] = self.value
+
+    def describe(self):
+        what = (f"factor={self.factor}" if self.factor is not None
+                else f"value={self.value}")
+        return f"reduction(rank={self.rank}, {what}, {super().describe()})"
+
+
+class EigenboundsFault(FaultInjector):
+    """Skew the estimated Chebyshev interval handed to P-CSI.
+
+    Models stale or mis-configured Lanczos bounds.  The dangerous
+    direction is ``mu_factor < 1`` (default 0.3): eigenvalues *above*
+    the shrunken interval are amplified by the Chebyshev residual
+    polynomial and the iteration diverges geometrically -- the
+    canonical P-CSI failure.  (Raising ``nu`` merely slows convergence:
+    the residual polynomial stays bounded below the interval.)  Counts
+    *estimations* (``at=1`` skews only the first; the recovery policy's
+    re-estimation then sees honest bounds and the solve completes).
+    """
+
+    kind = "eigenbounds"
+
+    def __init__(self, nu_factor=1.0, mu_factor=0.3, **kwargs):
+        super().__init__(**kwargs)
+        self.nu_factor = float(nu_factor)
+        self.mu_factor = float(mu_factor)
+        self._estimations = 0
+
+    def on_eigenbounds(self, nu, mu):
+        self._estimations += 1
+        if not self._fires(self._estimations):
+            return nu, mu
+        return nu * self.nu_factor, mu * self.mu_factor
+
+    def describe(self):
+        return (f"eigenbounds(nu_factor={self.nu_factor}, "
+                f"mu_factor={self.mu_factor}, {super().describe()})")
+
+
+class RHSFault(FaultInjector):
+    """Poison the right-hand side with a NaN at a seeded ocean cell.
+
+    Models an upstream blow-up (the barotropic forcing inherits a NaN
+    from the baroclinic state).  The entry guard must refuse the solve
+    with a ``nonfinite_input`` diagnosis before any work is spent.
+    """
+
+    kind = "nan_rhs"
+
+    def __init__(self, value=float("nan"), **kwargs):
+        super().__init__(**kwargs)
+        self.value = float(value)
+
+    def on_rhs(self, b, mask=None):
+        b = np.array(b, dtype=np.float64, copy=True)
+        if mask is not None:
+            ocean = np.argwhere(np.asarray(mask))
+        else:
+            ocean = np.argwhere(np.ones(b.shape, dtype=bool))
+        if len(ocean) == 0:
+            return b
+        pick = ocean[int(make_rng(self.seed).integers(len(ocean)))]
+        b[tuple(pick)] = self.value
+        return b
+
+    def describe(self):
+        return f"nan_rhs(value={self.value}, {super().describe()})"
+
+
+#: Registry of spec names to injector classes.
+FAULTS = {
+    HaloFault.kind: HaloFault,
+    ReductionFault.kind: ReductionFault,
+    EigenboundsFault.kind: EigenboundsFault,
+    RHSFault.kind: RHSFault,
+}
+
+
+def make_fault(kind, **params):
+    """Instantiate a registered injector by kind name."""
+    try:
+        cls = FAULTS[kind]
+    except KeyError:
+        raise FaultInjectionError(
+            f"unknown fault kind {kind!r}; expected one of "
+            f"{sorted(FAULTS)}") from None
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise FaultInjectionError(
+            f"bad parameters for fault {kind!r}: {exc}") from None
+
+
+def parse_fault_spec(spec):
+    """Parse ``"kind:key=value,key=value"`` into an injector.
+
+    Used by ``repro solve --inject-fault``.  Values are parsed as int,
+    then float (``nan``/``inf`` included), then ``true``/``false``, then
+    kept as strings.  Examples::
+
+        halo
+        halo:rank=1,at=2
+        reduction:rank=3,factor=1e6,persistent=true
+        eigenbounds:nu_factor=12
+        nan_rhs:seed=42
+    """
+    spec = spec.strip()
+    if not spec:
+        raise FaultInjectionError("empty fault spec")
+    kind, _, tail = spec.partition(":")
+    params = {}
+    if tail:
+        for item in tail.split(","):
+            key, sep, raw = item.partition("=")
+            key = key.strip()
+            if not sep or not key:
+                raise FaultInjectionError(
+                    f"malformed fault spec item {item!r} in {spec!r} "
+                    f"(expected key=value)")
+            params[key] = _parse_value(raw.strip())
+    return make_fault(kind.strip(), **params)
+
+
+def _parse_value(raw):
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        value = float(raw)
+    except ValueError:
+        return raw
+    return value
+
+
+def nonfinite_summary(field):
+    """Per-rank non-finite counts of a block field (diagnostic aid)."""
+    out = {}
+    for rank in range(len(field.locals_)):
+        bad = int(np.count_nonzero(~np.isfinite(field.local(rank))))
+        if bad:
+            out[rank] = bad
+    return out

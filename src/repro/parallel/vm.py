@@ -71,10 +71,15 @@ class VirtualMachine:
         module docstring.  Requesting ``"batched"`` on a decomposition
         that cannot be batched (ragged or land-eliminated) falls back
         cleanly to the per-rank engine.
+    faults:
+        Optional iterable of :class:`~repro.parallel.faults.FaultInjector`
+        instances to attach (see :meth:`inject`).  Faults observe the
+        machine's communication events and corrupt data deterministically
+        -- the test harness for the solver guardrails.
     """
 
     def __init__(self, decomp, mask=None, ledger=None, fast_exchange=True,
-                 engine="auto"):
+                 engine="auto", faults=None):
         self.decomp = decomp
         self.exchanger = HaloExchanger(decomp)
         self.ledger = ledger if ledger is not None else EventLedger()
@@ -100,6 +105,16 @@ class VirtualMachine:
             np.stack(self._mask_blocks) if self.engine == "batched" else None
         )
         self._max_points = decomp.max_block_points()
+        self.faults = []
+        self._halo_rounds = 0
+        self._reductions = 0
+        for fault in faults or ():
+            self.inject(fault)
+
+    def inject(self, fault):
+        """Attach a fault injector (see :mod:`repro.parallel.faults`)."""
+        self.faults.append(fault)
+        return fault
 
     # ------------------------------------------------------------------
     @property
@@ -158,6 +173,10 @@ class VirtualMachine:
             words=self.decomp.halo_words_per_exchange(),
             exchanges=1,
         )
+        if self.faults:
+            self._halo_rounds += 1
+            for fault in self.faults:
+                fault.on_exchange(field, self._halo_rounds, self)
         return field
 
     def global_dot(self, a, b, phase="reduction"):
@@ -183,6 +202,10 @@ class VirtualMachine:
         self.ledger.record_flops("computation", self._max_points)
         self.ledger.record_flops(phase, self._max_points)
         self.ledger.record_allreduce(phase, words=1)
+        if self.faults:
+            self._reductions += 1
+            for fault in self.faults:
+                fault.on_reduction(partials, self._reductions)
         return masked_global_sum_blocks(partials)
 
     def global_dot_pair(self, a1, b1, a2, b2, phase="reduction"):
@@ -211,6 +234,13 @@ class VirtualMachine:
         self.ledger.record_flops("computation", 2 * self._max_points)
         self.ledger.record_flops(phase, 2 * self._max_points)
         self.ledger.record_allreduce(phase, words=2)
+        if self.faults:
+            # One fused all-reduce = one logical reduction event; both
+            # payload lists pass through each injector at the same count.
+            self._reductions += 1
+            for fault in self.faults:
+                fault.on_reduction(partials1, self._reductions)
+                fault.on_reduction(partials2, self._reductions)
         return (
             masked_global_sum_blocks(partials1),
             masked_global_sum_blocks(partials2),

@@ -38,6 +38,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.core.cache import ArtifactCache, get_cache, set_cache
+from repro.core.errors import ConvergenceError
 from repro.reporting.compare import comparison_table, render_comparison
 from repro.reporting.serialize import save_result
 
@@ -269,9 +270,12 @@ def run_all(output_dir=None, plan=None, include_verification=False,
     -------
     dict with ``results``, ``measurements``, ``comparisons``,
     ``rendered``, plus ``timings`` (per step, in plan order:
-    ``{"step", "seconds", "cache_hits", "cache_misses"}``), ``jobs``,
-    ``cache`` (global-cache stats) and -- when ``jobs > 1`` --
-    ``warmup`` (task count, wall seconds, errors).
+    ``{"step", "seconds", "cache_hits", "cache_misses"}`` -- failed
+    steps carry ``"failed": True``), ``diagnoses`` (structured
+    :class:`~repro.solvers.health.SolverDiagnosis` dicts for steps a
+    diagnosed solver failure aborted; the run continues past them),
+    ``jobs``, ``cache`` (global-cache stats) and -- when ``jobs > 1``
+    -- ``warmup`` (task count, wall seconds, errors).
     """
     steps = list(plan if plan is not None else DEFAULT_PLAN)
     if include_verification:
@@ -325,13 +329,34 @@ def run_all(output_dir=None, plan=None, include_verification=False,
         results = {}
         measurements = {}
         timings = []
+        diagnoses = []
         for index, (module_path, kwargs, extractor) in enumerate(steps):
-            if submitted is not None:
-                result, seconds, delta = submitted[index].result()
-            else:
-                if progress is not None:
-                    progress(module_path)
-                result, seconds, delta = _execute_step(module_path, kwargs)
+            try:
+                if submitted is not None:
+                    result, seconds, delta = submitted[index].result()
+                else:
+                    if progress is not None:
+                        progress(module_path)
+                    result, seconds, delta = _execute_step(module_path,
+                                                           kwargs)
+            except ConvergenceError as err:
+                # A diagnosed solver failure inside one step must not
+                # take down the whole evaluation: record the structured
+                # diagnosis and keep collecting the other steps.
+                diagnoses.append({
+                    "step": module_path,
+                    "error": str(err),
+                    "diagnosis": (err.diagnosis.to_dict()
+                                  if err.diagnosis is not None else None),
+                })
+                timings.append({
+                    "step": module_path,
+                    "seconds": 0.0,
+                    "cache_hits": 0,
+                    "cache_misses": 0,
+                    "failed": True,
+                })
+                continue
             results[result.name] = result
             if output_dir:
                 save_result(result, output_dir)
@@ -359,6 +384,7 @@ def run_all(output_dir=None, plan=None, include_verification=False,
         "comparisons": comparisons,
         "rendered": render_comparison(comparisons),
         "timings": timings,
+        "diagnoses": diagnoses,
         "jobs": jobs,
         "cache": get_cache().stats(),
     }

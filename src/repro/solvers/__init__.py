@@ -17,10 +17,22 @@
   removing it).
 * :mod:`repro.solvers.lanczos` -- eigenvalue-bound estimation for
   P-CSI's Chebyshev interval (paper section 3).
+* :mod:`repro.solvers.health` -- structured diagnoses for abnormal
+  stops (the guarded convergence loop's vocabulary).
 """
 
 from repro.solvers.context import SolverContext, SerialContext, DistributedContext
 from repro.solvers.result import SolveResult
+from repro.solvers.health import (
+    SolverDiagnosis,
+    DIAGNOSIS_KINDS,
+    RECOVERABLE_KINDS,
+    NONFINITE_INPUT,
+    NONFINITE_RESIDUAL,
+    DIVERGED,
+    BREAKDOWN,
+    BUDGET_EXHAUSTED,
+)
 from repro.solvers.base import IterativeSolver
 from repro.solvers.pcg import PCGSolver
 from repro.solvers.pipecg import PipeCGSolver
@@ -40,6 +52,14 @@ __all__ = [
     "PCSISolver",
     "LanczosEstimator",
     "estimate_eigenbounds",
+    "SolverDiagnosis",
+    "DIAGNOSIS_KINDS",
+    "RECOVERABLE_KINDS",
+    "NONFINITE_INPUT",
+    "NONFINITE_RESIDUAL",
+    "DIVERGED",
+    "BREAKDOWN",
+    "BUDGET_EXHAUSTED",
     "make_solver",
     "SOLVER_REGISTRY",
 ]

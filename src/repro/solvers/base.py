@@ -5,15 +5,45 @@ are fair (section 5.2): the convergence criterion (masked residual
 2-norm vs a tolerance relative to ``|b|``), the *check frequency* (POP
 checks every 10 iterations -- each check is an extra global reduction,
 which is P-CSI's only reduction), and the iteration budget.
+
+Guardrails
+----------
+The convergence loop is *guarded*: it refuses non-finite inputs at
+entry, exits immediately for a zero right-hand side, watches every
+checked residual norm for NaN/Inf and for divergence (growth past
+``divergence_factor * |b|`` across consecutive checks), and converts
+in-iteration breakdowns (:class:`~repro.core.errors.BreakdownError`)
+into structured failures.  Every abnormal stop produces a
+:class:`~repro.solvers.health.SolverDiagnosis` and a *partial*
+:class:`~repro.solvers.result.SolveResult` -- iterate, residual
+history, setup and loop events -- attached to the
+:class:`~repro.core.errors.ConvergenceError` (or returned directly with
+``raise_on_failure=False``), so no diagnostic the ledger collected is
+ever discarded.
+
+The guardrail checks reuse residual norms the solver already reduced
+and local ``isfinite`` scans of data already in memory; they add no
+communication or ledger events, so modeled timings and engine parity
+are unaffected.
 """
 
 import abc
+
+import numpy as np
 
 from repro.core.constants import (
     DEFAULT_CONVERGENCE_CHECK_FREQ,
     DEFAULT_SOLVER_TOLERANCE,
 )
-from repro.core.errors import ConvergenceError, SolverError
+from repro.core.errors import BreakdownError, ConvergenceError, SolverError
+from repro.solvers.health import (
+    BREAKDOWN,
+    BUDGET_EXHAUSTED,
+    DIVERGED,
+    NONFINITE_INPUT,
+    NONFINITE_RESIDUAL,
+    SolverDiagnosis,
+)
 from repro.solvers.result import SolveResult
 
 
@@ -26,8 +56,9 @@ class IterativeSolver(abc.ABC):
         A :class:`~repro.solvers.context.SolverContext`.
     tol:
         Convergence tolerance; the solve stops when
-        ``|r| <= tol * |b|`` (or ``tol`` absolute if ``b`` is zero).
-        POP's default is ``1e-13`` (paper section 6).
+        ``|r| <= tol * |b|``.  POP's default is ``1e-13`` (paper
+        section 6).  A zero right-hand side returns ``x = 0`` with
+        ``iterations=0`` immediately (``extra["zero_rhs"]``).
     max_iterations:
         Iteration budget; exceeded budgets raise
         :class:`~repro.core.errors.ConvergenceError` unless
@@ -37,35 +68,53 @@ class IterativeSolver(abc.ABC):
         costs one global reduction.
     raise_on_failure:
         Return the non-converged result instead of raising when False.
+        Guardrail stops (non-finite residual, divergence, breakdown)
+        honor the same switch; either way the result carries its
+        :class:`~repro.solvers.health.SolverDiagnosis`.
     stagnation_checks:
         Stop early when the checked residual norm has not improved over
         this many consecutive checks -- the explicit residual
         ``b - A x`` has a round-off floor (~eps * |A||x|), and asking
         for a tolerance below it would otherwise burn the whole
         iteration budget.  A stagnated stop sets ``extra["stagnated"]``
-        and reports ``converged`` by the usual criterion.  ``0``
-        disables the detector.
+        and reports ``converged`` by the usual criterion -- stagnation
+        is a round-off floor, not a failure, so it *returns* the result
+        even with ``raise_on_failure=True``.  ``0`` disables the
+        detector.
+    divergence_factor:
+        Declare divergence when the checked residual norm exceeds
+        ``divergence_factor * |b|`` on consecutive checks while still
+        growing.  ``0`` disables the detector.
     """
 
     #: Name used in experiment tables; subclasses override.
     name = "iterative"
 
+    #: Consecutive above-threshold, still-growing checks that confirm
+    #: divergence (one spike at a check boundary is not a verdict).
+    divergence_checks = 2
+
     def __init__(self, context, tol=DEFAULT_SOLVER_TOLERANCE,
                  max_iterations=10000,
                  check_freq=DEFAULT_CONVERGENCE_CHECK_FREQ,
-                 raise_on_failure=True, stagnation_checks=5):
+                 raise_on_failure=True, stagnation_checks=5,
+                 divergence_factor=1.0e4):
         if tol <= 0:
             raise SolverError(f"tolerance must be positive, got {tol}")
         if max_iterations < 1:
             raise SolverError(f"max_iterations must be >= 1, got {max_iterations}")
         if check_freq < 1:
             raise SolverError(f"check_freq must be >= 1, got {check_freq}")
+        if divergence_factor < 0:
+            raise SolverError(
+                f"divergence_factor must be >= 0, got {divergence_factor}")
         self.context = context
         self.tol = float(tol)
         self.max_iterations = int(max_iterations)
         self.check_freq = int(check_freq)
         self.raise_on_failure = bool(raise_on_failure)
         self.stagnation_checks = int(stagnation_checks)
+        self.divergence_factor = float(divergence_factor)
 
     # ------------------------------------------------------------------
     def solve(self, b, x0=None):
@@ -73,22 +122,66 @@ class IterativeSolver(abc.ABC):
 
         ``b`` and ``x0`` are global ``(ny, nx)`` arrays (``x0`` defaults
         to zero).  Values on land are ignored (masked).  Returns a
-        :class:`~repro.solvers.result.SolveResult`.
+        :class:`~repro.solvers.result.SolveResult`; abnormal stops raise
+        a :class:`~repro.core.errors.ConvergenceError` carrying the
+        partial result and a structured diagnosis (see the module
+        docstring).
         """
         ctx = self.context
         ledger = ctx.ledger
         mask = ctx.mask
 
-        b_vec = ctx.from_global(b * mask)
+        entry_diag = self._check_entry(b, x0, mask)
+        if entry_diag is not None:
+            return self._fail_before_setup(entry_diag, b, x0, mask)
+
+        # np.where, not multiplication: NaN * 0 is NaN, so a (legitimate)
+        # non-finite land value would survive `b * mask` and poison the
+        # solve the entry guard just vetted.
+        b_vec = ctx.from_global(np.where(mask, b, 0.0))
         if x0 is None:
             x_vec = ctx.new_vector()
         else:
-            x_vec = ctx.from_global(x0 * mask)
+            x_vec = ctx.from_global(np.where(mask, x0, 0.0))
 
         before_setup = ledger.snapshot()
         b_norm = ctx.norm2(b_vec, phase="setup")
-        threshold = self.tol * b_norm if b_norm > 0.0 else self.tol
-        state = self._setup(b_vec, x_vec)
+        if b_norm == 0.0:
+            # Zero RHS: the exact solution of the SPD system is x = 0;
+            # running even ``check_freq`` iterations to discover that
+            # wastes halo exchanges and reductions.
+            after_setup = ledger.snapshot()
+            return SolveResult(
+                x=ctx.to_global(ctx.new_vector()),
+                iterations=0, converged=True,
+                residual_norm=0.0, b_norm=0.0,
+                residual_history=[],
+                solver=self.name,
+                preconditioner=ctx.preconditioner.name,
+                events={},
+                setup_events=_diff(after_setup, before_setup),
+                extra={"zero_rhs": True},
+            )
+        threshold = self.tol * b_norm
+        try:
+            state = self._setup(b_vec, x_vec)
+        except BreakdownError as exc:
+            diagnosis = SolverDiagnosis(
+                kind=BREAKDOWN, solver=self.name,
+                message=f"setup: {exc}", iteration=0, b_norm=b_norm,
+            )
+            result = SolveResult(
+                x=ctx.to_global(x_vec),
+                iterations=0, converged=False,
+                residual_norm=float("nan"), b_norm=b_norm,
+                residual_history=[], solver=self.name,
+                preconditioner=ctx.preconditioner.name,
+                events={},
+                setup_events=_diff(ledger.snapshot(), before_setup),
+                extra={"diagnosis": diagnosis.to_dict()},
+                diagnosis=diagnosis,
+            )
+            return self._raise_or_return(diagnosis, result)
         after_setup = ledger.snapshot()
 
         history = []
@@ -100,16 +193,63 @@ class IterativeSolver(abc.ABC):
         best_norm = float("inf")
         checks_without_progress = 0
         stagnated = False
+        diagnosis = None
+        prev_checked = None
+        growing_past_limit = 0
+        divergence_limit = (self.divergence_factor * b_norm
+                            if self.divergence_factor > 0 else float("inf"))
         while iterations < self.max_iterations:
             iterations += 1
-            self._iterate(state, iterations)
+            try:
+                self._iterate(state, iterations)
+            except BreakdownError as exc:
+                diagnosis = SolverDiagnosis(
+                    kind=BREAKDOWN, solver=self.name,
+                    message=str(exc), iteration=iterations,
+                    residual_norm=res_norm, b_norm=b_norm,
+                )
+                break
             if iterations % self.check_freq == 0:
                 res_norm = self._residual_norm(state)
                 checked_at = iterations
                 history.append((iterations, res_norm))
+                if not np.isfinite(res_norm):
+                    diagnosis = SolverDiagnosis(
+                        kind=NONFINITE_RESIDUAL, solver=self.name,
+                        message=f"checked residual norm is {res_norm}",
+                        iteration=iterations, residual_norm=res_norm,
+                        b_norm=b_norm,
+                        data={"last_finite_norm": prev_checked},
+                    )
+                    break
                 if res_norm <= threshold:
                     converged = True
                     break
+                if (res_norm > divergence_limit
+                        and prev_checked is not None
+                        and res_norm > prev_checked):
+                    growing_past_limit += 1
+                    if growing_past_limit >= self.divergence_checks:
+                        diagnosis = SolverDiagnosis(
+                            kind=DIVERGED, solver=self.name,
+                            message=(
+                                f"|r| = {res_norm:.3e} grew past "
+                                f"{self.divergence_factor:g} * |b| = "
+                                f"{divergence_limit:.3e} over "
+                                f"{growing_past_limit + 1} consecutive "
+                                f"checks"),
+                            iteration=iterations, residual_norm=res_norm,
+                            b_norm=b_norm,
+                            data={
+                                "divergence_factor": self.divergence_factor,
+                                "limit": divergence_limit,
+                                "history_tail": history[-4:],
+                            },
+                        )
+                        break
+                else:
+                    growing_past_limit = 0
+                prev_checked = res_norm
                 if res_norm < best_norm * (1.0 - 1e-6):
                     best_norm = res_norm
                     checks_without_progress = 0
@@ -121,23 +261,109 @@ class IterativeSolver(abc.ABC):
                         stagnated = True
                         break
 
+        if diagnosis is not None:
+            return self._fail(diagnosis, state, history, iterations,
+                              res_norm, b_norm, after_setup, before_setup)
+
         if not converged:
             if checked_at != iterations:
                 res_norm = self._residual_norm(state)
                 history.append((iterations, res_norm))
+                if not np.isfinite(res_norm):
+                    diagnosis = SolverDiagnosis(
+                        kind=NONFINITE_RESIDUAL, solver=self.name,
+                        message=f"final residual norm is {res_norm}",
+                        iteration=iterations, residual_norm=res_norm,
+                        b_norm=b_norm,
+                    )
+                    return self._fail(diagnosis, state, history, iterations,
+                                      res_norm, b_norm, after_setup,
+                                      before_setup)
             converged = res_norm <= threshold
-            if not converged and self.raise_on_failure:
-                reason = "stagnated at" if stagnated else "failed to reach"
-                raise ConvergenceError(
-                    f"{self.name} {reason} |r| <= {threshold:.3e} after "
-                    f"{iterations} iterations (|r| = {res_norm:.3e})",
-                    iterations=iterations, residual_norm=res_norm,
+            if not converged and not stagnated:
+                diagnosis = SolverDiagnosis(
+                    kind=BUDGET_EXHAUSTED, solver=self.name,
+                    message=(
+                        f"failed to reach |r| <= {threshold:.3e} after "
+                        f"{iterations} iterations (|r| = {res_norm:.3e})"),
+                    iteration=iterations, residual_norm=res_norm,
+                    b_norm=b_norm,
+                    data={"threshold": threshold,
+                          "max_iterations": self.max_iterations},
                 )
+                return self._fail(diagnosis, state, history, iterations,
+                                  res_norm, b_norm, after_setup,
+                                  before_setup)
         if stagnated:
+            # Stagnation is a round-off floor, not a failure: record it
+            # and return the result as documented.
             state.setdefault("extra", {})["stagnated"] = True
 
-        events = ledger.since(after_setup)
-        setup_events = _diff(after_setup, before_setup)
+        return self._build_result(state, history, iterations, converged,
+                                  res_norm, b_norm, after_setup,
+                                  before_setup)
+
+    # ------------------------------------------------------------------
+    # guardrail plumbing
+    # ------------------------------------------------------------------
+    def _check_entry(self, b, x0, mask):
+        """Entry guard: NaN/Inf on ocean points of ``b`` or ``x0``."""
+        for label, arr in (("b", b), ("x0", x0)):
+            if arr is None:
+                continue
+            values = np.asarray(arr)[mask]
+            if not np.all(np.isfinite(values)):
+                bad = int(np.count_nonzero(~np.isfinite(values)))
+                return SolverDiagnosis(
+                    kind=NONFINITE_INPUT, solver=self.name,
+                    message=(f"{label} carries {bad} non-finite ocean "
+                             f"value(s) at solve entry"),
+                    iteration=0,
+                    data={"operand": label, "count": bad},
+                )
+        return None
+
+    def _fail_before_setup(self, diagnosis, b, x0, mask):
+        """Fail with a minimal partial result (no solver state yet)."""
+        x = np.zeros_like(np.asarray(b, dtype=np.float64)) if x0 is None \
+            else np.where(mask, np.asarray(x0, dtype=np.float64), 0.0)
+        result = SolveResult(
+            x=x, iterations=0, converged=False,
+            residual_norm=float("nan"), b_norm=float("nan"),
+            residual_history=[], solver=self.name,
+            preconditioner=self.context.preconditioner.name,
+            events={}, setup_events={},
+            extra={"diagnosis": diagnosis.to_dict()},
+            diagnosis=diagnosis,
+        )
+        return self._raise_or_return(diagnosis, result)
+
+    def _fail(self, diagnosis, state, history, iterations, res_norm,
+              b_norm, after_setup, before_setup):
+        """Build the partial result for an abnormal stop and raise or
+        return it according to ``raise_on_failure``."""
+        result = self._build_result(state, history, iterations, False,
+                                    res_norm, b_norm, after_setup,
+                                    before_setup, diagnosis=diagnosis)
+        return self._raise_or_return(diagnosis, result)
+
+    def _raise_or_return(self, diagnosis, result):
+        if self.raise_on_failure:
+            raise ConvergenceError(
+                diagnosis.describe(),
+                iterations=result.iterations,
+                residual_norm=result.residual_norm,
+                result=result, diagnosis=diagnosis,
+            )
+        return result
+
+    def _build_result(self, state, history, iterations, converged,
+                      res_norm, b_norm, after_setup, before_setup,
+                      diagnosis=None):
+        ctx = self.context
+        extra = dict(state.get("extra", {}))
+        if diagnosis is not None:
+            extra["diagnosis"] = diagnosis.to_dict()
         return SolveResult(
             x=ctx.to_global(state["x"]),
             iterations=iterations,
@@ -147,9 +373,10 @@ class IterativeSolver(abc.ABC):
             residual_history=history,
             solver=self.name,
             preconditioner=ctx.preconditioner.name,
-            events=events,
-            setup_events=setup_events,
-            extra=dict(state.get("extra", {})),
+            events=ctx.ledger.since(after_setup),
+            setup_events=_diff(after_setup, before_setup),
+            extra=extra,
+            diagnosis=diagnosis,
         )
 
     # ------------------------------------------------------------------
@@ -162,7 +389,11 @@ class IterativeSolver(abc.ABC):
 
     @abc.abstractmethod
     def _iterate(self, state, k):
-        """Perform iteration ``k`` in place on ``state``."""
+        """Perform iteration ``k`` in place on ``state``.
+
+        May raise :class:`~repro.core.errors.BreakdownError`; the
+        guarded loop converts it into a diagnosed failure carrying the
+        partial result."""
 
     def _residual_norm(self, state):
         """Masked residual 2-norm (one global reduction -- the

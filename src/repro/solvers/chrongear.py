@@ -17,7 +17,9 @@ Per-iteration event profile (the paper's Eq. 2, diagonal M):
   (+ one extra reduction at each convergence check).
 """
 
-from repro.core.errors import SolverError
+import math
+
+from repro.core.errors import BreakdownError
 from repro.solvers.base import IterativeSolver
 
 
@@ -47,6 +49,11 @@ class ChronGearSolver(IterativeSolver):
         z = ctx.matvec(r_prime)
         # steps 7-9: fused global reduction for rho and delta
         rho, delta = ctx.dot_pair(state["r"], r_prime, z, r_prime)
+        if not (math.isfinite(rho) and math.isfinite(delta)):
+            raise BreakdownError(
+                f"ChronGear breakdown: non-finite reduction "
+                f"(rho={rho}, delta={delta}) -- iterate is poisoned"
+            )
         if rho == 0.0 and delta == 0.0:
             # Exact zero residual (zero RHS or an exact initial guess):
             # the system is already solved; leave the state untouched so
@@ -55,14 +62,14 @@ class ChronGearSolver(IterativeSolver):
         # steps 10-12: scalar recurrences
         rho_old = state["rho"]
         if rho_old == 0.0:
-            raise SolverError(
+            raise BreakdownError(
                 "ChronGear breakdown: rho vanished (operator or "
                 "preconditioner is not SPD on the ocean subspace)"
             )
         beta = rho / rho_old
         sigma = delta - beta * beta * state["sigma"]
         if sigma == 0.0:
-            raise SolverError("ChronGear breakdown: sigma vanished")
+            raise BreakdownError("ChronGear breakdown: sigma vanished")
         alpha = rho / sigma
         # steps 13-16: the four vector recurrences
         ctx.xpay(r_prime, beta, state["s"])   # s = r' + beta s

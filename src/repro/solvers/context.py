@@ -14,6 +14,8 @@ this small set of primitives:
 ``axpy``           ``y += alpha * x`` (1 unit/pt)
 ``xpay``           ``y = x + beta * y`` (1 unit/pt)
 ``combine``        ``y = a * x + b * y`` (2 units/pt; P-CSI's dx update)
+``scale``          ``v *= factor`` (1 unit/pt; P-CSI setup, Lanczos
+                   normalization)
 ``sub``            ``out = a - b`` (folded into the matvec's cost --
                    the paper counts ``r = b - Bx`` as the 9 n^2 matvec)
 =================  ====================================================
@@ -138,6 +140,10 @@ class SolverContext(abc.ABC):
     @abc.abstractmethod
     def combine(self, a, x, b, y, phase="computation"):
         """``y = a * x + b * y`` in place; returns ``y``."""
+
+    @abc.abstractmethod
+    def scale(self, factor, v, phase="computation"):
+        """``v *= factor`` in place; returns ``v``."""
 
     # -- topology ------------------------------------------------------
     @property
@@ -270,6 +276,11 @@ class SerialContext(SolverContext):
         y += s
         self.ledger.record_flops(phase, 2 * self._critical)
         return y
+
+    def scale(self, factor, v, phase="computation"):
+        v *= factor
+        self.ledger.record_flops(phase, self._critical)
+        return v
 
     # -- topology ------------------------------------------------------
     @property
@@ -409,6 +420,15 @@ class DistributedContext(SolverContext):
                 yi += a * x.interior(rank)
         self.ledger.record_flops(phase, 2 * self._critical)
         return y
+
+    def scale(self, factor, v, phase="computation"):
+        if self._batched(v):
+            v.interior_stack()[...] *= factor
+        else:
+            for rank in range(self.vm.num_ranks):
+                v.interior(rank)[...] *= factor
+        self.ledger.record_flops(phase, self._critical)
+        return v
 
     # -- topology ------------------------------------------------------
     @property

@@ -24,10 +24,29 @@ large ones -- reproduced by experiments E7/E9/E12.
 
 Eigenvalue bounds can be supplied directly or estimated at setup by the
 :mod:`~repro.solvers.lanczos` machinery (recorded as setup events).
+
+Recovery policy
+---------------
+Chebyshev's known failure mode is a spectral interval that excludes part
+of the spectrum (bad Lanczos bounds): eigenvalues *above* ``mu`` are
+amplified by the residual polynomial and the iteration diverges
+geometrically (an overestimated ``nu`` "only" stalls convergence until
+the budget runs out -- also caught, as ``budget_exhausted``).  When the guarded convergence
+loop diagnoses divergence (or a non-finite residual), this solver --
+instead of giving up -- widens the interval (``nu_safety``/``mu_safety``
+backoff), reruns Lanczos with more steps and a fresh start vector, and
+retries up to ``max_recoveries`` times.  Every failed attempt's events
+and the re-estimation are re-charged to the ``"recovery"`` ledger phase
+so modeled timings stay honest; the phase rides on the final result's
+``setup_events``.  ``fallback="chrongear"`` chains to the
+reduction-based solver as the last resort, mirroring how POP would fall
+back in production.
 """
 
-from repro.core.errors import SolverError
+from repro.core.errors import ConvergenceError, SolverError
+from repro.parallel.events import EventCounts
 from repro.solvers.base import IterativeSolver
+from repro.solvers.chrongear import ChronGearSolver
 from repro.solvers.lanczos import estimate_eigenbounds
 
 
@@ -52,13 +71,29 @@ class PCSISolver(IterativeSolver):
         a hit the recorded estimation events are replayed into the
         ledger, so modeled timings are unchanged (see
         :func:`~repro.solvers.lanczos.estimate_eigenbounds`).
+    max_recoveries:
+        Recovery attempts after a diagnosed divergence / non-finite
+        residual / breakdown (see the module docstring).  ``0`` disables
+        recovery.
+    nu_backoff, mu_backoff:
+        Per-recovery widening of the safety factors: ``nu_safety *=
+        nu_backoff`` (pushing the lower bound further down) and
+        ``mu_safety *= mu_backoff`` (pushing the upper bound further
+        up).  User-supplied ``eig_bounds`` are widened directly by the
+        same factors.
+    fallback:
+        ``"chrongear"`` chains to :class:`ChronGearSolver` on the same
+        context once recoveries are exhausted; ``None`` (default)
+        re-raises instead.
     """
 
     name = "pcsi"
 
     def __init__(self, context, eig_bounds=None, lanczos_tol=0.15,
                  lanczos_steps=None, lanczos_seed=0,
-                 nu_safety=0.5, mu_safety=1.05, bounds_cache=None, **kwargs):
+                 nu_safety=0.5, mu_safety=1.05, bounds_cache=None,
+                 max_recoveries=2, nu_backoff=0.5, mu_backoff=1.5,
+                 fallback=None, **kwargs):
         super().__init__(context, **kwargs)
         if eig_bounds is not None:
             nu, mu = float(eig_bounds[0]), float(eig_bounds[1])
@@ -68,12 +103,31 @@ class PCSISolver(IterativeSolver):
         else:
             self._bounds = None
             self._lanczos_info = None
+        self._user_bounds = eig_bounds is not None
         self.lanczos_tol = lanczos_tol
         self.lanczos_steps = lanczos_steps
         self.lanczos_seed = lanczos_seed
         self.nu_safety = nu_safety
         self.mu_safety = mu_safety
         self.bounds_cache = bounds_cache
+        if max_recoveries < 0:
+            raise SolverError(
+                f"max_recoveries must be >= 0, got {max_recoveries}")
+        if not (0.0 < nu_backoff < 1.0):
+            raise SolverError(
+                f"nu_backoff must be in (0, 1), got {nu_backoff}")
+        if mu_backoff < 1.0:
+            raise SolverError(
+                f"mu_backoff must be >= 1, got {mu_backoff}")
+        if fallback not in (None, "chrongear"):
+            raise SolverError(
+                f"unknown fallback {fallback!r}; expected None or "
+                f"'chrongear'")
+        self.max_recoveries = int(max_recoveries)
+        self.nu_backoff = float(nu_backoff)
+        self.mu_backoff = float(mu_backoff)
+        self.fallback = fallback
+        self._lanczos_max_steps = 60
 
     @staticmethod
     def _check_bounds(nu, mu):
@@ -88,18 +142,167 @@ class PCSISolver(IterativeSolver):
         """The spectral interval in use (``None`` before first solve)."""
         return self._bounds
 
+    def _injected_bound_skew(self, nu, mu):
+        """Apply any eigenbound fault injectors attached to the VM."""
+        vm = getattr(self.context, "vm", None)
+        for fault in getattr(vm, "faults", ()) or ():
+            nu, mu = fault.on_eigenbounds(nu, mu)
+        return nu, mu
+
     def _ensure_bounds(self):
         if self._bounds is None:
             nu, mu, info = estimate_eigenbounds(
                 self.context, tol=self.lanczos_tol,
                 steps=self.lanczos_steps, seed=self.lanczos_seed,
+                max_steps=self._lanczos_max_steps,
                 nu_safety=self.nu_safety, mu_safety=self.mu_safety,
                 phase="setup", cache=self.bounds_cache,
             )
+            nu, mu = self._injected_bound_skew(nu, mu)
             self._check_bounds(nu, mu)
             self._bounds = (nu, mu)
             self._lanczos_info = info
         return self._bounds
+
+    # ------------------------------------------------------------------
+    # recovery policy
+    # ------------------------------------------------------------------
+    def solve(self, b, x0=None):
+        """Guarded solve with divergence recovery (module docstring)."""
+        if self.max_recoveries == 0 and self.fallback is None:
+            return super().solve(b, x0)
+
+        ledger = self.context.ledger
+        diagnoses = []
+        recovery_counts = EventCounts()
+        attempt = 0
+        while True:
+            snapshot = ledger.snapshot()
+            error = None
+            try:
+                result = super().solve(b, x0)
+            except ConvergenceError as exc:
+                error = exc
+                result = exc.result
+                diagnosis = exc.diagnosis
+            else:
+                diagnosis = None if result.converged else result.diagnosis
+
+            recoverable = diagnosis is not None and diagnosis.recoverable
+            if not recoverable:
+                # Success, or a failure retrying cannot cure.
+                self._attach_recovery(result, diagnoses, recovery_counts)
+                if error is not None:
+                    raise error
+                return result
+
+            diagnoses.append(diagnosis)
+            recovery_counts = recovery_counts + ledger.transfer(
+                snapshot, "recovery")
+            if attempt < self.max_recoveries:
+                attempt += 1
+                try:
+                    recovery_counts = recovery_counts + \
+                        self._widen_interval(attempt)
+                except (ConvergenceError, SolverError) as exc:
+                    # The re-estimation itself broke (e.g. a persistent
+                    # fault corrupts every Lanczos run too): recovery is
+                    # hopeless, surface the original failure.
+                    diagnosis.data["recovery_error"] = str(exc)
+                    if self.fallback is not None:
+                        return self._run_fallback(b, x0, diagnoses,
+                                                  recovery_counts)
+                    self._attach_recovery(result, diagnoses,
+                                          recovery_counts)
+                    if error is not None:
+                        raise error from exc
+                    return result
+                continue
+            if self.fallback is not None:
+                return self._run_fallback(b, x0, diagnoses,
+                                          recovery_counts)
+            # Recoveries exhausted: surface the last failure, annotated.
+            self._attach_recovery(result, diagnoses, recovery_counts)
+            if error is not None:
+                raise error
+            return result
+
+    def _widen_interval(self, attempt):
+        """Back the safety factors off and refresh the bounds.
+
+        Estimated bounds are re-estimated by a longer Lanczos run with a
+        fresh start vector; user-supplied bounds are widened in place.
+        Returns the :class:`EventCounts` the re-estimation charged to
+        the ``"recovery"`` phase.
+        """
+        self.nu_safety *= self.nu_backoff
+        self.mu_safety *= self.mu_backoff
+        if self._user_bounds:
+            nu, mu = self._bounds
+            self._bounds = (nu * self.nu_backoff, mu * self.mu_backoff)
+            return EventCounts()
+        ledger = self.context.ledger
+        self._lanczos_max_steps *= 2
+        steps = None
+        if self.lanczos_steps is not None:
+            steps = int(self.lanczos_steps) * 2
+            self.lanczos_steps = steps
+        elif self._lanczos_info is not None:
+            steps = min(2 * int(self._lanczos_info["steps"]),
+                        self._lanczos_max_steps)
+        snapshot = ledger.snapshot()
+        nu, mu, info = estimate_eigenbounds(
+            self.context, tol=self.lanczos_tol, steps=steps,
+            max_steps=self._lanczos_max_steps,
+            seed=_recovery_seed(self.lanczos_seed, attempt),
+            nu_safety=self.nu_safety, mu_safety=self.mu_safety,
+            phase="recovery", cache=self.bounds_cache,
+        )
+        nu, mu = self._injected_bound_skew(nu, mu)
+        self._check_bounds(nu, mu)
+        self._bounds = (nu, mu)
+        self._lanczos_info = info
+        # The estimation charged most events to "recovery" directly, but
+        # some primitives split part of their cost to fixed phases (e.g.
+        # global_dot's product-and-sum is always "computation"); sweep
+        # those into the recovery bucket so the ledger and the result
+        # agree on what the recovery cost.
+        direct = ledger.since(snapshot).get("recovery", EventCounts())
+        return direct + ledger.transfer(snapshot, "recovery")
+
+    def _run_fallback(self, b, x0, diagnoses, recovery_counts):
+        """Chain to ChronGear on the same context (the POP fallback)."""
+        solver = ChronGearSolver(
+            self.context, tol=self.tol,
+            max_iterations=self.max_iterations,
+            check_freq=self.check_freq,
+            raise_on_failure=self.raise_on_failure,
+            stagnation_checks=self.stagnation_checks,
+            divergence_factor=self.divergence_factor,
+        )
+        try:
+            result = solver.solve(b, x0)
+        except ConvergenceError as exc:
+            if exc.result is not None:
+                exc.result.extra["fallback_from"] = self.name
+                self._attach_recovery(exc.result, diagnoses,
+                                      recovery_counts)
+            raise
+        result.extra["fallback_from"] = self.name
+        self._attach_recovery(result, diagnoses, recovery_counts)
+        return result
+
+    def _attach_recovery(self, result, diagnoses, recovery_counts):
+        """Record recovery history and cost on a final result."""
+        if result is None or not diagnoses:
+            return
+        result.extra["recoveries"] = len(diagnoses)
+        result.extra["recovery_diagnoses"] = [d.to_dict()
+                                              for d in diagnoses]
+        if any(vars(recovery_counts).values()):
+            result.setup_events["recovery"] = (
+                result.setup_events.get("recovery", EventCounts())
+                + recovery_counts)
 
     # ------------------------------------------------------------------
     def _setup(self, b, x):
@@ -115,7 +318,7 @@ class PCSISolver(IterativeSolver):
         # r1 = b - B x1
         r = ctx.residual(b, x, phase="setup")
         dx = ctx.precond(r, phase="setup")
-        _scale(ctx, dx, 1.0 / gamma, phase="setup")
+        ctx.scale(1.0 / gamma, dx, phase="setup")
         ctx.axpy(1.0, dx, x, phase="setup")
         r = ctx.residual(b, x, phase="setup")
 
@@ -145,6 +348,9 @@ class PCSISolver(IterativeSolver):
         state["omega"] = omega
 
 
-def _scale(ctx, v, factor, phase="computation"):
-    """``v *= factor`` through context primitives."""
-    ctx.axpy(factor - 1.0, ctx.copy(v), v, phase=phase)
+def _recovery_seed(base_seed, attempt):
+    """A fresh, deterministic Lanczos seed for recovery ``attempt``."""
+    try:
+        return int(base_seed) + 104729 * attempt  # 104729: the 10000th prime
+    except (TypeError, ValueError):
+        return attempt

@@ -1,0 +1,136 @@
+"""Structured solver-health diagnoses.
+
+The guarded convergence loop in :mod:`repro.solvers.base` never lets a
+solve fail silently: every abnormal stop -- a non-finite right-hand
+side, a residual that exploded past the divergence threshold, a
+breakdown inside an iteration, or a plain exhausted budget -- is
+condensed into a :class:`SolverDiagnosis` attached both to the partial
+:class:`~repro.solvers.result.SolveResult` and to the
+:class:`~repro.core.errors.ConvergenceError` (when one is raised).
+
+Downstream consumers:
+
+* :class:`~repro.solvers.csi.PCSISolver` keys its recovery policy off
+  :data:`RECOVERABLE_KINDS` (bad Chebyshev bounds manifest as
+  ``diverged`` or ``nonfinite_residual``),
+* the report runner records per-step diagnoses instead of crashing,
+* the fault-injection tests (``tests/test_faults.py``) assert every
+  injected fault surfaces as exactly one of these kinds.
+"""
+
+import math
+from dataclasses import dataclass, field
+
+#: The solve never started: ``b`` or ``x0`` carried NaN/Inf on ocean
+#: points (e.g. an upstream model state blew up, or an injected fault
+#: corrupted the right-hand side).
+NONFINITE_INPUT = "nonfinite_input"
+
+#: A checked residual norm came back NaN/Inf -- the iteration has been
+#: poisoned (overflowed divergence, corrupted halo ring, perturbed
+#: reduction partial, ...).
+NONFINITE_RESIDUAL = "nonfinite_residual"
+
+#: The residual norm grew past ``divergence_factor * |b|`` across
+#: consecutive convergence checks -- the signature of a Chebyshev
+#: interval that excludes part of the spectrum (bad Lanczos bounds).
+DIVERGED = "diverged"
+
+#: An iteration raised :class:`~repro.core.errors.BreakdownError`
+#: (vanished or non-finite inner products in the CG-family solvers).
+BREAKDOWN = "breakdown"
+
+#: The iteration budget ran out while the residual was still finite and
+#: (not catastrophically) above tolerance -- the classic slow-solve
+#: failure, as opposed to the pathological kinds above.
+BUDGET_EXHAUSTED = "budget_exhausted"
+
+#: Every kind a diagnosis may carry.
+DIAGNOSIS_KINDS = (NONFINITE_INPUT, NONFINITE_RESIDUAL, DIVERGED,
+                   BREAKDOWN, BUDGET_EXHAUSTED)
+
+#: Kinds the P-CSI recovery policy retries on: all three are how bad
+#: eigenvalue bounds (or a transient data corruption) present, and all
+#: three can be cured by widening the interval / restarting.  A budget
+#: exhaustion or garbage input is not retried -- more iterations of the
+#: same configuration would fail the same way.
+RECOVERABLE_KINDS = frozenset({NONFINITE_RESIDUAL, DIVERGED, BREAKDOWN})
+
+
+@dataclass
+class SolverDiagnosis:
+    """Why a solve stopped abnormally.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`DIAGNOSIS_KINDS`.
+    solver:
+        Name of the solver that stopped (``"pcsi"``, ``"chrongear"``...).
+    message:
+        Human-readable one-liner.
+    iteration:
+        Loop iteration at which the condition was detected (0 for entry
+        checks).
+    residual_norm:
+        Last known residual norm (may be NaN/Inf -- that can be the
+        finding itself).
+    b_norm:
+        Right-hand-side norm (the relative-tolerance reference).
+    data:
+        Kind-specific details: the divergence threshold, the offending
+        check history, recovery-attempt counters, ...
+    """
+
+    kind: str
+    solver: str
+    message: str
+    iteration: int = 0
+    residual_norm: float = float("nan")
+    b_norm: float = float("nan")
+    data: dict = field(default_factory=dict)
+
+    @property
+    def recoverable(self):
+        """Whether the P-CSI recovery policy may retry on this kind."""
+        return self.kind in RECOVERABLE_KINDS
+
+    def describe(self):
+        """One-line human-readable summary."""
+        return (f"[{self.kind}] {self.solver} @ iteration "
+                f"{self.iteration}: {self.message}")
+
+    def to_dict(self):
+        """JSON-safe dict (NaN/Inf become strings, numpy scalars cast)."""
+        return {
+            "kind": self.kind,
+            "recoverable": self.recoverable,
+            "solver": self.solver,
+            "message": self.message,
+            "iteration": int(self.iteration),
+            "residual_norm": _json_float(self.residual_norm),
+            "b_norm": _json_float(self.b_norm),
+            "data": {str(k): _json_value(v) for k, v in self.data.items()},
+        }
+
+
+def _json_float(value):
+    value = float(value)
+    return value if math.isfinite(value) else repr(value)
+
+
+def _json_value(value):
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return _json_float(value)
+    if isinstance(value, dict):
+        return {str(k): _json_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_value(v) for v in value]
+    try:  # numpy scalars
+        return _json_value(value.item())
+    except AttributeError:
+        return repr(value)

@@ -24,7 +24,7 @@ from scipy.linalg import eigvalsh_tridiagonal
 
 from repro.core.cache import CACHE_FORMAT_VERSION, decomp_signature, digest_of
 from repro.core.constants import DEFAULT_LANCZOS_TOLERANCE
-from repro.core.errors import SolverError
+from repro.core.errors import BreakdownError, SolverError
 from repro.core.rng import make_rng
 from repro.parallel.events import EventCounts
 
@@ -84,11 +84,15 @@ class LanczosEstimator:
         v = ctx.from_global(start)
         av = ctx.matvec(v, phase=phase)
         norm2 = ctx.dot(v, av, phase=phase)
+        if not np.isfinite(norm2):
+            raise BreakdownError(
+                f"Lanczos start vector has non-finite A-norm ({norm2}): "
+                f"the operator data is corrupted")
         if norm2 <= 0.0:
             raise SolverError("Lanczos start vector has non-positive A-norm")
         scale = 1.0 / np.sqrt(norm2)
-        _scale_vec(ctx, v, scale)
-        _scale_vec(ctx, av, scale)
+        ctx.scale(scale, v, phase=phase)
+        ctx.scale(scale, av, phase=phase)
 
         alphas = []
         betas = []
@@ -115,6 +119,10 @@ class LanczosEstimator:
 
             aw = ctx.matvec(w, phase=phase)
             beta2 = ctx.dot(w, aw, phase=phase)
+            if not (np.isfinite(alpha) and np.isfinite(beta2)):
+                raise BreakdownError(
+                    f"Lanczos coefficients went non-finite at step "
+                    f"{j + 1} (alpha={alpha}, beta^2={beta2})")
             beta = np.sqrt(max(beta2, 0.0))
 
             ritz = _ritz_extremes(alphas, betas)
@@ -138,8 +146,8 @@ class LanczosEstimator:
             v = w
             av = aw
             inv = 1.0 / beta
-            _scale_vec(ctx, v, inv)
-            _scale_vec(ctx, av, inv)
+            ctx.scale(inv, v, phase=phase)
+            ctx.scale(inv, av, phase=phase)
             basis.append((v, av))
 
         nu, mu = history[-1]
@@ -158,11 +166,6 @@ def _ritz_extremes(alphas, betas):
 def _rel_change(old, new):
     denom = max(abs(new), 1e-300)
     return abs(new - old) / denom
-
-
-def _scale_vec(ctx, v, factor):
-    """In-place scalar scaling through the context's update primitive."""
-    ctx.axpy(factor - 1.0, ctx.copy(v), v)
 
 
 def eigenbounds_key(context, tol=DEFAULT_LANCZOS_TOLERANCE, max_steps=60,

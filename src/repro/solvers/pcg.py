@@ -7,7 +7,9 @@ diagonal-PCG -> ChronGear (halve the reductions) -> P-CSI (eliminate
 them).
 """
 
-from repro.core.errors import SolverError
+import math
+
+from repro.core.errors import BreakdownError
 from repro.solvers.base import IterativeSolver
 
 
@@ -29,18 +31,24 @@ class PCGSolver(IterativeSolver):
         p = state["p"]
         q = ctx.matvec(p)
         pq = ctx.dot(p, q)                      # reduction #1
+        if not math.isfinite(pq):
+            raise BreakdownError(
+                f"PCG breakdown: p^T A p is {pq} -- iterate is poisoned")
         if pq == 0.0:
             if state["rho"] == 0.0:
                 # Exact zero residual: already solved; no-op iteration.
                 return
-            raise SolverError("PCG breakdown: p^T A p vanished")
+            raise BreakdownError("PCG breakdown: p^T A p vanished")
         alpha = state["rho"] / pq
         ctx.axpy(alpha, p, state["x"])
         ctx.axpy(-alpha, q, state["r"])
         z = ctx.precond(state["r"])
         rho_new = ctx.dot(state["r"], z)        # reduction #2
+        if not math.isfinite(rho_new):
+            raise BreakdownError(
+                f"PCG breakdown: r^T z is {rho_new} -- iterate is poisoned")
         if state["rho"] == 0.0:
-            raise SolverError("PCG breakdown: rho vanished")
+            raise BreakdownError("PCG breakdown: rho vanished")
         beta = rho_new / state["rho"]
         ctx.xpay(z, beta, p)                    # p = z + beta p
         state["rho"] = rho_new

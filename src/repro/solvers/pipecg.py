@@ -36,7 +36,9 @@ updates, 2 fused inner products -- more flops than ChronGear (the price
 of the overlap), fewer synchronization stalls.
 """
 
-from repro.core.errors import SolverError
+import math
+
+from repro.core.errors import BreakdownError, SolverError
 from repro.solvers.base import IterativeSolver
 
 
@@ -88,6 +90,10 @@ class PipeCGSolver(IterativeSolver):
         m = ctx.precond(w)
         n = ctx.matvec(m)
 
+        if not (math.isfinite(gamma) and math.isfinite(delta)):
+            raise BreakdownError(
+                f"PipeCG breakdown: non-finite reduction "
+                f"(gamma={gamma}, delta={delta}) -- iterate is poisoned")
         if gamma == 0.0 and delta == 0.0:
             return  # exact zero residual; already solved
         if state["gamma"] is None:
@@ -95,11 +101,12 @@ class PipeCGSolver(IterativeSolver):
             alpha = gamma / delta
         else:
             if state["gamma"] == 0.0:
-                raise SolverError("PipeCG breakdown: gamma vanished")
+                raise BreakdownError("PipeCG breakdown: gamma vanished")
             beta = gamma / state["gamma"]
             denom = delta - beta * gamma / state["alpha"]
             if denom == 0.0:
-                raise SolverError("PipeCG breakdown: denominator vanished")
+                raise BreakdownError(
+                    "PipeCG breakdown: denominator vanished")
             alpha = gamma / denom
 
         ctx.xpay(n, beta, state["z"])        # z = n + beta z

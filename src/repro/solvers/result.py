@@ -34,6 +34,11 @@ class SolveResult:
     extra:
         Solver-specific diagnostics (e.g. P-CSI's eigenvalue bounds and
         Lanczos step count).
+    diagnosis:
+        ``None`` for a healthy solve; a
+        :class:`~repro.solvers.health.SolverDiagnosis` when the guarded
+        convergence loop stopped the solve abnormally (a JSON-safe copy
+        also lands in ``extra["diagnosis"]``).
     """
 
     x: object
@@ -47,6 +52,7 @@ class SolveResult:
     events: dict = field(default_factory=dict)
     setup_events: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
+    diagnosis: object = None
 
     @property
     def relative_residual(self):
@@ -58,6 +64,8 @@ class SolveResult:
     def describe(self):
         """One-line human-readable summary."""
         status = "converged" if self.converged else "NOT converged"
+        if self.diagnosis is not None:
+            status += f" ({self.diagnosis.kind})"
         return (
             f"{self.solver}+{self.preconditioner}: {status} in "
             f"{self.iterations} iterations, |r|/|b| = {self.relative_residual:.2e}"

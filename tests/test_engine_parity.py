@@ -229,6 +229,85 @@ class TestSolverParity:
                 bat.setup_events.get(phase), phase
 
 
+class TestGuardrailParity:
+    """The guarded convergence loop (entry checks, divergence detection,
+    diagnosed failures) and the scale primitive stay bit-identical
+    across engines.  Parity under *injected faults* is covered in
+    ``tests/test_faults.py::TestEngineParityUnderFaults``."""
+
+    def test_scale_primitive_parity(self, uniform_config, uniform_decomp):
+        rng = np.random.default_rng(13)
+        g = rng.standard_normal(uniform_config.shape) * uniform_config.mask
+        outs = {}
+        for engine in ("perrank", "batched"):
+            vm = VirtualMachine(uniform_decomp, mask=uniform_config.mask,
+                                engine=engine)
+            pre = _make_precond("diagonal", uniform_config, uniform_decomp)
+            ctx = DistributedContext(uniform_config.stencil, pre, vm)
+            v = ctx.from_global(g)
+            ctx.scale(1.0 / 7.0, v)
+            outs[engine] = (ctx.to_global(v),
+                            ctx.ledger.counts("computation"))
+        assert np.array_equal(outs["perrank"][0], outs["batched"][0])
+        assert outs["perrank"][1] == outs["batched"][1]
+
+    def test_diagnosed_budget_failure_parity(self, uniform_config,
+                                             uniform_decomp):
+        from repro.core.errors import ConvergenceError
+
+        errors = {}
+        for engine in ("perrank", "batched"):
+            vm = VirtualMachine(uniform_decomp, mask=uniform_config.mask,
+                                engine=engine)
+            pre = _make_precond("diagonal", uniform_config, uniform_decomp)
+            ctx = DistributedContext(uniform_config.stencil, pre, vm)
+            solver = ChronGearSolver(ctx, tol=1e-13, max_iterations=9)
+            with pytest.raises(ConvergenceError) as err:
+                solver.solve(_rhs(uniform_config))
+            errors[engine] = err.value
+        per, bat = errors["perrank"], errors["batched"]
+        assert per.diagnosis.kind == bat.diagnosis.kind
+        assert per.iterations == bat.iterations == 9
+        assert per.residual_norm == bat.residual_norm
+        assert np.array_equal(per.result.x, bat.result.x)
+        for phase in PHASES:
+            assert per.result.events.get(phase) == \
+                bat.result.events.get(phase), phase
+
+    def test_divergence_detection_parity(self, uniform_config,
+                                         uniform_decomp):
+        from repro.core.errors import ConvergenceError
+
+        errors = {}
+        for engine in ("perrank", "batched"):
+            with pytest.raises(ConvergenceError) as err:
+                _solve(engine, uniform_config, uniform_decomp,
+                       PCSISolver, "diagonal", eig_bounds=(0.05, 0.3),
+                       max_recoveries=0)
+            errors[engine] = err.value
+        per, bat = errors["perrank"], errors["batched"]
+        assert per.diagnosis.kind == bat.diagnosis.kind
+        assert per.diagnosis.iteration == bat.diagnosis.iteration
+        assert per.result.residual_history == bat.result.residual_history
+
+    def test_zero_rhs_parity(self, uniform_config, uniform_decomp):
+        results = {}
+        for engine in ("perrank", "batched"):
+            vm = VirtualMachine(uniform_decomp, mask=uniform_config.mask,
+                                engine=engine)
+            pre = _make_precond("diagonal", uniform_config, uniform_decomp)
+            ctx = DistributedContext(uniform_config.stencil, pre, vm)
+            solver = ChronGearSolver(ctx)
+            results[engine] = solver.solve(
+                np.zeros(uniform_config.shape))
+        per, bat = results["perrank"], results["batched"]
+        assert per.iterations == bat.iterations == 0
+        assert per.extra == bat.extra == {"zero_rhs": True}
+        for phase in set(per.setup_events) | set(bat.setup_events):
+            assert per.setup_events.get(phase) == \
+                bat.setup_events.get(phase), phase
+
+
 class TestFallbackParity:
     """Requesting the batched engine where it cannot run must fall back
     to the per-rank engine and still solve correctly."""
