@@ -12,7 +12,9 @@ Commands
     One-off barotropic solve on a named configuration with a chosen
     solver/preconditioner; prints iterations and modeled times.
     ``--engine {serial,perrank,batched}`` selects the execution
-    substrate; ``--inject-fault SPEC`` (repeatable) attaches
+    substrate; ``--kernels {auto,numpy,fused,numba}`` the kernel
+    backend (default ``$REPRO_KERNELS`` or ``auto``);
+    ``--inject-fault SPEC`` (repeatable) attaches
     deterministic fault injectors to exercise the solver guardrails,
     and ``--max-recoveries`` / ``--fallback chrongear`` control P-CSI's
     divergence recovery.  A diagnosed failure exits with status 3.
@@ -120,6 +122,16 @@ def cmd_solve(args):
     from repro.precond.evp import evp_for_config
     from repro.solvers import DistributedContext, SerialContext, make_solver
 
+    from repro.core.errors import KernelError
+    from repro.kernels import resolve_kernels
+
+    try:
+        kernels = resolve_kernels(args.kernels)
+    except KernelError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    print(f"kernel backend: {kernels.describe()}")
+
     config = get_cached_config(args.config, scale=args.scale)
     print(config.describe())
 
@@ -136,21 +148,22 @@ def cmd_solve(args):
     decomp = None
     if engine == "serial":
         if args.precond == "evp":
-            pre = evp_for_config(config)
+            pre = evp_for_config(config, kernels=kernels)
         else:
-            pre = make_preconditioner(args.precond, config.stencil)
-        ctx = SerialContext(config.stencil, pre)
+            pre = make_preconditioner(args.precond, config.stencil,
+                                      kernels=kernels)
+        ctx = SerialContext(config.stencil, pre, kernels=kernels)
     else:
         by, bx = (int(p) for p in args.blocks.split(","))
         decomp = decompose(config.ny, config.nx, by, bx, mask=config.mask)
         vm = VirtualMachine(decomp, mask=config.mask, engine=engine,
                             faults=vm_faults)
         if args.precond == "evp":
-            pre = evp_for_config(config, decomp=decomp)
+            pre = evp_for_config(config, decomp=decomp, kernels=kernels)
         else:
             pre = make_preconditioner(args.precond, config.stencil,
-                                      decomp=decomp)
-        ctx = DistributedContext(config.stencil, pre, vm)
+                                      decomp=decomp, kernels=kernels)
+        ctx = DistributedContext(config.stencil, pre, vm, kernels=kernels)
     for fault in faults:
         print(f"injecting fault: {fault.describe()}")
 
@@ -303,6 +316,9 @@ def build_parser():
                          choices=["serial", "perrank", "batched"],
                          help="serial context (default) or a virtual-"
                               "machine execution engine")
+    p_solve.add_argument("--kernels", default=None,
+                         help="kernel backend: auto, numpy, fused or "
+                              "numba (default: $REPRO_KERNELS or auto)")
     p_solve.add_argument("--blocks", default="4,4",
                          help="block grid 'by,bx' for the virtual "
                               "machine (default: 4,4)")

@@ -39,7 +39,11 @@ import numpy as np
 #: v2: the solver contexts gained a true ``scale`` primitive (replacing
 #: the ``axpy(factor-1, copy(v), v)`` workaround), which changes cached
 #: numerics (Lanczos eigenbounds, solve iterates) in the last bits.
-CACHE_FORMAT_VERSION = 2
+#: v3: the EVP ring correction stores ``W^-1`` from an LU solve
+#: (``np.linalg.solve`` against the identity) instead of explicit
+#: ``np.linalg.inv``; persisted ``r_*`` influence arrays change in the
+#: last bits.
+CACHE_FORMAT_VERSION = 3
 
 #: Filename prefix for every entry this cache writes, so ``clear()``
 #: only ever deletes files it owns.

@@ -23,6 +23,10 @@ class DecompositionError(ReproError):
     """A block decomposition of the global domain is impossible or invalid."""
 
 
+class KernelError(ReproError):
+    """A kernel backend was requested that is unknown or unavailable."""
+
+
 class SolverError(ReproError):
     """A linear solver was misused (bad operator, bad preconditioner, ...)."""
 

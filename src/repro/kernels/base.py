@@ -1,0 +1,116 @@
+"""The kernel-backend interface.
+
+A *kernel backend* is a pluggable implementation of the two per-iteration
+hot paths of the reproduction:
+
+* the nine-point stencil matrix-vector product (the paper's ``9 n^2``
+  computation term), in its global, per-rank-local and stacked forms,
+* the EVP tile solve (the paper's ``14 n^2`` preconditioner apply):
+  two marching sweeps plus the edge-residual evaluation.
+
+Backends change *execution strategy only* -- never the arithmetic.  The
+``deterministic`` flag records the contract: a deterministic backend
+performs bit-for-bit the same IEEE operation sequence as the numpy
+reference, so solver iterates are bit-identical under it.  The optional
+``numba`` backend relaxes this to a small round-off drift (different
+but valid evaluation of the same formulas; the parity suite bounds it
+at 1e-12 relative).
+
+Pieces that must stay backend-independent -- the EVP influence-matrix
+construction and its LU-based ring correction -- live on
+:class:`~repro.precond.evp.EVPTileEngine` itself and are *not* routed
+through the backend (see the engine's docstrings).
+
+Per-engine precompiled state (flat gather indices, scratch buffers) is
+produced by :meth:`KernelBackend.prepare_evp` and handed back to every
+``evp_solve`` call, so backends never key caches on engine identity.
+"""
+
+import numpy as np
+
+
+class KernelBackend:
+    """Base class for kernel backends (see module docstring)."""
+
+    #: Registry name ("numpy", "fused", "numba").
+    name = "abstract"
+
+    #: Whether results are bit-identical to the numpy reference.
+    deterministic = True
+
+    #: Whether the backend can run in this process (numba flips this
+    #: to False when the import fails; the registry reports why).
+    available = True
+
+    #: Human-readable reason when ``available`` is False.
+    unavailable_reason = None
+
+    # ------------------------------------------------------------------
+    # nine-point stencil
+    # ------------------------------------------------------------------
+    def stencil_apply(self, coeffs, x, xp, out):
+        """Global ``out = A @ x``.
+
+        ``xp`` is the caller-managed ``(ny + 2, nx + 2)`` padded copy of
+        ``x`` (zero border, interior already filled); ``out`` is
+        preallocated and never aliases ``x``/``xp``.
+        """
+        raise NotImplementedError
+
+    def stencil_apply_local(self, coeffs, local, h, out):
+        """``A @ x`` on one rank's interior, neighbors read from halos.
+
+        ``local`` has shape ``(bny + 2h, bnx + 2h)``; ``out`` is the
+        preallocated ``(bny, bnx)`` interior result.
+        """
+        raise NotImplementedError
+
+    def stencil_apply_stacked(self, coeffs, stack, h, bny, bnx, out):
+        """``A @ x`` over a ``(p, bny + 2h, bnx + 2h)`` rank stack.
+
+        ``coeffs`` is a dict of nine stacked ``(p, bny, bnx)``
+        coefficient arrays; ``out`` is the preallocated ``(p, bny,
+        bnx)`` interior stack (may be a strided view).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # EVP tile solves
+    # ------------------------------------------------------------------
+    def prepare_evp(self, engine):
+        """Build per-shape-group precompiled state for ``evp_solve``.
+
+        Called once per :class:`~repro.precond.evp.EVPTileEngine` after
+        its influence matrices exist.  The returned object is opaque to
+        the engine and passed back verbatim.  ``None`` (the default)
+        means the backend needs no precompiled state.
+        """
+        return None
+
+    def evp_solve(self, engine, plan, y, out=None):
+        """Solve ``B_i x_i = y_i`` for every tile in the engine's batch.
+
+        ``y`` has shape ``(B, my, mx)``; writes/returns ``x`` of the
+        same shape.  Must call ``engine.ring_correction`` for the ring
+        update so the correction stays backend-independent.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def describe(self):
+        """One-line summary for CLI/benchmark output."""
+        kind = "bit-identical" if self.deterministic else "round-off drift"
+        return f"{self.name} ({kind})"
+
+    def __repr__(self):
+        return f"<KernelBackend {self.name}>"
+
+
+def validate_evp_shapes(engine, y):
+    """Shared argument check for ``evp_solve`` implementations."""
+    expect = (engine.batch, engine.my, engine.mx)
+    if y.shape != expect:
+        from repro.core.errors import SolverError
+
+        raise SolverError(f"expected y of shape {expect}, got {y.shape}")
+    return np.ascontiguousarray(y, dtype=np.float64)

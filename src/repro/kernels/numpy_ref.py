@@ -1,0 +1,92 @@
+"""The numpy reference backend.
+
+Straightforward vectorized numpy: the stencil matvec as nine
+slice-multiply-accumulate passes, the EVP solve as the engine's
+reference marching sweep (`EVPTileEngine._march`) with per-step fancy
+indexing.  Every other backend is validated against this one -- the
+deterministic backends bit-for-bit, numba to 1e-12 relative.
+
+The coefficient application order (center, compass, corners -- the
+module-level tuple in :mod:`repro.operators.blocked`) is part of the
+reference semantics: all deterministic backends must accumulate in the
+same order, since floating-point addition does not commute in the last
+bit.
+"""
+
+import numpy as np
+
+from repro.kernels.base import KernelBackend, validate_evp_shapes
+
+
+class NumpyKernels(KernelBackend):
+    """Reference implementations (see module docstring)."""
+
+    name = "numpy"
+    deterministic = True
+
+    # ------------------------------------------------------------------
+    # nine-point stencil
+    # ------------------------------------------------------------------
+    def stencil_apply(self, coeffs, x, xp, out):
+        np.multiply(coeffs.c, x, out=out)
+        out += coeffs.n * xp[2:, 1:-1]
+        out += coeffs.s * xp[:-2, 1:-1]
+        out += coeffs.e * xp[1:-1, 2:]
+        out += coeffs.w * xp[1:-1, :-2]
+        out += coeffs.ne * xp[2:, 2:]
+        out += coeffs.nw * xp[2:, :-2]
+        out += coeffs.se * xp[:-2, 2:]
+        out += coeffs.sw * xp[:-2, :-2]
+        return out
+
+    def stencil_apply_local(self, coeffs, local, h, out):
+        bny, bnx = out.shape
+
+        def view(dj, di):
+            return local[h + dj:h + dj + bny, h + di:h + di + bnx]
+
+        np.multiply(coeffs.c, view(0, 0), out=out)
+        out += coeffs.n * view(1, 0)
+        out += coeffs.s * view(-1, 0)
+        out += coeffs.e * view(0, 1)
+        out += coeffs.w * view(0, -1)
+        out += coeffs.ne * view(1, 1)
+        out += coeffs.nw * view(1, -1)
+        out += coeffs.se * view(-1, 1)
+        out += coeffs.sw * view(-1, -1)
+        return out
+
+    def stencil_apply_stacked(self, coeffs, stack, h, bny, bnx, out):
+        def view(dj, di):
+            return stack[:, h + dj:h + dj + bny, h + di:h + di + bnx]
+
+        np.multiply(coeffs["c"], view(0, 0), out=out)
+        out += coeffs["n"] * view(1, 0)
+        out += coeffs["s"] * view(-1, 0)
+        out += coeffs["e"] * view(0, 1)
+        out += coeffs["w"] * view(0, -1)
+        out += coeffs["ne"] * view(1, 1)
+        out += coeffs["nw"] * view(1, -1)
+        out += coeffs["se"] * view(-1, 1)
+        out += coeffs["sw"] * view(-1, -1)
+        return out
+
+    # ------------------------------------------------------------------
+    # EVP tile solves
+    # ------------------------------------------------------------------
+    def evp_solve(self, engine, plan, y, out=None):
+        """March -> edge residuals -> ring correction -> march again."""
+        y = validate_evp_shapes(engine, y)
+        b, my, mx = engine.batch, engine.my, engine.mx
+        p = np.zeros((b, my + 2, mx + 2))
+        engine._march(p, y)
+        f = engine._edge_residuals(p, y)
+        ring = engine.ring_correction(f)
+        p2 = np.zeros((b, my + 2, mx + 2))
+        p2[:, engine._ring_rows, engine._ring_cols] = ring
+        engine._march(p2, y)
+        x = p2[:, 1:my + 1, 1:mx + 1]
+        if out is None:
+            return x.copy()
+        out[...] = x
+        return out

@@ -17,18 +17,12 @@ point sees the same operation sequence in the same order.
 import numpy as np
 
 from repro.core.errors import SolverError
-from repro.operators.stencil_op import apply_stencil_local
+from repro.kernels import resolve_kernels
 
 #: Coefficient application order shared by the per-rank and stacked
 #: paths (and by :func:`~repro.operators.stencil_op.apply_stencil`);
 #: keeping it fixed is what makes the two engines bit-identical.
 _COEFF_ORDER = ("c", "n", "s", "e", "w", "ne", "nw", "se", "sw")
-
-#: Neighbor offset of each coefficient (``c`` is the center).
-_COEFF_OFFSETS = {
-    "c": (0, 0), "n": (1, 0), "s": (-1, 0), "e": (0, 1), "w": (0, -1),
-    "ne": (1, 1), "nw": (1, -1), "se": (-1, 1), "sw": (-1, -1),
-}
 
 
 class BlockedOperator:
@@ -40,9 +34,13 @@ class BlockedOperator:
         Global :class:`~repro.grid.stencil.StencilCoeffs`.
     decomp:
         The block :class:`~repro.parallel.decomposition.Decomposition`.
+    kernels:
+        Kernel backend executing the multiply-accumulate passes (name,
+        instance, or ``None`` for the ``$REPRO_KERNELS``/auto default);
+        see :mod:`repro.kernels`.
     """
 
-    def __init__(self, coeffs, decomp):
+    def __init__(self, coeffs, decomp, kernels=None):
         if coeffs.shape != (decomp.ny, decomp.nx):
             raise SolverError(
                 f"stencil shape {coeffs.shape} does not match decomposition "
@@ -50,6 +48,7 @@ class BlockedOperator:
             )
         self.coeffs = coeffs
         self.decomp = decomp
+        self.kernels = resolve_kernels(kernels)
         # Slice the nine coefficient arrays once per rank.
         self._local_coeffs = [
             _LocalCoeffs(coeffs, block) for block in decomp.active_blocks
@@ -78,12 +77,13 @@ class BlockedOperator:
                 and self.decomp.is_uniform):
             return self.apply_stacked(x_field, out_field)
         h = self.decomp.halo_width
+        kernels = self.kernels
         for rank in range(self.decomp.num_active):
-            apply_stencil_local(
+            kernels.stencil_apply_local(
                 self._local_coeffs[rank],
                 x_field.local(rank),
                 h,
-                out=out_field.interior(rank),
+                out_field.interior(rank),
             )
         return out_field
 
@@ -91,17 +91,9 @@ class BlockedOperator:
         """``out = A @ x`` over the whole stack in nine MAC passes."""
         h = self.decomp.halo_width
         bny, bnx = self.decomp.uniform_block_shape()
-        stack = x_field.stack
-        coeffs = self._get_stacked_coeffs()
-
-        def view(dj, di):
-            return stack[:, h + dj:h + dj + bny, h + di:h + di + bnx]
-
-        out = out_field.interior_stack()
-        np.multiply(coeffs["c"], view(0, 0), out=out)
-        for name in _COEFF_ORDER[1:]:
-            dj, di = _COEFF_OFFSETS[name]
-            out += coeffs[name] * view(dj, di)
+        self.kernels.stencil_apply_stacked(
+            self._get_stacked_coeffs(), x_field.stack, h, bny, bnx,
+            out_field.interior_stack())
         return out_field
 
 

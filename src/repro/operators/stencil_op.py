@@ -6,11 +6,16 @@ paper's cost model charges it ``9 n^2`` multiply-add pairs per block.
 We count one fused multiply-add as 1 "flop unit" to match the paper's
 ``theta`` bookkeeping, so :data:`MATVEC_FLOPS_PER_POINT` is 9.
 
-The implementation is pure ``numpy`` slicing over a single padded copy
-of the input -- no Python-level loops -- per the HPC guide idioms.
+The arithmetic is executed by a pluggable kernel backend (see
+:mod:`repro.kernels`); the default is pure ``numpy`` slicing over a
+single padded copy of the input -- no Python-level loops -- per the HPC
+guide idioms.  Deterministic backends are bit-identical, so callers may
+treat the backend as an execution detail.
 """
 
 import numpy as np
+
+from repro.kernels import resolve_kernels
 
 #: Flop units charged per grid point per matrix-vector product, matching
 #: the paper's ``9 n^2`` accounting (one unit per stencil coefficient).
@@ -33,11 +38,12 @@ def _padded_scratch(ny, nx, dtype):
     return buf
 
 
-def apply_stencil(coeffs, x, out=None):
+def apply_stencil(coeffs, x, out=None, kernels=None):
     """Global ``A @ x`` for a nine-point :class:`StencilCoeffs`.
 
     Out-of-domain neighbors contribute zero (closed boundary).  ``out``
-    may alias neither ``x`` nor the coefficient arrays.
+    may alias neither ``x`` nor the coefficient arrays.  ``kernels``
+    selects the executing backend (default: ``$REPRO_KERNELS``/auto).
     """
     ny, nx = x.shape
     xp = _padded_scratch(ny, nx, x.dtype)
@@ -45,21 +51,10 @@ def apply_stencil(coeffs, x, out=None):
 
     if out is None:
         out = np.empty_like(x)
-    # center
-    np.multiply(coeffs.c, x, out=out)
-    # compass neighbors, read as shifted views of the padded copy
-    out += coeffs.n * xp[2:, 1:-1]
-    out += coeffs.s * xp[:-2, 1:-1]
-    out += coeffs.e * xp[1:-1, 2:]
-    out += coeffs.w * xp[1:-1, :-2]
-    out += coeffs.ne * xp[2:, 2:]
-    out += coeffs.nw * xp[2:, :-2]
-    out += coeffs.se * xp[:-2, 2:]
-    out += coeffs.sw * xp[:-2, :-2]
-    return out
+    return resolve_kernels(kernels).stencil_apply(coeffs, x, xp, out)
 
 
-def apply_stencil_local(coeffs, local, halo_width, out=None):
+def apply_stencil_local(coeffs, local, halo_width, out=None, kernels=None):
     """``A @ x`` on one block's interior, reading neighbors from halos.
 
     Parameters
@@ -83,28 +78,14 @@ def apply_stencil_local(coeffs, local, halo_width, out=None):
     h = halo_width
     bny = local.shape[0] - 2 * h
     bnx = local.shape[1] - 2 * h
-
-    def view(dj, di):
-        return local[h + dj:h + dj + bny, h + di:h + di + bnx]
-
-    x = view(0, 0)
     if out is None:
         out = np.empty((bny, bnx), dtype=local.dtype)
-    np.multiply(coeffs.c, x, out=out)
-    out += coeffs.n * view(1, 0)
-    out += coeffs.s * view(-1, 0)
-    out += coeffs.e * view(0, 1)
-    out += coeffs.w * view(0, -1)
-    out += coeffs.ne * view(1, 1)
-    out += coeffs.nw * view(1, -1)
-    out += coeffs.se * view(-1, 1)
-    out += coeffs.sw * view(-1, -1)
-    return out
+    return resolve_kernels(kernels).stencil_apply_local(coeffs, local, h, out)
 
 
-def residual(coeffs, x, b, out=None):
+def residual(coeffs, x, b, out=None, kernels=None):
     """``b - A @ x`` (the solver's residual), vectorized."""
-    ax = apply_stencil(coeffs, x)
+    ax = apply_stencil(coeffs, x, kernels=kernels)
     if out is None:
         out = np.empty_like(b)
     np.subtract(b, ax, out=out)

@@ -123,6 +123,12 @@ class Decomposition:
         self.active_blocks = sorted(
             (b for b in blocks if b.is_active), key=lambda b: b.rank
         )
+        # Uniformity and critical-path sizes never change after
+        # construction, and are queried on every blocked-operator apply
+        # or field allocation; memoize the block scans.
+        self._is_uniform = None
+        self._max_block_shape = None
+        self._max_block_points = None
 
     # ------------------------------------------------------------------
     # basic queries
@@ -177,16 +183,27 @@ class Decomposition:
     # critical-path metrics (feed the performance model)
     # ------------------------------------------------------------------
     def max_block_shape(self):
-        """``(ny, nx)`` of the largest active block."""
-        if not self.active_blocks:
-            raise DecompositionError("decomposition has no active blocks")
-        ny = max(b.ny for b in self.active_blocks)
-        nx = max(b.nx for b in self.active_blocks)
-        return ny, nx
+        """``(ny, nx)`` of the largest active block.
+
+        Memoized: block shapes are fixed at construction and this is
+        queried on every field allocation.
+        """
+        if self._max_block_shape is None:
+            if not self.active_blocks:
+                raise DecompositionError(
+                    "decomposition has no active blocks")
+            self._max_block_shape = (
+                max(b.ny for b in self.active_blocks),
+                max(b.nx for b in self.active_blocks),
+            )
+        return self._max_block_shape
 
     def max_block_points(self):
         """Grid points in the largest active block (critical-path size)."""
-        return max(b.npoints for b in self.active_blocks)
+        if self._max_block_points is None:
+            self._max_block_points = max(
+                b.npoints for b in self.active_blocks)
+        return self._max_block_points
 
     # ------------------------------------------------------------------
     # uniformity (enables the batched execution engine)
@@ -200,11 +217,15 @@ class Decomposition:
         into one dense ``(p, bny, bnx)`` array -- the structure-of-arrays
         layout the batched execution engine runs on.
         """
-        if not self.active_blocks:
-            return False
-        first = self.active_blocks[0]
-        return all(b.ny == first.ny and b.nx == first.nx
-                   for b in self.active_blocks)
+        if self._is_uniform is None:
+            if not self.active_blocks:
+                self._is_uniform = False
+            else:
+                first = self.active_blocks[0]
+                self._is_uniform = all(
+                    b.ny == first.ny and b.nx == first.nx
+                    for b in self.active_blocks)
+        return self._is_uniform
 
     @property
     def supports_batched(self):

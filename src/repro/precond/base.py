@@ -22,6 +22,7 @@ import abc
 import numpy as np
 
 from repro.core.errors import SolverError
+from repro.kernels import resolve_kernels
 
 
 class Preconditioner(abc.ABC):
@@ -36,14 +37,21 @@ class Preconditioner(abc.ABC):
         Point-local preconditioners ignore it except for flop
         accounting; block preconditioners require it to know the block
         boundaries (``None`` means "one block covering the whole grid").
+    kernels:
+        Kernel backend selection (a name, a backend instance, or
+        ``None`` for ``$REPRO_KERNELS``/auto) -- see
+        :func:`repro.kernels.resolve_kernels`.  Backends change the
+        execution strategy, never the operator ``M``, so this is not
+        part of :meth:`cache_token`.
     """
 
     #: Short name used in experiment tables ("diagonal", "evp", ...).
     name = "abstract"
 
-    def __init__(self, stencil, decomp=None):
+    def __init__(self, stencil, decomp=None, kernels=None):
         self.stencil = stencil
         self.decomp = decomp
+        self.kernels = resolve_kernels(kernels)
         self.mask = np.asarray(stencil.mask, dtype=bool)
 
     # ------------------------------------------------------------------

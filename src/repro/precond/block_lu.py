@@ -35,8 +35,8 @@ class BlockLUPreconditioner(Preconditioner):
 
     name = "block_lu"
 
-    def __init__(self, stencil, decomp=None, tile_size=None):
-        super().__init__(stencil, decomp=decomp)
+    def __init__(self, stencil, decomp=None, tile_size=None, kernels=None):
+        super().__init__(stencil, decomp=decomp, kernels=kernels)
         self.tile_size = tile_size
         self._tiles = self._make_tiles()
         self._factors = []

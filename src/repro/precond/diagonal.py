@@ -18,8 +18,8 @@ class DiagonalPreconditioner(Preconditioner):
 
     name = "diagonal"
 
-    def __init__(self, stencil, decomp=None):
-        super().__init__(stencil, decomp=decomp)
+    def __init__(self, stencil, decomp=None, kernels=None):
+        super().__init__(stencil, decomp=decomp, kernels=kernels)
         diag = stencil.c
         if np.any(diag[self.mask] <= 0.0):
             raise SolverError(

@@ -51,6 +51,7 @@ import numpy as np
 from repro.core.cache import CACHE_FORMAT_VERSION, decomp_signature, digest_of
 from repro.core.errors import SolverError
 from repro.grid.stencil import build_stencil
+from repro.kernels import resolve_kernels
 from repro.parallel.decomposition import _split_extent
 from repro.precond.base import Preconditioner
 
@@ -91,13 +92,21 @@ class EVPTileEngine:
         :attr:`influence_matrix` / :attr:`correction_matrix`, typically
         via the artifact cache).  Skips the ``O(n^3)`` construction;
         mismatched shapes fall back to a fresh build.
+    kernels:
+        Kernel backend (name, instance or ``None`` for the
+        ``REPRO_KERNELS``/auto default) that executes :meth:`solve`.
+        Setup -- influence-matrix construction and the ring-correction
+        factors -- always runs the deterministic reference sweep, so
+        the matrices (and anything cached from them) are identical
+        under every backend.
 
     The engine marches all ``B`` tiles in lockstep along anti-diagonals,
     so the Python-level loop is ``O(my + mx)`` regardless of the batch
     size.
     """
 
-    def __init__(self, coeffs, influence=None):
+    def __init__(self, coeffs, influence=None, kernels=None):
+        self.kernels = resolve_kernels(kernels)
         self.coeffs = {name: np.ascontiguousarray(arr, dtype=np.float64)
                        for name, arr in coeffs.items()}
         batch, my, mx = self.coeffs["c"].shape
@@ -124,6 +133,7 @@ class EVPTileEngine:
         self._diagonals = self._build_diagonals()
         self._ring_rows, self._ring_cols = self._ring_indices()
         self._march_steps = self._build_march_steps()
+        self._march_scratch = {}
         self._w = None
         self._r = None
         if influence is not None:
@@ -135,6 +145,11 @@ class EVPTileEngine:
                 self._r = np.ascontiguousarray(r, dtype=np.float64)
         if self._w is None:
             self._build_influence()
+        # Pre-transposed correction factors: the ring update is one
+        # batched BLAS matmul ``f @ R^T`` (see :meth:`ring_correction`).
+        self._rT = np.ascontiguousarray(np.swapaxes(self._r, 1, 2))
+        self._ring_scratch = np.empty((self.batch, 1, self.k))
+        self._plan = self.kernels.prepare_evp(self)
 
     # ------------------------------------------------------------------
     # geometry
@@ -208,6 +223,11 @@ class EVPTileEngine:
         coefficients broadcast over the unit-vector axis); the ring must
         already be set and everything else zero.  ``y`` matches ``p``'s
         leading shape with trailing ``(my, mx)``.
+
+        The solve-path (3-D) branch gathers into a per-length scratch
+        buffer and updates it in place -- one reused ``(B, L)`` buffer
+        per anti-diagonal length instead of a fresh allocation per step
+        -- without changing any operation's order or rounding.
         """
         extra = p.ndim == 4
         lead = p.shape[:-2]
@@ -220,11 +240,21 @@ class EVPTileEngine:
                     rhs -= vals[:, None] * pf[..., p_src]
                 pf[..., target] = rhs * inv_ne[:, None]
             else:
-                rhs = np.array(yf[:, y_src])
+                rhs = self._rhs_scratch(y_src.shape[0])
+                np.take(yf, y_src, axis=1, out=rhs)
                 for vals, p_src in terms:
-                    rhs -= vals * pf[:, p_src]
-                pf[:, target] = rhs * inv_ne
+                    np.subtract(rhs, vals * pf[:, p_src], out=rhs)
+                np.multiply(rhs, inv_ne, out=rhs)
+                pf[:, target] = rhs
         return p
+
+    def _rhs_scratch(self, length):
+        """The reused ``(B, length)`` right-hand-side buffer."""
+        buf = self._march_scratch.get(length)
+        if buf is None:
+            buf = np.empty((self.batch, length))
+            self._march_scratch[length] = buf
+        return buf
 
     def _edge_residuals(self, p, y):
         """Residuals of the unmarched (north/east edge) equations.
@@ -264,11 +294,20 @@ class EVPTileEngine:
     # influence matrix
     # ------------------------------------------------------------------
     def _build_influence(self):
-        """March the ``k`` unit ring vectors and invert the response.
+        """March the ``k`` unit ring vectors and factor the response.
 
         The state carries an extra axis of size ``k`` (one marching
         system per unit ring vector); coefficients broadcast across it,
         so the memory cost is one ``(B, k, my+2, mx+2)`` array.
+
+        The correction operator is obtained by LU-solving ``W X = I``
+        (``np.linalg.solve`` runs one batched getrf/getrs -- a Doolittle
+        factorization plus two triangular sweeps per tile) rather than
+        the old explicit ``np.linalg.inv``.  The result is still stored
+        as the dense ``correction_matrix`` so cached influence payloads
+        keep their ``(W, W^-1)`` layout; singular responses (possible
+        only on degenerate embedded operators) fall back to the
+        pseudo-inverse as before.
         """
         b, k, my, mx = self.batch, self.k, self.my, self.mx
         p = np.zeros((b, k, my + 2, mx + 2))
@@ -279,8 +318,11 @@ class EVPTileEngine:
         f = self._edge_residuals(p, y)  # (B, k_unit, k_edge)
         # Column j of W is the edge response to unit ring vector j.
         self._w = np.swapaxes(f, 1, 2).copy()
+        # (k, k) would be read as a stack of vectors under numpy's
+        # solve broadcasting; expand to an explicit (B, k, k) identity.
+        identity = np.broadcast_to(np.eye(k), (b, k, k))
         try:
-            self._r = np.linalg.inv(self._w)
+            self._r = np.linalg.solve(self._w, identity)
         except np.linalg.LinAlgError:
             self._r = np.linalg.pinv(self._w)
 
@@ -301,23 +343,31 @@ class EVPTileEngine:
     # ------------------------------------------------------------------
     # solving
     # ------------------------------------------------------------------
-    def solve(self, y):
+    def ring_correction(self, f):
+        """The ring update ``-W^-1 F`` from the edge residuals ``F``.
+
+        One batched BLAS matmul against the pre-transposed LU-derived
+        factors (``ring_i = -(f @ R^T)_i``), negated in place.  Shared
+        by every kernel backend -- the correction is part of the
+        engine's backend-independent setup, which is what keeps solver
+        iterates bit-identical across the deterministic backends and
+        cached influence payloads valid under all of them.  Returns a
+        reused ``(B, k)`` scratch view; consume it before the next call.
+        """
+        np.matmul(f[:, None, :], self._rT, out=self._ring_scratch)
+        ring = self._ring_scratch[:, 0, :]
+        np.negative(ring, out=ring)
+        return ring
+
+    def solve(self, y, out=None):
         """Solve ``B_i x_i = y_i`` for every tile in the batch.
 
-        ``y`` has shape ``(B, my, mx)``; returns ``x`` of the same shape,
-        exact up to marching round-off.
+        ``y`` has shape ``(B, my, mx)``; returns ``x`` of the same
+        shape (written into ``out`` when given), exact up to marching
+        round-off.  Executed by the engine's kernel backend: march ->
+        edge residuals -> :meth:`ring_correction` -> march again.
         """
-        b, my, mx = self.batch, self.my, self.mx
-        if y.shape != (b, my, mx):
-            raise SolverError(f"expected y of shape {(b, my, mx)}, got {y.shape}")
-        p = np.zeros((b, my + 2, mx + 2))
-        self._march(p, y)
-        f = self._edge_residuals(p, y)
-        ring = -np.einsum("bij,bj->bi", self._r, f)
-        p2 = np.zeros((b, my + 2, mx + 2))
-        p2[:, self._ring_rows, self._ring_cols] = ring
-        self._march(p2, y)
-        return p2[:, 1:my + 1, 1:mx + 1].copy()
+        return self.kernels.evp_solve(self, self._plan, y, out=out)
 
     # ------------------------------------------------------------------
     # cost accounting (paper section 4.2 / 4.3)
@@ -370,6 +420,12 @@ class EVPBlockPreconditioner(Preconditioner):
         :meth:`influence_state`, typically loaded from the artifact
         cache); shape groups found in it skip their ``O(n^3)``
         influence-matrix construction.
+    kernels:
+        Kernel backend executing the tile solves (name, instance or
+        ``None`` for the ``REPRO_KERNELS``/auto default); resolved once
+        and shared by every shape group's engine.  Not part of
+        :meth:`cache_token`: backends change execution strategy, not
+        the operator ``M``.
     """
 
     name = "evp"
@@ -377,8 +433,9 @@ class EVPBlockPreconditioner(Preconditioner):
     def __init__(self, stencil, decomp=None, *, metrics=None, topo=None,
                  tile_size=DEFAULT_TILE_SIZE,
                  land_epsilon=DEFAULT_LAND_EPSILON, simplified=True,
-                 embedded_stencil=None, influence_state=None):
-        super().__init__(stencil, decomp=decomp)
+                 embedded_stencil=None, influence_state=None,
+                 kernels=None):
+        super().__init__(stencil, decomp=decomp, kernels=kernels)
         if tile_size < 1:
             raise SolverError(f"tile_size must be >= 1, got {tile_size}")
         self.tile_size = int(tile_size)
@@ -409,6 +466,7 @@ class EVPBlockPreconditioner(Preconditioner):
         self._mask_f = self.mask.astype(np.float64)
         self._gather_idx = self._build_gather_indices()
         self._stack_idx = None
+        self._block_idx = None
         self._mask_f_stack = None
         self._rank_solve_flops = self._accumulate_rank_flops(
             EVPTileEngine.solve_flops_per_tile)
@@ -468,7 +526,8 @@ class EVPBlockPreconditioner(Preconditioner):
                     stacked[name].append(getattr(sub, name))
             coeffs = {name: np.stack(arrs) for name, arrs in stacked.items()}
             engines[shape] = EVPTileEngine(
-                coeffs, influence=_influence_for_shape(influence_state, shape))
+                coeffs, influence=_influence_for_shape(influence_state, shape),
+                kernels=self.kernels)
             groups[shape] = tile_indices
         return engines, groups
 
@@ -543,34 +602,53 @@ class EVPBlockPreconditioner(Preconditioner):
         out *= self._mask_f
         return out
 
+    def _build_block_indices(self):
+        """Per-rank gather/scatter programs for :meth:`apply_block`.
+
+        For each rank and shape group: the batch positions of the
+        rank's tiles plus ``(n, my, mx)`` index arrays into the rank's
+        interior, so one application moves all of a rank's tiles with
+        two fancy-indexing operations instead of a per-tile Python
+        loop.  Tiles are disjoint, so the scatters never collide and
+        the result matches the per-tile loop bit for bit.
+        """
+        blocks = self.decomp.active_blocks
+        per_rank = {rank: [] for rank in range(len(blocks))}
+        for shape, tile_indices in self._groups.items():
+            my, mx = shape
+            by_rank = {}
+            for pos, tidx in enumerate(tile_indices):
+                rank, j0, j1, i0, i1 = self._tiles[tidx]
+                by_rank.setdefault(rank, []).append((pos, j0, j1, i0, i1))
+            for rank, entries in by_rank.items():
+                block = blocks[rank]
+                n = len(entries)
+                positions = np.empty(n, dtype=np.intp)
+                jj = np.empty((n, my, mx), dtype=np.intp)
+                ii = np.empty((n, my, mx), dtype=np.intp)
+                for t, (pos, j0, j1, i0, i1) in enumerate(entries):
+                    positions[t] = pos
+                    jj[t] = np.arange(j0 - block.j0, j1 - block.j0)[:, None]
+                    ii[t] = np.arange(i0 - block.i0, i1 - block.i0)[None, :]
+                per_rank[rank].append((shape, positions, jj, ii))
+        return per_rank
+
     def apply_block(self, rank, r_interior, out=None):
         block = self._rank_block(rank)
         if block is None:
             return self.apply_global(r_interior, out=out)
+        if self._block_idx is None:
+            self._block_idx = self._build_block_indices()
         if out is None:
             out = np.zeros_like(r_interior)
         else:
             out[...] = 0.0
-        for shape, tile_indices in self._groups.items():
-            my, mx = shape
+        for shape, positions, jj, ii in self._block_idx[rank]:
             engine = self._engines[shape]
-            # Positions of this rank's tiles inside the batch.
-            positions = [
-                (pos, tidx) for pos, tidx in enumerate(tile_indices)
-                if self._tiles[tidx][0] == rank
-            ]
-            if not positions:
-                continue
-            y = np.zeros((engine.batch, my, mx))
-            for pos, tidx in positions:
-                _, j0, j1, i0, i1 = self._tiles[tidx]
-                y[pos] = r_interior[j0 - block.j0:j1 - block.j0,
-                                    i0 - block.i0:i1 - block.i0]
+            y = np.zeros((engine.batch,) + shape)
+            y[positions] = r_interior[jj, ii]
             x = engine.solve(y)
-            for pos, tidx in positions:
-                _, j0, j1, i0, i1 = self._tiles[tidx]
-                out[j0 - block.j0:j1 - block.j0,
-                    i0 - block.i0:i1 - block.i0] = x[pos]
+            out[jj, ii] = x[positions]
         out *= self._mask_f[block.slices]
         return out
 

@@ -15,8 +15,8 @@ class IdentityPreconditioner(Preconditioner):
 
     name = "identity"
 
-    def __init__(self, stencil, decomp=None):
-        super().__init__(stencil, decomp=decomp)
+    def __init__(self, stencil, decomp=None, kernels=None):
+        super().__init__(stencil, decomp=decomp, kernels=kernels)
         self._mask_stack = None
 
     def apply_global(self, r, out=None):

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.core.errors import SolverError
 from repro.core.norms import masked_dot
+from repro.kernels import resolve_kernels
 from repro.operators.blocked import BlockedOperator
 from repro.operators.stencil_op import MATVEC_FLOPS_PER_POINT, apply_stencil
 from repro.parallel.events import EventLedger
@@ -51,11 +52,17 @@ from repro.parallel.reduction import binomial_tree_depth
 
 
 class SolverContext(abc.ABC):
-    """Abstract solver context (see module docstring)."""
+    """Abstract solver context (see module docstring).
 
-    def __init__(self, stencil, preconditioner, ledger=None):
+    ``kernels`` selects the backend executing the matvec hot path (see
+    :mod:`repro.kernels`); the preconditioner carries its own backend
+    choice.  Deterministic backends leave all iterates bit-identical.
+    """
+
+    def __init__(self, stencil, preconditioner, ledger=None, kernels=None):
         self.stencil = stencil
         self.preconditioner = preconditioner
+        self.kernels = resolve_kernels(kernels)
         self.ledger = ledger if ledger is not None else EventLedger()
         self.mask = np.asarray(stencil.mask, dtype=bool)
 
@@ -177,8 +184,9 @@ class SerialContext(SolverContext):
         decomposition would record them.  ``None`` means one rank.
     """
 
-    def __init__(self, stencil, preconditioner, decomp=None, ledger=None):
-        super().__init__(stencil, preconditioner, ledger)
+    def __init__(self, stencil, preconditioner, decomp=None, ledger=None,
+                 kernels=None):
+        super().__init__(stencil, preconditioner, ledger, kernels=kernels)
         self.decomp = decomp
         self._mask_f = self.mask.astype(np.float64)
         # Scratch for axpy/combine: ``y += alpha * x`` would materialize
@@ -214,7 +222,7 @@ class SerialContext(SolverContext):
 
     # -- operator ------------------------------------------------------
     def matvec(self, x, out=None, phase="computation"):
-        out = apply_stencil(self.stencil, x, out=out)
+        out = apply_stencil(self.stencil, x, out=out, kernels=self.kernels)
         self.ledger.record_flops(phase, MATVEC_FLOPS_PER_POINT * self._critical)
         # The halo-update *event* is recorded even for a 1-rank context
         # (with zero payload): event counts are the solver's algorithmic
@@ -305,11 +313,13 @@ class DistributedContext(SolverContext):
     bit-identical results, identical event streams.
     """
 
-    def __init__(self, stencil, preconditioner, vm):
-        super().__init__(stencil, preconditioner, ledger=vm.ledger)
+    def __init__(self, stencil, preconditioner, vm, kernels=None):
+        super().__init__(stencil, preconditioner, ledger=vm.ledger,
+                         kernels=kernels)
         self.vm = vm
         self.decomp = vm.decomp
-        self.operator = BlockedOperator(stencil, vm.decomp)
+        self.operator = BlockedOperator(stencil, vm.decomp,
+                                        kernels=self.kernels)
         self._critical = vm.max_block_points
         # Scratch stack for the batched axpy/combine (avoids a fresh
         # ``alpha * x`` temporary per call in the solver hot loop).

@@ -1,0 +1,290 @@
+"""Kernel backend registry and cross-backend parity.
+
+The kernel backends are execution details: the ``numpy`` reference and
+the ``fused`` backend must produce bit-identical results everywhere
+(same IEEE operation sequence, different dispatch), and the optional
+``numba`` backend may drift by at most 1e-12 relative.  The parity
+matrix below exercises every backend against the reference across
+stencil matvecs, EVP preconditioner applies, and full distributed
+solves under both execution engines and both mask regimes.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.errors import KernelError
+from repro.grid import test_config as make_test_config
+from repro.kernels import (
+    AUTO_ORDER,
+    KERNEL_CHOICES,
+    NUMBA_AVAILABLE,
+    FusedKernels,
+    NumbaKernels,
+    NumpyKernels,
+    available_backends,
+    get_backend,
+    resolve_kernels,
+)
+from repro.operators import BlockedOperator, apply_stencil
+from repro.operators.stencil_op import apply_stencil_local
+from repro.parallel import VirtualMachine, decompose
+from repro.precond import make_preconditioner
+from repro.precond.evp import evp_for_config
+from repro.solvers import DistributedContext, PCSISolver
+
+NUMBA_RTOL = 1e-12
+
+#: Backends that must match the reference bit for bit.
+DETERMINISTIC = ["numpy", "fused"]
+
+#: All backends the parity matrix runs -- numba rides along only when
+#: the optional dependency is importable.
+BACKENDS = DETERMINISTIC + [
+    pytest.param("numba", marks=pytest.mark.skipif(
+        not NUMBA_AVAILABLE, reason="numba not installed"))
+]
+
+
+def _assert_close(name, ref, got):
+    """Bit-identical for deterministic backends, 1e-12 for numba."""
+    if get_backend(name).deterministic:
+        assert np.array_equal(ref, got)
+    else:
+        scale = np.abs(ref).max() or 1.0
+        assert np.abs(got - ref).max() / scale <= NUMBA_RTOL
+
+
+@pytest.fixture(scope="module")
+def uniform_config():
+    return make_test_config(32, 48, seed=7)
+
+
+@pytest.fixture(scope="module")
+def uniform_decomp(uniform_config):
+    d = decompose(uniform_config.ny, uniform_config.nx, 4, 4,
+                  mask=uniform_config.mask)
+    assert d.supports_batched
+    return d
+
+
+@pytest.fixture(scope="module")
+def eliminated_config():
+    return make_test_config(32, 48, seed=1, land_fraction=0.5)
+
+
+@pytest.fixture(scope="module")
+def eliminated_decomp(eliminated_config):
+    d = decompose(eliminated_config.ny, eliminated_config.nx, 4, 4,
+                  mask=eliminated_config.mask)
+    assert not d.supports_batched
+    return d
+
+
+def _rhs(config, seed=1):
+    rng = np.random.default_rng(seed)
+    return apply_stencil(config.stencil,
+                         rng.standard_normal(config.shape) * config.mask)
+
+
+class TestRegistry:
+    def test_reference_backends_always_available(self):
+        names = available_backends()
+        assert "numpy" in names
+        assert "fused" in names
+        assert names == tuple(n for n in AUTO_ORDER if n in names)
+
+    def test_determinism_flags(self):
+        assert NumpyKernels().deterministic
+        assert FusedKernels().deterministic
+        assert not NumbaKernels().deterministic
+
+    def test_unknown_backend_raises_listing_choices(self):
+        with pytest.raises(KernelError, match="unknown kernel backend"):
+            get_backend("gpu")
+        with pytest.raises(KernelError) as err:
+            resolve_kernels("gpu")
+        for choice in KERNEL_CHOICES:
+            assert choice in str(err.value)
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba is installed")
+    def test_unavailable_backend_raises_with_reason(self):
+        with pytest.raises(KernelError, match="unavailable"):
+            get_backend("numba")
+        with pytest.raises(KernelError, match="unavailable"):
+            resolve_kernels("numba")
+        with pytest.raises(KernelError, match="unavailable"):
+            resolve_kernels(NumbaKernels())
+
+    def test_auto_picks_first_available(self):
+        assert resolve_kernels("auto").name == available_backends()[0]
+
+    def test_none_defaults_to_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        assert resolve_kernels(None) is resolve_kernels("auto")
+
+    def test_env_variable_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "numpy")
+        assert resolve_kernels(None).name == "numpy"
+        monkeypatch.setenv("REPRO_KERNELS", "gpu")
+        with pytest.raises(KernelError):
+            resolve_kernels(None)
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "numpy")
+        assert resolve_kernels("fused").name == "fused"
+
+    def test_instance_passthrough(self):
+        backend = FusedKernels()
+        assert resolve_kernels(backend) is backend
+
+    def test_names_case_insensitive(self):
+        assert resolve_kernels("FUSED").name == "fused"
+
+    def test_describe_mentions_name(self):
+        for name in available_backends():
+            assert name in get_backend(name).describe()
+
+    def test_cli_rejects_unknown_backend(self):
+        env = dict(os.environ, PYTHONPATH=str(
+            Path(__file__).resolve().parent.parent / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "solve", "--config",
+             "test", "--kernels", "gpu"],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 2
+        assert "unknown kernel backend" in proc.stderr
+
+
+class TestStencilParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_global_matvec(self, uniform_config, backend):
+        ref = apply_stencil(uniform_config.stencil,
+                            _rhs(uniform_config), kernels="numpy")
+        got = apply_stencil(uniform_config.stencil,
+                            _rhs(uniform_config), kernels=backend)
+        _assert_close(backend, ref, got)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_local_matvec(self, uniform_config, uniform_decomp, backend):
+        vm = VirtualMachine(uniform_decomp, mask=uniform_config.mask,
+                            engine="perrank")
+        x = vm.scatter(_rhs(uniform_config))
+        vm.exchange(x)
+        op_ref = BlockedOperator(uniform_config.stencil, uniform_decomp,
+                                 kernels="numpy")
+        op_got = BlockedOperator(uniform_config.stencil, uniform_decomp,
+                                 kernels=backend)
+        h = uniform_decomp.halo_width
+        for rank in range(uniform_decomp.num_active):
+            coeffs = op_ref._local_coeffs[rank]
+            ref = apply_stencil_local(coeffs, x.local(rank), h,
+                                      kernels="numpy")
+            got = apply_stencil_local(op_got._local_coeffs[rank],
+                                      x.local(rank), h, kernels=backend)
+            _assert_close(backend, ref, got)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_stacked_matvec(self, uniform_config, uniform_decomp, backend):
+        outs = {}
+        for name in ("numpy", backend):
+            vm = VirtualMachine(uniform_decomp, mask=uniform_config.mask,
+                                engine="batched")
+            op = BlockedOperator(uniform_config.stencil, uniform_decomp,
+                                 kernels=name)
+            x = vm.scatter(_rhs(uniform_config))
+            vm.exchange(x)
+            out = vm.zeros()
+            op.apply(x, out)
+            outs[name] = out.interior_stack().copy()
+        _assert_close(backend, outs["numpy"], outs[backend])
+
+
+class TestEVPParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("cfg_name", ["uniform", "eliminated"])
+    def test_apply_global(self, uniform_config, eliminated_config,
+                          backend, cfg_name, request):
+        config = {"uniform": uniform_config,
+                  "eliminated": eliminated_config}[cfg_name]
+        decomp = request.getfixturevalue(f"{cfg_name}_decomp")
+        r = _rhs(config, seed=3)
+        ref = evp_for_config(config, decomp=decomp,
+                             kernels="numpy").apply_global(r)
+        got = evp_for_config(config, decomp=decomp,
+                             kernels=backend).apply_global(r)
+        _assert_close(backend, ref, got)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_apply_block_and_stack(self, uniform_config, uniform_decomp,
+                                   backend):
+        rng = np.random.default_rng(11)
+        bny, bnx = uniform_decomp.uniform_block_shape()
+        r_stack = rng.standard_normal((uniform_decomp.num_active, bny, bnx))
+        pres = {name: evp_for_config(uniform_config, decomp=uniform_decomp,
+                                     kernels=name)
+                for name in {"numpy", backend}}
+        _assert_close(backend,
+                      pres["numpy"].apply_stack(r_stack),
+                      pres[backend].apply_stack(r_stack))
+        for rank in (0, uniform_decomp.num_active - 1):
+            _assert_close(backend,
+                          pres["numpy"].apply_block(rank, r_stack[rank]),
+                          pres[backend].apply_block(rank, r_stack[rank]))
+
+    def test_influence_matrices_backend_independent(self, uniform_config,
+                                                    uniform_decomp):
+        """Cached artifacts must not depend on the consuming backend."""
+        pres = {name: evp_for_config(uniform_config, decomp=uniform_decomp,
+                                     kernels=name)
+                for name in available_backends()}
+        ref = pres["numpy"]
+        for name, pre in pres.items():
+            for shape, engine in pre._engines.items():
+                ref_engine = ref._engines[shape]
+                assert np.array_equal(engine._w, ref_engine._w), name
+                assert np.array_equal(engine._r, ref_engine._r), name
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("precond", ["identity", "diagonal", "evp"])
+class TestSolveParity:
+    """Full P-CSI solves: every backend against the numpy reference,
+    under both execution engines."""
+
+    def _solve(self, config, decomp, engine, precond, backend):
+        vm = VirtualMachine(decomp, mask=config.mask, engine=engine)
+        if precond == "evp":
+            pre = evp_for_config(config, decomp=decomp, kernels=backend)
+        else:
+            pre = make_preconditioner(precond, config.stencil,
+                                      decomp=decomp, kernels=backend)
+        ctx = DistributedContext(config.stencil, pre, vm, kernels=backend)
+        solver = PCSISolver(ctx, tol=1e-10, max_iterations=3000)
+        return solver.solve(_rhs(config))
+
+    @pytest.mark.parametrize("engine", ["perrank", "batched"])
+    def test_uniform(self, uniform_config, uniform_decomp, backend,
+                     precond, engine):
+        ref = self._solve(uniform_config, uniform_decomp, engine, precond,
+                          "numpy")
+        got = self._solve(uniform_config, uniform_decomp, engine, precond,
+                          backend)
+        if get_backend(backend).deterministic:
+            assert ref.iterations == got.iterations
+            assert ref.residual_norm == got.residual_norm
+        _assert_close(backend, ref.x, got.x)
+
+    def test_eliminated(self, eliminated_config, eliminated_decomp,
+                        backend, precond):
+        ref = self._solve(eliminated_config, eliminated_decomp, "perrank",
+                          precond, "numpy")
+        got = self._solve(eliminated_config, eliminated_decomp, "perrank",
+                          precond, backend)
+        if get_backend(backend).deterministic:
+            assert ref.iterations == got.iterations
+        _assert_close(backend, ref.x, got.x)
