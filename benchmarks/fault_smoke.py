@@ -8,6 +8,16 @@ skew with recovery enabled, as a converged solve whose retry cost sits
 in the ``"recovery"`` phase) -- never a silent wrong answer, never an
 unhandled exception.
 
+Two further sections extend the contract to the resilience layer:
+
+* **pipeline** -- the infrastructure injectors (``worker_crash``,
+  ``slow_rank``, ``cache_corrupt``) run against a live ``run_all``
+  pipeline, which must complete with zero failed steps (retry, pool
+  rebuild, quarantine + rebuild);
+* **checkpoint_overhead** -- a checkpointed distributed solve at the
+  default snapshot interval (every 50 iterations) must spend < 2 % of
+  its wall clock writing snapshots.
+
 Writes one JSON document per run with the diagnosis of every scenario
 (uploaded as a CI artifact), and exits non-zero if any scenario breaks
 the contract.
@@ -20,6 +30,8 @@ Usage::
 import argparse
 import json
 import sys
+import tempfile
+import time
 import traceback
 from pathlib import Path
 
@@ -27,15 +39,22 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.core import CheckpointPolicy  # noqa: E402
+from repro.core.cache import ArtifactCache, get_cache, set_cache  # noqa: E402
 from repro.core.errors import ConvergenceError  # noqa: E402
 from repro.grid import test_config as make_test_config  # noqa: E402
 from repro.operators import apply_stencil  # noqa: E402
 from repro.parallel import (  # noqa: E402
+    CacheCorruptFault,
+    SlowRankFault,
     VirtualMachine,
+    WorkerCrashFault,
     decompose,
     make_fault,
 )
 from repro.precond import make_preconditioner  # noqa: E402
+from repro.precond.evp import evp_for_config  # noqa: E402
+from repro.reporting import FailurePolicy, run_all  # noqa: E402
 from repro.solvers import (  # noqa: E402
     RECOVERABLE_KINDS,
     ChronGearSolver,
@@ -175,10 +194,172 @@ def _run_scenario(config, decomp, engine, solver_key, fault_spec,
     return record
 
 
+#: Tiny two-step plan for the pipeline injector scenarios.
+PIPELINE_PLAN = [
+    ("repro.experiments.fig05_evp_marching",
+     {"sizes": (4, 8), "trials": 2}, None),
+    ("repro.experiments.fig06_iterations", {}, None),
+]
+
+
+def _pipeline_worker_crash():
+    """A killed worker must cost a retry, never the step."""
+    with tempfile.TemporaryDirectory() as out:
+        rep = run_all(
+            output_dir=out, plan=PIPELINE_PLAN, jobs=2,
+            failure_policy=FailurePolicy(mode="retry", retries=2,
+                                         backoff=0.05),
+            pipeline_faults=[WorkerCrashFault(step=0, attempts=1)])
+    record = {"fault": "worker_crash(step=0, attempts=1)",
+              "failures": len(rep["failures"]),
+              "pool_rebuilds": rep["pool_rebuilds"]}
+    if rep["failures"]:
+        record["violation"] = \
+            f"steps lost to an injected crash: {rep['failures']}"
+    elif rep["pool_rebuilds"] < 1:
+        record["violation"] = "crash injected but no pool rebuild seen"
+    return record
+
+
+def _pipeline_slow_rank():
+    """A wedged step must hit its timeout and succeed on retry."""
+    with tempfile.TemporaryDirectory() as out:
+        rep = run_all(
+            output_dir=out, plan=PIPELINE_PLAN[:1], jobs=2,
+            step_timeout=15,
+            failure_policy=FailurePolicy(mode="retry", retries=1,
+                                         backoff=0.05),
+            pipeline_faults=[SlowRankFault(step=0, sleep=120,
+                                           attempts=1)])
+    record = {"fault": "slow_rank(step=0, sleep=120)",
+              "failures": len(rep["failures"]),
+              "attempts": rep["timings"][0].get("attempts", 1)}
+    if rep["failures"]:
+        record["violation"] = \
+            f"step lost to an injected stall: {rep['failures']}"
+    elif record["attempts"] < 2:
+        record["violation"] = "stall injected but no retry recorded"
+    return record
+
+
+def _pipeline_cache_corrupt():
+    """Corrupted cache entries must be quarantined and rebuilt.
+
+    Which damaged entries the run itself reads (quarantine + rebuild)
+    depends on worker scheduling; the rest must still be damaged on
+    disk for ``verify(repair=True)`` to catch -- together the two
+    channels must account for every injected corruption.
+    """
+    saved = get_cache()
+    fault = CacheCorruptFault(count=2, seed=3)
+    try:
+        with tempfile.TemporaryDirectory() as cache_dir, \
+                tempfile.TemporaryDirectory() as out:
+            set_cache(ArtifactCache(cache_dir=cache_dir))
+            warm = run_all(output_dir=out, plan=PIPELINE_PLAN, jobs=2)
+            set_cache(ArtifactCache(cache_dir=cache_dir))
+            rep = run_all(output_dir=out, plan=PIPELINE_PLAN, jobs=2,
+                          pipeline_faults=[fault])
+            audit = get_cache().verify(repair=True)
+    finally:
+        set_cache(saved)
+    run_quarantined = rep["cache"].get("quarantine_entries", 0)
+    record = {"fault": "cache_corrupt(count=2)",
+              "corrupted": fault.corrupted,
+              "failures": len(warm["failures"]) + len(rep["failures"]),
+              "quarantined_by_run": run_quarantined,
+              "quarantined_by_audit": len(audit["corrupt"])}
+    if warm["failures"] or rep["failures"]:
+        record["violation"] = "pipeline failed under cache corruption"
+    elif not fault.corrupted:
+        record["violation"] = "injector found nothing to corrupt"
+    elif run_quarantined + len(audit["corrupt"]) != len(fault.corrupted):
+        record["violation"] = (
+            "quarantine accounting mismatch: "
+            f"{run_quarantined} during the run + {len(audit['corrupt'])} "
+            f"by audit != {len(fault.corrupted)} injected")
+    return record
+
+
+PIPELINE_SCENARIOS = [
+    ("pipeline-worker-crash", _pipeline_worker_crash),
+    ("pipeline-slow-rank", _pipeline_slow_rank),
+    ("pipeline-cache-corrupt", _pipeline_cache_corrupt),
+]
+
+
+class _TimedPolicy(CheckpointPolicy):
+    """Checkpoint policy that accounts its own write wall clock."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.write_seconds = 0.0
+
+    def write(self, *args, **kwargs):
+        start = time.perf_counter()
+        try:
+            return super().write(*args, **kwargs)
+        finally:
+            self.write_seconds += time.perf_counter() - start
+
+
+#: Snapshot writing may cost at most this fraction of solve wall clock
+#: at the default interval (the tentpole's overhead budget).
+OVERHEAD_BUDGET = 0.02
+
+
+def _checkpoint_overhead(config, decomp):
+    """Measure snapshot cost inside a distributed P-CSI+EVP solve.
+
+    Uses the per-rank engine (realistic per-iteration cost relative to
+    the tiny test grid) and the default ``every=50`` interval; the
+    overhead is the policy's own write time over total solve time, so
+    the measurement does not depend on comparing two noisy runs.
+    """
+    vm = VirtualMachine(decomp, mask=config.mask, engine="perrank")
+    pre = evp_for_config(config, decomp=decomp)
+    ctx = DistributedContext(config.stencil, pre, vm)
+    solver = PCSISolver(ctx, tol=1e-12, max_iterations=3000)
+    rng = np.random.default_rng(1)
+    b = apply_stencil(config.stencil,
+                      rng.standard_normal(config.shape) * config.mask)
+    with tempfile.TemporaryDirectory() as ckdir:
+        policy = _TimedPolicy(ckdir)  # defaults: every=50, keep=3
+        start = time.perf_counter()
+        result = solver.solve(b, checkpoint=policy)
+        total = time.perf_counter() - start
+        writes = len(policy.written)
+        write_seconds = policy.write_seconds
+    overhead = write_seconds / total if total > 0 else float("inf")
+    record = {
+        "engine": "perrank",
+        "interval": policy.every,
+        "iterations": result.iterations,
+        "snapshots": writes,
+        "solve_seconds": total,
+        "write_seconds": write_seconds,
+        "overhead": overhead,
+        "budget": OVERHEAD_BUDGET,
+    }
+    if not result.converged:
+        record["violation"] = "checkpointed solve did not converge"
+    elif writes < 1:
+        record["violation"] = \
+            "no snapshot written at the default interval"
+    elif overhead >= OVERHEAD_BUDGET:
+        record["violation"] = (
+            f"checkpoint overhead {overhead:.1%} exceeds the "
+            f"{OVERHEAD_BUDGET:.0%} budget")
+    return record
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--out", default="fault_diagnoses.json",
                         help="path for the diagnosis JSON report")
+    parser.add_argument("--solver-only", action="store_true",
+                        help="skip the pipeline and checkpoint-overhead "
+                             "sections (solver injector matrix only)")
     args = parser.parse_args(argv)
 
     config = make_test_config(32, 48, seed=7)
@@ -196,6 +377,29 @@ def main(argv=None):
             print(f"  {key:44s} {status}")
             if "violation" in record:
                 violations.append((key, record["violation"]))
+
+    if not args.solver_only:
+        for key, runner in PIPELINE_SCENARIOS:
+            try:
+                record = runner()
+            except Exception as exc:  # noqa: BLE001 -- contract under test
+                record = {"violation": f"{type(exc).__name__}: {exc}",
+                          "traceback": traceback.format_exc()}
+            report["scenarios"][key] = record
+            status = record.get("violation", "completed")
+            print(f"  {key:44s} {status}")
+            if "violation" in record:
+                violations.append((key, record["violation"]))
+
+        record = _checkpoint_overhead(config, decomp)
+        report["checkpoint_overhead"] = record
+        status = record.get(
+            "violation",
+            f"{record['overhead']:.2%} of solve "
+            f"({record['snapshots']} snapshots)")
+        print(f"  {'checkpoint-overhead[perrank]':44s} {status}")
+        if "violation" in record:
+            violations.append(("checkpoint-overhead", record["violation"]))
 
     # Diagnosed failures of recoverable kinds must be flagged as such
     # (the recovery policy keys off this bit).

@@ -6,6 +6,19 @@ free-surface system once per call, through whichever solver /
 preconditioner combination it was built with.  This is the integration
 point the paper modifies inside POP: swapping ChronGear for P-CSI (and
 diagonal for EVP) happens here and nowhere else.
+
+Checkpoint/restart
+------------------
+Long integrations snapshot the *complete* stepping state -- both SSH
+levels, the step counter and the per-step statistics history -- through
+:meth:`BarotropicStepper.checkpoint` /
+:meth:`BarotropicStepper.restore` (versioned, checksummed, atomic files
+from :mod:`repro.core.checkpoint`).  The SSH fields round-trip
+bit-for-bit and every post-restore solve starts from the exact arrays
+the uninterrupted run would have used, so a restored integration is
+bit-identical on every engine and kernel backend.
+:meth:`BarotropicStepper.run` drives N steps under a
+:class:`~repro.core.checkpoint.CheckpointPolicy`.
 """
 
 from dataclasses import dataclass
@@ -13,6 +26,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.barotropic.rhs import free_surface_rhs
+from repro.core.cache import digest_of
+from repro.core.checkpoint import CheckpointError, read_checkpoint
 from repro.core.errors import SolverError
 
 
@@ -91,3 +106,94 @@ class BarotropicStepper:
         if not self.history:
             return 0.0
         return sum(s.iterations for s in self.history) / len(self.history)
+
+    # ------------------------------------------------------------------
+    # checkpoint/restart
+    # ------------------------------------------------------------------
+    def _grid_digest(self):
+        """Content digest tying a snapshot to this exact grid."""
+        stencil = self.solver.context.stencil
+        return digest_of("stepper-checkpoint", np.asarray(stencil.mask))
+
+    def checkpoint(self, path):
+        """Write the full stepping state to ``path`` (atomic, checksummed).
+
+        Captures both SSH levels bit-for-bit, the step counter, the
+        warm-start setting and the per-step statistics, so
+        :meth:`restore` continues the integration exactly where this
+        snapshot was taken.
+        """
+        from repro.core.checkpoint import write_checkpoint
+
+        meta = {
+            "step_count": int(self.step_count),
+            "use_previous_as_guess": bool(self.use_previous_as_guess),
+            "shape": [int(s) for s in self.config.shape],
+            "grid_digest": self._grid_digest(),
+            "history": [[int(s.step), int(s.iterations),
+                         float(s.residual_norm), bool(s.converged)]
+                        for s in self.history],
+        }
+        return write_checkpoint(path, "stepper",
+                                {"eta_n": self.eta_n,
+                                 "eta_nm1": self.eta_nm1}, meta)
+
+    def restore(self, path):
+        """Resume from a snapshot written by :meth:`checkpoint`.
+
+        Verifies the envelope (version, kind, checksum) and that the
+        snapshot belongs to this grid; a mismatch raises
+        :class:`~repro.core.checkpoint.CheckpointError` rather than
+        silently continuing from foreign state.  Returns ``self``.
+        """
+        arrays, meta = read_checkpoint(path, kind="stepper")
+        if tuple(meta.get("shape", ())) != tuple(self.config.shape):
+            raise CheckpointError(
+                f"checkpoint {path} grid shape {meta.get('shape')} does "
+                f"not match this stepper {list(self.config.shape)}")
+        if meta.get("grid_digest") != self._grid_digest():
+            raise CheckpointError(
+                f"checkpoint {path} was written for a different grid "
+                f"(mask content differs) -- refusing to resume")
+        self.eta_n = np.array(arrays["eta_n"], dtype=np.float64)
+        self.eta_nm1 = np.array(arrays["eta_nm1"], dtype=np.float64)
+        self.step_count = int(meta["step_count"])
+        self.use_previous_as_guess = bool(meta["use_previous_as_guess"])
+        self.history = [
+            StepStats(step=int(s), iterations=int(i),
+                      residual_norm=float(r), converged=bool(c))
+            for s, i, r, c in meta.get("history", [])
+        ]
+        return self
+
+    def run(self, steps, forcing=None, checkpoint=None):
+        """Advance ``steps`` steps, snapshotting under a policy.
+
+        ``forcing`` is an optional callable ``step_index -> field`` (or
+        a constant field applied every step).  ``checkpoint`` is an
+        optional :class:`~repro.core.checkpoint.CheckpointPolicy`; a
+        snapshot is written after every ``policy.every``-th step.
+        Returns the final SSH.
+        """
+        for _ in range(int(steps)):
+            if callable(forcing):
+                field = forcing(self.step_count + 1)
+            else:
+                field = forcing
+            self.step(forcing=field)
+            if checkpoint is not None and checkpoint.due(self.step_count):
+                checkpoint.write(
+                    self.step_count, "stepper",
+                    {"eta_n": self.eta_n, "eta_nm1": self.eta_nm1},
+                    {
+                        "step_count": int(self.step_count),
+                        "use_previous_as_guess":
+                            bool(self.use_previous_as_guess),
+                        "shape": [int(s) for s in self.config.shape],
+                        "grid_digest": self._grid_digest(),
+                        "history": [[int(s.step), int(s.iterations),
+                                     float(s.residual_norm),
+                                     bool(s.converged)]
+                                    for s in self.history],
+                    })
+        return self.eta_n

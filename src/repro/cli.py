@@ -18,17 +18,27 @@ Commands
     deterministic fault injectors to exercise the solver guardrails,
     and ``--max-recoveries`` / ``--fallback chrongear`` control P-CSI's
     divergence recovery.  A diagnosed failure exits with status 3.
+    ``--checkpoint-dir DIR`` snapshots the solver state every
+    ``--checkpoint-every`` iterations (and on diagnosed failure);
+    ``--resume-from PATH`` continues a solve from such a snapshot,
+    bit-identically to the uninterrupted run.
 ``machines``
     Print the calibrated machine models.
 ``report [--out DIR] [--verification] [--jobs N] [--no-cache]
-[--cache-dir DIR]``
+[--cache-dir DIR] [--resume] [--step-timeout S] [--retries N]
+[--on-failure MODE]``
     Run the whole evaluation plan and print the paper-vs-measured
     comparison (the automated backbone of EXPERIMENTS.md).  ``--jobs``
     fans the measured solves and experiment steps over worker
     processes; the artifact cache (persistent across invocations
-    unless ``--no-cache``) makes warm re-runs cheap.
-``cache {stats,clear} [--cache-dir DIR]``
-    Inspect or empty the on-disk artifact cache.
+    unless ``--no-cache``) makes warm re-runs cheap.  ``--resume``
+    skips steps the manifest under ``--out`` already records as done;
+    ``--step-timeout`` bounds each step attempt's wall clock;
+    ``--retries`` / ``--on-failure`` configure the failure policy.
+``cache {stats,clear,verify} [--cache-dir DIR] [--repair]``
+    Inspect, empty, or integrity-audit the on-disk artifact cache
+    (``verify --repair`` quarantines corrupt entries so the next run
+    rebuilds them).
 """
 
 import argparse
@@ -178,8 +188,20 @@ def cmd_solve(args):
     for fault in faults:
         b = fault.on_rhs(b, config.mask)
 
+    policy = None
+    if args.checkpoint_dir:
+        from repro.core.checkpoint import CheckpointPolicy
+
+        policy = CheckpointPolicy(args.checkpoint_dir,
+                                  every=args.checkpoint_every)
+        print(f"checkpointing to {policy.directory} every "
+              f"{policy.every} iterations")
+    if args.resume_from:
+        print(f"resuming from checkpoint {args.resume_from}")
+
     try:
-        result = solver.solve(b)
+        result = solver.solve(b, checkpoint=policy,
+                              resume_from=args.resume_from or None)
     except ConvergenceError as err:
         print(f"solve FAILED: {err.diagnosis.describe()}"
               if err.diagnosis is not None else f"solve FAILED: {err}")
@@ -188,8 +210,13 @@ def cmd_solve(args):
             for diag in err.result.extra.get("recovery_diagnoses", []):
                 print(f"  recovery attempted after: [{diag['kind']}] "
                       f"{diag['message']}")
+        if policy is not None and policy.written:
+            print(f"  last checkpoint: {policy.written[-1]}")
         return 3
     print(result.describe())
+    if policy is not None and policy.written:
+        print(f"  checkpoints written: {len(policy.written)} "
+              f"(latest: {policy.written[-1]})")
     if result.extra.get("recoveries"):
         print(f"  recovered after {result.extra['recoveries']} failed "
               f"attempt(s):")
@@ -225,18 +252,26 @@ def cmd_solve(args):
 
 def cmd_report(args):
     from repro.core.cache import configure_cache, default_cache_dir
-    from repro.reporting import run_all
+    from repro.reporting import FailurePolicy, run_all
 
     if args.no_cache:
         cache = configure_cache(cache_dir=None)
     else:
         cache = configure_cache(
             cache_dir=args.cache_dir or default_cache_dir())
+    if args.resume and not args.out:
+        print("error: --resume needs --out (the manifest lives there)",
+              file=sys.stderr)
+        return 2
+    policy = FailurePolicy(mode=args.on_failure, retries=args.retries)
     report = run_all(
         output_dir=args.out,
         include_verification=args.verification,
         progress=lambda name: print(f"running {name} ..."),
         jobs=args.jobs,
+        resume=args.resume,
+        step_timeout=args.step_timeout,
+        failure_policy=policy,
     )
     print()
     print(report["rendered"])
@@ -245,22 +280,34 @@ def cmd_report(args):
     for entry in report.get("timings", []):
         step = entry["step"].rsplit(".", 1)[-1]
         if entry.get("failed"):
-            print(f"  {step:28s}   FAILED (diagnosed solver failure)")
+            print(f"  {step:28s}   FAILED")
             continue
+        if entry.get("resumed"):
+            print(f"  {step:28s}   resumed from manifest")
+            continue
+        retries = (f", attempts {entry['attempts']}"
+                   if entry.get("attempts") else "")
         print(f"  {step:28s} {entry['seconds']:8.2f} s  "
               f"(cache hits {entry['cache_hits']}, "
-              f"misses {entry['cache_misses']})")
+              f"misses {entry['cache_misses']}{retries})")
     for entry in report.get("diagnoses", []):
         diag = entry["diagnosis"] or {}
         print(f"  diagnosis [{diag.get('kind', '?')}] in "
               f"{entry['step']}: {diag.get('message', entry['error'])}")
+    for entry in report.get("failures", []):
+        print(f"  failure in {entry['step']} after "
+              f"{entry['attempts']} attempt(s): {entry['error']}")
     stats = cache.stats()
     print(f"cache: {stats['memory_hits']} memory hits, "
           f"{stats['disk_hits']} disk hits, {stats['misses']} misses, "
           f"{stats['disk_entries']} disk entries "
           f"({stats['disk_bytes'] / 1e6:.1f} MB)"
+          + (f", {stats['quarantined']} quarantined"
+             if stats.get("quarantined") else "")
           + (f" in {stats['cache_dir']}" if stats["cache_dir"] else ""))
-    return 0
+    if report.get("manifest"):
+        print(f"manifest: {report['manifest']}")
+    return 1 if report.get("failures") else 0
 
 
 def cmd_cache(args):
@@ -271,10 +318,29 @@ def cmd_cache(args):
         removed = cache.clear()
         print(f"removed {removed} cached artifacts from {cache.cache_dir}")
         return 0
+    if args.action == "verify":
+        report = cache.verify(repair=args.repair)
+        print(f"cache directory: {cache.cache_dir}")
+        print(f"checked {report['checked']} entries: "
+              f"{report['ok']} verified, {report['legacy']} legacy "
+              f"(no checksum), {len(report['corrupt'])} corrupt")
+        for path, reason in report["corrupt"]:
+            import os as _os
+
+            print(f"  corrupt: {_os.path.basename(path)} -- {reason}")
+        if args.repair and report["quarantined"]:
+            print(f"quarantined {report['quarantined']} corrupt "
+                  f"entries to {cache.quarantine_dir()}; the next run "
+                  f"rebuilds them")
+        elif report["corrupt"] and not args.repair:
+            print("re-run with --repair to quarantine them")
+        return 1 if report["corrupt"] else 0
     stats = cache.stats()
     print(f"cache directory: {stats['cache_dir']}")
     print(f"entries: {stats['disk_entries']}")
     print(f"size: {stats['disk_bytes'] / 1e6:.2f} MB")
+    if stats.get("quarantine_entries"):
+        print(f"quarantined entries: {stats['quarantine_entries']}")
     return 0
 
 
@@ -335,6 +401,15 @@ def build_parser():
                          choices=["chrongear"],
                          help="P-CSI last-resort solver once recoveries "
                               "are exhausted")
+    p_solve.add_argument("--checkpoint-dir", default=None,
+                         help="snapshot solver state into this "
+                              "directory (periodic + on failure)")
+    p_solve.add_argument("--checkpoint-every", type=int, default=50,
+                         help="iterations between snapshots "
+                              "(default: 50; 0 = only on failure)")
+    p_solve.add_argument("--resume-from", default=None, metavar="PATH",
+                         help="resume the solve from a checkpoint file "
+                              "(bit-identical to the uninterrupted run)")
 
     sub.add_parser("machines", help="print machine models")
 
@@ -354,14 +429,32 @@ def build_parser():
                           help="artifact cache directory (default: "
                                "$REPRO_CACHE_DIR or "
                                "~/.cache/repro-artifacts)")
+    p_report.add_argument("--resume", action="store_true",
+                          help="skip steps the manifest under --out "
+                               "already records as completed")
+    p_report.add_argument("--step-timeout", type=float, default=None,
+                          metavar="S",
+                          help="wall-clock budget per step attempt in "
+                               "seconds (jobs > 1 only)")
+    p_report.add_argument("--retries", type=int, default=2,
+                          help="extra attempts per failed step under "
+                               "--on-failure retry (default: 2)")
+    p_report.add_argument("--on-failure", default="retry",
+                          choices=["fail_fast", "continue", "retry"],
+                          help="what a failed step does to the run "
+                               "(default: retry)")
 
     p_cache = sub.add_parser(
-        "cache", help="inspect or clear the on-disk artifact cache")
-    p_cache.add_argument("action", choices=["stats", "clear"])
+        "cache",
+        help="inspect, clear, or integrity-audit the artifact cache")
+    p_cache.add_argument("action", choices=["stats", "clear", "verify"])
     p_cache.add_argument("--cache-dir", default=None,
                          help="artifact cache directory (default: "
                               "$REPRO_CACHE_DIR or "
                               "~/.cache/repro-artifacts)")
+    p_cache.add_argument("--repair", action="store_true",
+                         help="with verify: quarantine corrupt entries "
+                              "so the next run rebuilds them")
     return parser
 
 

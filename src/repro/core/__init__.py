@@ -25,12 +25,22 @@ and ``W`` is ``i-1``.
 
 from repro.core.cache import (
     CACHE_FORMAT_VERSION,
+    QUARANTINE_DIRNAME,
     ArtifactCache,
     configure_cache,
     default_cache_dir,
     digest_of,
     get_cache,
     set_cache,
+)
+from repro.core.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    CheckpointPolicy,
+    latest_checkpoint,
+    list_checkpoints,
+    read_checkpoint,
+    write_checkpoint,
 )
 from repro.core.constants import (
     EARTH_RADIUS_M,
@@ -63,12 +73,20 @@ from repro.core.rng import make_rng, spawn_rngs
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
+    "QUARANTINE_DIRNAME",
     "ArtifactCache",
     "configure_cache",
     "default_cache_dir",
     "digest_of",
     "get_cache",
     "set_cache",
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointPolicy",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "read_checkpoint",
+    "write_checkpoint",
     "EARTH_RADIUS_M",
     "GRAVITY_M_S2",
     "SECONDS_PER_DAY",

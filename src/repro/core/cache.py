@@ -16,8 +16,19 @@ them a shared memoization substrate:
 Keys are SHA-256 digests of a canonical byte encoding of the inputs
 (scalars, strings, tuples, dicts and numpy arrays), always salted with
 :data:`CACHE_FORMAT_VERSION` by the callers so that format changes
-invalidate old entries wholesale.  Corrupted or truncated disk entries
-are treated as misses (and deleted), never as errors.
+invalidate old entries wholesale.
+
+Self-healing
+------------
+Every entry written since format v4 carries a SHA-256 checksum over its
+payload (arrays + caller metadata) inside the npz metadata member.
+:meth:`ArtifactCache.load` verifies that checksum on every read: a
+corrupted, truncated, or silently bit-flipped entry is **quarantined**
+(moved into ``<cache_dir>/quarantine/``) and reported as a miss, never
+raised -- callers fall through to their rebuild path and the store
+heals itself.  :meth:`ArtifactCache.verify` audits the whole disk tier
+offline (``repro cache verify [--repair]``) without disturbing healthy
+entries.
 
 The global cache used by the experiment layer defaults to memory-only;
 the disk tier activates when ``REPRO_CACHE_DIR`` is set, when the CLI
@@ -43,7 +54,10 @@ import numpy as np
 #: (``np.linalg.solve`` against the identity) instead of explicit
 #: ``np.linalg.inv``; persisted ``r_*`` influence arrays change in the
 #: last bits.
-CACHE_FORMAT_VERSION = 3
+#: v4: entries carry a self-describing integrity envelope (SHA-256
+#: content checksum, verified on every read); pre-v4 blobs have no
+#: checksum and must not be trusted as verified.
+CACHE_FORMAT_VERSION = 4
 
 #: Filename prefix for every entry this cache writes, so ``clear()``
 #: only ever deletes files it owns.
@@ -51,6 +65,9 @@ _FILE_PREFIX = "repro-"
 
 #: npz member holding the JSON metadata of an entry.
 _META_KEY = "__meta__"
+
+#: Subdirectory (inside the cache dir) receiving damaged entries.
+QUARANTINE_DIRNAME = "quarantine"
 
 
 # ----------------------------------------------------------------------
@@ -139,6 +156,14 @@ def decomp_signature(decomp):
 # ----------------------------------------------------------------------
 # the cache
 # ----------------------------------------------------------------------
+class CacheEntryDamaged(Exception):
+    """Internal: one disk entry failed parsing or checksum verification.
+
+    Never escapes :class:`ArtifactCache` -- ``load`` converts it into a
+    quarantine + miss, ``verify`` into an audit finding.
+    """
+
+
 class ArtifactCache:
     """Two-tier (memory + content-addressed disk) artifact cache.
 
@@ -153,7 +178,8 @@ class ArtifactCache:
     Lookup counters: ``memory_hits`` / ``disk_hits`` count successful
     lookups per tier; ``misses`` counts lookups that found nothing in
     either tier (a disk lookup is only issued after a memory miss, so
-    the sum is consistent); ``writes`` counts disk stores.
+    the sum is consistent); ``writes`` counts disk stores;
+    ``quarantined`` counts damaged entries moved aside.
     """
 
     def __init__(self, cache_dir=None, memory=True):
@@ -163,6 +189,7 @@ class ArtifactCache:
         self.disk_hits = 0
         self.misses = 0
         self.writes = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     # memory tier
@@ -189,33 +216,97 @@ class ArtifactCache:
         return os.path.join(self.cache_dir,
                             f"{_FILE_PREFIX}{category}-{key}.npz")
 
+    def quarantine_dir(self):
+        """Directory receiving damaged entries (inside the cache dir)."""
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, QUARANTINE_DIRNAME)
+
+    def _quarantine(self, path, reason):
+        """Move a damaged entry aside instead of destroying evidence.
+
+        The file lands in ``<cache_dir>/quarantine/`` under its own
+        name and the reason is appended to ``quarantine/REASONS.log``;
+        an operator (or the chaos-smoke CI job) can inspect exactly
+        what was damaged and why.  Quarantining never raises -- if the
+        move itself fails the file is deleted so the slot is freed
+        either way.
+        """
+        qdir = self.quarantine_dir()
+        try:
+            os.makedirs(qdir, exist_ok=True)
+            dest = os.path.join(qdir, os.path.basename(path))
+            os.replace(path, dest)
+            with open(os.path.join(qdir, "REASONS.log"), "a",
+                      encoding="utf-8") as log:
+                log.write(f"{os.path.basename(path)}\t{reason}\n")
+        except OSError:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        self.quarantined += 1
+
+    @staticmethod
+    def _content_checksum(arrays, meta):
+        """SHA-256 over the canonical payload encoding (order-stable)."""
+        h = hashlib.sha256()
+        h.update(canonical_bytes({str(k): np.asarray(v)
+                                  for k, v in arrays.items()}))
+        h.update(json.dumps(meta, sort_keys=True).encode("utf-8"))
+        return h.hexdigest()
+
+    def _read_entry(self, path):
+        """Parse one disk entry; returns ``(arrays, meta)``.
+
+        Raises ``CacheEntryDamaged`` (carrying the reason) for anything
+        unusable: unreadable npz, missing/garbled metadata member, or a
+        checksum that does not match the recorded one.  Pre-v4 entries
+        without an integrity envelope load as-is (their keys are salted
+        with the old format version, so normal lookups never hit them).
+        """
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                meta_doc = json.loads(str(data[_META_KEY][()]))
+                arrays = {name: data[name] for name in data.files
+                          if name != _META_KEY}
+        except (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile, json.JSONDecodeError,
+                UnicodeDecodeError) as exc:
+            raise CacheEntryDamaged(f"unreadable ({exc})") from exc
+        if isinstance(meta_doc, dict) and "__checksum__" in meta_doc:
+            expected = meta_doc["__checksum__"]
+            meta = meta_doc.get("meta", {})
+            actual = self._content_checksum(arrays, meta)
+            if actual != expected:
+                raise CacheEntryDamaged(
+                    f"checksum mismatch (sha256 {actual[:12]}... != "
+                    f"recorded {str(expected)[:12]}...)")
+            return arrays, meta
+        # Legacy (pre-v4) layout: the metadata member is the caller's
+        # meta itself and no checksum exists to verify.
+        return arrays, meta_doc
+
     def load(self, category, key):
         """Disk entry as ``(arrays, meta)``; ``None`` (a miss) otherwise.
 
-        Corrupted, truncated or unreadable entries are deleted and
-        reported as misses, never raised.
+        Every read verifies the entry's content checksum.  Corrupted,
+        truncated or unreadable entries are quarantined (moved to
+        ``<cache_dir>/quarantine/``) and reported as misses, never
+        raised -- the caller's rebuild-and-store path then heals the
+        slot transparently.
         """
         if self.cache_dir is None:
             self.misses += 1
             return None
         path = self._path(category, key)
-        try:
-            with np.load(path, allow_pickle=False) as data:
-                meta_raw = data[_META_KEY][()]
-                meta = json.loads(str(meta_raw))
-                arrays = {name: data[name] for name in data.files
-                          if name != _META_KEY}
-        except FileNotFoundError:
+        if not os.path.exists(path):
             self.misses += 1
             return None
-        except (OSError, ValueError, KeyError, EOFError,
-                zipfile.BadZipFile, json.JSONDecodeError,
-                UnicodeDecodeError):
-            # Treat damage as a miss; drop the unusable file.
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+        try:
+            arrays, meta = self._read_entry(path)
+        except CacheEntryDamaged as exc:
+            self._quarantine(path, str(exc))
             self.misses += 1
             return None
         self.disk_hits += 1
@@ -224,23 +315,32 @@ class ArtifactCache:
     def store(self, category, key, arrays=None, meta=None):
         """Atomically write ``(arrays, meta)``; returns the path or None.
 
-        The entry is written to a temporary file in the cache directory
-        and moved into place with ``os.replace``, so concurrent readers
-        and writers (the parallel pipeline's workers) never observe a
+        The entry embeds a SHA-256 checksum of its payload, is written
+        to a temporary file *in the cache directory* (same filesystem,
+        so the final rename cannot degrade to copy+delete), flushed and
+        ``os.fsync``-ed, then moved into place with ``os.replace`` --
+        concurrent readers and a crash mid-write can never observe a
         partial entry.
         """
         if self.cache_dir is None:
             return None
         os.makedirs(self.cache_dir, exist_ok=True)
+        user_meta = meta if meta is not None else {}
         payload = dict(arrays or {})
-        payload[_META_KEY] = np.array(json.dumps(meta if meta is not None
-                                                 else {}))
+        envelope = {
+            "__checksum__": self._content_checksum(payload, user_meta),
+            "format": CACHE_FORMAT_VERSION,
+            "meta": user_meta,
+        }
+        payload[_META_KEY] = np.array(json.dumps(envelope))
         path = self._path(category, key)
         fd, tmp = tempfile.mkstemp(prefix=f"{_FILE_PREFIX}tmp-",
                                    dir=self.cache_dir)
         try:
             with os.fdopen(fd, "wb") as handle:
                 np.savez(handle, **payload)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except OSError:
             try:
@@ -250,6 +350,47 @@ class ArtifactCache:
             return None
         self.writes += 1
         return path
+
+    def verify(self, repair=False):
+        """Audit every disk entry; returns a summary dict.
+
+        Each entry is fully read back and its checksum recomputed.  The
+        summary maps ``checked``/``ok``/``legacy`` to counts and
+        ``corrupt`` to a list of ``(path, reason)`` pairs.  With
+        ``repair=True`` corrupt entries are quarantined on the spot (so
+        the next lookup rebuilds them); without it the audit is
+        read-only.  ``legacy`` counts pre-v4 entries that carry no
+        checksum -- unreachable through current keys and left alone.
+        """
+        report = {"checked": 0, "ok": 0, "legacy": 0, "corrupt": [],
+                  "quarantined": 0}
+        for path in self._disk_entries():
+            report["checked"] += 1
+            try:
+                with np.load(path, allow_pickle=False) as data:
+                    meta_doc = json.loads(str(data[_META_KEY][()]))
+                    has_envelope = (isinstance(meta_doc, dict)
+                                    and "__checksum__" in meta_doc)
+                self._read_entry(path)
+            except CacheEntryDamaged as exc:
+                report["corrupt"].append((path, str(exc)))
+                if repair:
+                    self._quarantine(path, f"verify: {exc}")
+                    report["quarantined"] += 1
+                continue
+            except (OSError, ValueError, KeyError, EOFError,
+                    zipfile.BadZipFile, json.JSONDecodeError,
+                    UnicodeDecodeError) as exc:
+                report["corrupt"].append((path, f"unreadable ({exc})"))
+                if repair:
+                    self._quarantine(path, f"verify: unreadable ({exc})")
+                    report["quarantined"] += 1
+                continue
+            if has_envelope:
+                report["ok"] += 1
+            else:
+                report["legacy"] += 1
+        return report
 
     # ------------------------------------------------------------------
     # accounting + maintenance
@@ -276,7 +417,15 @@ class ArtifactCache:
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
+            "quarantined": self.quarantined,
         }
+
+    def _quarantine_entries(self):
+        qdir = self.quarantine_dir()
+        if qdir is None or not os.path.isdir(qdir):
+            return []
+        return [os.path.join(qdir, n) for n in os.listdir(qdir)
+                if n.startswith(_FILE_PREFIX) and n.endswith(".npz")]
 
     def stats(self):
         """Entry counts, on-disk bytes and lookup counters."""
@@ -293,6 +442,7 @@ class ArtifactCache:
             "disk_bytes": size,
             "memory_entries": (0 if self._memory is None
                                else len(self._memory)),
+            "quarantine_entries": len(self._quarantine_entries()),
         }
         out.update(self.counters())
         return out

@@ -1,0 +1,268 @@
+"""Versioned, checksummed, atomically-written snapshots.
+
+The campaigns this repository reproduces -- long solver runs, multi-day
+model integrations, the 14-figure report pipeline -- are exactly the
+workloads that die to a preempted node or an operator Ctrl-C.  This
+module is the storage layer of the resilience subsystem: a *checkpoint*
+is a single ``.npz`` file holding
+
+* the payload arrays (solver iterates, SSH fields, ...),
+* a JSON metadata document (iteration counters, scalar solver state,
+  event-ledger snapshots),
+* an **envelope** recording the format version, a ``kind`` tag naming
+  the producer (``"solver"``, ``"stepper"``), and a SHA-256 checksum
+  over the canonical encoding of payload + metadata.
+
+Write discipline mirrors the artifact cache: serialize to a temporary
+file in the destination directory, ``flush`` + ``os.fsync``, then
+``os.replace`` into place -- a crash mid-write can never leave a torn
+checkpoint where a resume would find it.  Reads verify the envelope
+(version, kind, checksum) and raise :class:`CheckpointError` on any
+mismatch; a resume never silently continues from damaged state.
+
+Consumers: :class:`~repro.solvers.base.IterativeSolver` (per-iteration
+solver snapshots via :class:`CheckpointPolicy`) and
+:class:`~repro.barotropic.stepper.BarotropicStepper` (per-step model
+snapshots).  Both guarantee bit-identical resume: the restored run
+produces exactly the iterates/fields an uninterrupted run would.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+
+import numpy as np
+
+from repro.core.cache import canonical_bytes
+from repro.core.errors import ReproError
+
+#: Bump when the checkpoint payload layout changes; readers refuse
+#: snapshots from other versions outright (resuming across format
+#: changes cannot be bit-identical, so it must not be silent).
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: npz member holding the JSON envelope.
+_ENVELOPE_KEY = "__checkpoint__"
+
+#: Filename suffix shared by every checkpoint this module writes.
+CHECKPOINT_SUFFIX = ".ckpt.npz"
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, read, or verified."""
+
+
+def sanitize_meta(value):
+    """Coerce nested values into JSON-serializable form.
+
+    Numpy scalars become Python scalars, arrays and tuples become
+    lists; NaN/Inf floats pass through (Python's JSON codec round-trips
+    them).  Anything unrepresentable falls back to its ``repr`` --
+    checkpoint metadata is bookkeeping, never measurements.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): sanitize_meta(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_meta(v) for v in value]
+    return repr(value)
+
+
+def _payload_checksum(arrays, meta):
+    """SHA-256 over the canonical encoding of payload + metadata.
+
+    ``canonical_bytes`` sorts dict items, so the digest is independent
+    of insertion order; array dtype/shape/content are all covered.
+    """
+    h = hashlib.sha256()
+    h.update(canonical_bytes({str(k): np.asarray(v)
+                              for k, v in arrays.items()}))
+    h.update(json.dumps(meta, sort_keys=True).encode("utf-8"))
+    return h.hexdigest()
+
+
+def write_checkpoint(path, kind, arrays=None, meta=None):
+    """Atomically write a checkpoint; returns the final path.
+
+    ``arrays`` maps names to numpy arrays, ``meta`` is a JSON-able dict
+    (NaN/Inf floats are allowed -- Python's JSON codec round-trips
+    them).  The file only appears under ``path`` once fully written and
+    fsynced.
+    """
+    arrays = dict(arrays or {})
+    meta = dict(meta or {})
+    if _ENVELOPE_KEY in arrays:
+        raise CheckpointError(
+            f"array name {_ENVELOPE_KEY!r} is reserved for the envelope")
+    envelope = {
+        "version": CHECKPOINT_FORMAT_VERSION,
+        "kind": str(kind),
+        "checksum": _payload_checksum(arrays, meta),
+        "meta": meta,
+    }
+    payload = {name: np.asarray(value) for name, value in arrays.items()}
+    payload[_ENVELOPE_KEY] = np.array(json.dumps(envelope))
+
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(prefix=".ckpt-tmp-", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise CheckpointError(f"cannot write checkpoint {path}: {exc}") \
+            from exc
+    return path
+
+
+def read_checkpoint(path, kind=None):
+    """Read and verify a checkpoint; returns ``(arrays, meta)``.
+
+    Raises :class:`CheckpointError` when the file is missing, torn,
+    carries a different format version, was written by a different
+    producer than ``kind``, or fails its checksum.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            try:
+                envelope = json.loads(str(data[_ENVELOPE_KEY][()]))
+            except (KeyError, json.JSONDecodeError) as exc:
+                raise CheckpointError(
+                    f"checkpoint {path} has no valid envelope "
+                    f"(not a checkpoint, or torn write): {exc}") from exc
+            arrays = {name: data[name] for name in data.files
+                      if name != _ENVELOPE_KEY}
+    except FileNotFoundError:
+        raise CheckpointError(f"checkpoint {path} does not exist") \
+            from None
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is unreadable (corrupt or truncated): "
+            f"{exc}") from exc
+
+    version = envelope.get("version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has format version {version!r}; this "
+            f"code reads version {CHECKPOINT_FORMAT_VERSION} -- refusing "
+            f"a resume that could not be bit-identical")
+    if kind is not None and envelope.get("kind") != kind:
+        raise CheckpointError(
+            f"checkpoint {path} was written by {envelope.get('kind')!r}, "
+            f"expected {kind!r}")
+    meta = envelope.get("meta", {})
+    expected = envelope.get("checksum")
+    actual = _payload_checksum(arrays, meta)
+    if actual != expected:
+        raise CheckpointError(
+            f"checkpoint {path} failed its integrity check "
+            f"(sha256 {actual[:12]}... != recorded {str(expected)[:12]}...)"
+            " -- the file is corrupt; refusing to resume from it")
+    return arrays, meta
+
+
+def list_checkpoints(directory, prefix=""):
+    """Checkpoint paths under ``directory``, oldest first.
+
+    Ordering is by the zero-padded sequence number embedded in the
+    filename (lexicographic == numeric for a fixed prefix), so callers
+    can take ``[-1]`` for the most recent snapshot.
+    """
+    if not os.path.isdir(directory):
+        return []
+    names = [n for n in os.listdir(directory)
+             if n.startswith(prefix) and n.endswith(CHECKPOINT_SUFFIX)]
+    return [os.path.join(directory, n) for n in sorted(names)]
+
+
+def latest_checkpoint(directory, prefix=""):
+    """Most recent checkpoint path in ``directory`` or ``None``."""
+    paths = list_checkpoints(directory, prefix=prefix)
+    return paths[-1] if paths else None
+
+
+class CheckpointPolicy:
+    """When and where to snapshot a long-running loop.
+
+    Parameters
+    ----------
+    directory:
+        Destination for the snapshot files (created on first write).
+    every:
+        Write a checkpoint each time the loop counter is a multiple of
+        ``every`` (0 disables periodic snapshots; ``on_failure`` can
+        still fire).
+    on_failure:
+        Also snapshot when the loop stops abnormally (a diagnosed
+        :class:`~repro.core.errors.ConvergenceError`), so a repaired
+        configuration can resume without losing the completed
+        iterations.
+    keep:
+        Retain at most this many periodic snapshots, pruning the oldest
+        (0 keeps everything).  Failure snapshots are never pruned.
+    prefix:
+        Filename prefix distinguishing producers sharing a directory.
+    """
+
+    def __init__(self, directory, every=50, on_failure=True, keep=3,
+                 prefix="solve"):
+        if every < 0:
+            raise CheckpointError(f"every must be >= 0, got {every}")
+        if keep < 0:
+            raise CheckpointError(f"keep must be >= 0, got {keep}")
+        self.directory = os.path.abspath(directory)
+        self.every = int(every)
+        self.on_failure = bool(on_failure)
+        self.keep = int(keep)
+        self.prefix = str(prefix)
+        #: Paths written by this policy instance, in order.
+        self.written = []
+
+    def due(self, iteration):
+        """Whether a periodic snapshot is due after ``iteration``."""
+        return self.every > 0 and iteration % self.every == 0
+
+    def path_for(self, iteration, failure=False):
+        tag = "fail-" if failure else ""
+        return os.path.join(
+            self.directory,
+            f"{self.prefix}-{tag}{iteration:08d}{CHECKPOINT_SUFFIX}")
+
+    def write(self, iteration, kind, arrays, meta, failure=False):
+        """Write one snapshot and prune old periodic ones."""
+        path = write_checkpoint(self.path_for(iteration, failure=failure),
+                                kind, arrays, meta)
+        self.written.append(path)
+        if not failure:
+            self._prune()
+        return path
+
+    def _prune(self):
+        if self.keep <= 0:
+            return
+        periodic = [p for p in self.written
+                    if f"{self.prefix}-fail-" not in os.path.basename(p)]
+        for stale in periodic[:-self.keep]:
+            try:
+                os.remove(stale)
+            except OSError:
+                continue
+            self.written.remove(stale)
+
+    def latest(self):
+        """Most recent snapshot on disk for this prefix (or ``None``)."""
+        return latest_checkpoint(self.directory, prefix=self.prefix + "-")

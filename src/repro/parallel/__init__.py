@@ -51,6 +51,11 @@ from repro.parallel.faults import (
     ReductionFault,
     EigenboundsFault,
     RHSFault,
+    PipelineFault,
+    WorkerCrashError,
+    WorkerCrashFault,
+    SlowRankFault,
+    CacheCorruptFault,
     FAULTS,
     make_fault,
     parse_fault_spec,
@@ -79,6 +84,11 @@ __all__ = [
     "ReductionFault",
     "EigenboundsFault",
     "RHSFault",
+    "PipelineFault",
+    "WorkerCrashError",
+    "WorkerCrashFault",
+    "SlowRankFault",
+    "CacheCorruptFault",
     "FAULTS",
     "make_fault",
     "parse_fault_spec",

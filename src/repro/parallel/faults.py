@@ -237,12 +237,159 @@ class RHSFault(FaultInjector):
         return f"nan_rhs(value={self.value}, {super().describe()})"
 
 
+class WorkerCrashError(ReproError):
+    """An injected (or detected) worker-process death during a step."""
+
+
+class PipelineFault(FaultInjector):
+    """Base class for faults targeting the experiment pipeline itself.
+
+    Where :class:`FaultInjector` subclasses corrupt *numerics inside* a
+    solve, these corrupt the *machinery around* it -- worker processes,
+    the shared artifact cache, wall-clock behavior -- to exercise the
+    resilient-runner path (retry, pool rebuild, quarantine, resume).
+
+    The runner plans every injection **parent-side**: before dispatching
+    attempt ``attempt`` of plan step ``step_index`` it calls
+    :meth:`directive` and ships the returned dict into the worker along
+    with the step.  Determinism therefore never depends on which worker
+    process picks the step up.
+    """
+
+    def directive(self, step_index, module_path, attempt):
+        """Directive dict for this dispatch, or ``None`` to stay quiet.
+
+        Recognized keys (interpreted by the runner's step executor):
+        ``{"crash": True}`` kills the worker process hard
+        (``os._exit``; raised as :class:`WorkerCrashError` when the
+        step runs inline), ``{"sleep": seconds}`` delays the step by
+        that long (driving it into a configured timeout).
+        """
+        return None
+
+    def on_cache(self, cache_dir):
+        """Parent-side hook: damage the shared artifact cache directory
+        (called between the warmup and steps waves)."""
+
+
+class WorkerCrashFault(PipelineFault):
+    """Kill the worker executing one plan step, ``attempts`` times.
+
+    Models a preempted/OOM-killed node.  ``step`` selects the 0-based
+    plan index; the first ``attempts`` dispatches of that step die, so
+    with a retrying :class:`~repro.reporting.runner.FailurePolicy` the
+    step succeeds on attempt ``attempts + 1``.
+    """
+
+    kind = "worker_crash"
+
+    def __init__(self, step=0, attempts=1, **kwargs):
+        super().__init__(**kwargs)
+        self.step = int(step)
+        self.attempts = int(attempts)
+
+    def directive(self, step_index, module_path, attempt):
+        if step_index == self.step and attempt <= self.attempts:
+            self.fired += 1
+            return {"crash": True}
+        return None
+
+    def describe(self):
+        return (f"worker_crash(step={self.step}, "
+                f"attempts={self.attempts}, {super().describe()})")
+
+
+class SlowRankFault(PipelineFault):
+    """Stall one plan step past a configured per-step timeout.
+
+    Models a straggling rank / wedged filesystem.  The first
+    ``attempts`` dispatches of step ``step`` sleep ``sleep`` seconds
+    before doing any work; with ``step_timeout < sleep`` the runner
+    declares the attempt dead and (under a retrying policy) tries
+    again, injection-free.
+    """
+
+    kind = "slow_rank"
+
+    def __init__(self, step=0, sleep=30.0, attempts=1, **kwargs):
+        super().__init__(**kwargs)
+        self.step = int(step)
+        self.sleep = float(sleep)
+        self.attempts = int(attempts)
+
+    def directive(self, step_index, module_path, attempt):
+        if step_index == self.step and attempt <= self.attempts:
+            self.fired += 1
+            return {"sleep": self.sleep}
+        return None
+
+    def describe(self):
+        return (f"slow_rank(step={self.step}, sleep={self.sleep}, "
+                f"attempts={self.attempts}, {super().describe()})")
+
+
+class CacheCorruptFault(PipelineFault):
+    """Flip bytes inside artifact-cache entries between pipeline waves.
+
+    Models silent disk/network corruption of the shared cache.  After
+    the warmup wave has persisted its artifacts the runner hands this
+    injector the cache directory; it picks ``count`` seed-determined
+    entries and overwrites a byte span in the middle of each file.  The
+    cache's read-path checksum must then quarantine the damage and the
+    affected steps must transparently rebuild: the pipeline completes
+    with no failed steps, and every damaged file is accounted for --
+    quarantined during the run if anything read it (scheduling-
+    dependent), or still damaged on disk where ``verify(repair=True)``
+    catches it.
+    """
+
+    kind = "cache_corrupt"
+
+    def __init__(self, count=1, **kwargs):
+        super().__init__(**kwargs)
+        self.count = int(count)
+        self.corrupted = []
+
+    def on_cache(self, cache_dir):
+        import os
+
+        if not cache_dir or not os.path.isdir(cache_dir):
+            return
+        entries = sorted(
+            name for name in os.listdir(cache_dir)
+            if name.startswith("repro-") and name.endswith(".npz"))
+        if not entries:
+            return
+        rng = make_rng([self.seed, len(entries)])
+        picks = rng.choice(len(entries), size=min(self.count, len(entries)),
+                           replace=False)
+        for index in sorted(int(i) for i in picks):
+            path = os.path.join(cache_dir, entries[index])
+            try:
+                with open(path, "r+b") as handle:
+                    handle.seek(0, os.SEEK_END)
+                    size = handle.tell()
+                    handle.seek(max(0, size // 2))
+                    handle.write(b"\xde\xad\xbe\xef")
+            except OSError:
+                continue
+            self.fired += 1
+            self.corrupted.append(entries[index])
+
+    def describe(self):
+        return (f"cache_corrupt(count={self.count}, "
+                f"{super().describe()})")
+
+
 #: Registry of spec names to injector classes.
 FAULTS = {
     HaloFault.kind: HaloFault,
     ReductionFault.kind: ReductionFault,
     EigenboundsFault.kind: EigenboundsFault,
     RHSFault.kind: RHSFault,
+    WorkerCrashFault.kind: WorkerCrashFault,
+    SlowRankFault.kind: SlowRankFault,
+    CacheCorruptFault.kind: CacheCorruptFault,
 }
 
 

@@ -28,7 +28,14 @@ from repro.reporting.compare import (
     compare_value,
     comparison_table,
 )
-from repro.reporting.runner import run_all, DEFAULT_PLAN
+from repro.reporting.runner import (
+    DEFAULT_PLAN,
+    MANIFEST_NAME,
+    FailurePolicy,
+    RunManifest,
+    StepTimeoutError,
+    run_all,
+)
 
 __all__ = [
     "PAPER",
@@ -45,4 +52,8 @@ __all__ = [
     "comparison_table",
     "run_all",
     "DEFAULT_PLAN",
+    "MANIFEST_NAME",
+    "FailurePolicy",
+    "RunManifest",
+    "StepTimeoutError",
 ]

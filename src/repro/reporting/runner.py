@@ -29,18 +29,42 @@ global cache has no disk tier):
 Measured numbers are identical with and without the cache and at any
 job count: cached solves replay the exact event streams a fresh solve
 records (asserted by the pipeline tests).
+
+Resilience
+----------
+A multi-hour evaluation must survive its environment.  ``run_all``
+persists a :class:`RunManifest` (``<output_dir>/manifest.json``)
+recording each step's outcome, so ``resume=True`` reloads completed
+figures from disk and re-executes only what is missing.  A
+:class:`FailurePolicy` decides what a failed step does to the run:
+``fail_fast`` aborts, ``continue`` records and moves on, ``retry``
+(the default) re-dispatches with exponential backoff and deterministic
+jitter.  ``step_timeout`` bounds each attempt's wall clock (workers
+past it are killed and the pool rebuilt), and a died worker
+(``BrokenProcessPool``) likewise triggers a pool rebuild instead of
+sinking the evaluation.  The
+:class:`~repro.parallel.faults.PipelineFault` injectors
+(``worker_crash``, ``slow_rank``, ``cache_corrupt``) exist to prove
+all of this under test.
 """
 
 import importlib
+import json
+import os
 import shutil
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 
 from repro.core.cache import ArtifactCache, get_cache, set_cache
-from repro.core.errors import ConvergenceError
+from repro.core.errors import ConfigurationError, ConvergenceError, ReproError
+from repro.core.rng import make_rng
+from repro.parallel.faults import WorkerCrashError
 from repro.reporting.compare import comparison_table, render_comparison
-from repro.reporting.serialize import save_result
+from repro.reporting.serialize import load_result, save_result
 
 
 # ----------------------------------------------------------------------
@@ -176,15 +200,167 @@ VERIFICATION_PLAN = [
 
 
 # ----------------------------------------------------------------------
+# failure policy + manifest
+# ----------------------------------------------------------------------
+class StepTimeoutError(ReproError):
+    """A plan step exceeded its per-attempt wall-clock budget."""
+
+
+@dataclass
+class FailurePolicy:
+    """What a failed plan step does to the rest of the evaluation.
+
+    Parameters
+    ----------
+    mode:
+        ``"fail_fast"`` aborts the run on the first failure,
+        ``"continue"`` records the failure and keeps going,
+        ``"retry"`` re-dispatches the step up to ``retries`` more
+        times before recording it as failed.
+    retries:
+        Extra attempts per step under ``"retry"`` (ignored otherwise).
+    backoff:
+        Base delay in seconds before attempt ``n+1``; the actual delay
+        is ``backoff * 2**(n-1)`` plus a deterministic jitter in
+        ``[0, backoff)`` derived from ``seed`` and the step index, so
+        two retrying steps never thundering-herd the same moment twice.
+    seed:
+        Drives the jitter via :func:`~repro.core.rng.make_rng`.
+    """
+
+    MODES = ("fail_fast", "continue", "retry")
+
+    mode: str = "retry"
+    retries: int = 2
+    backoff: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.mode not in self.MODES:
+            raise ConfigurationError(
+                f"failure policy mode {self.mode!r} not in {self.MODES}")
+        if self.retries < 0:
+            raise ConfigurationError(
+                f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0:
+            raise ConfigurationError(
+                f"backoff must be >= 0, got {self.backoff}")
+
+    def attempts(self):
+        """Total dispatches allowed per step."""
+        return 1 + (self.retries if self.mode == "retry" else 0)
+
+    def delay(self, step_index, attempt):
+        """Seconds to wait before dispatching ``attempt`` (>= 2)."""
+        if self.backoff <= 0:
+            return 0.0
+        jitter = float(make_rng([self.seed, step_index, attempt])
+                       .uniform(0.0, self.backoff))
+        return self.backoff * 2.0 ** (attempt - 2) + jitter
+
+
+#: Bump when the manifest schema changes; old manifests are ignored
+#: (a stale schema must not silently skip steps).
+MANIFEST_VERSION = 1
+
+#: Filename of the per-run manifest inside ``output_dir``.
+MANIFEST_NAME = "manifest.json"
+
+
+class RunManifest:
+    """Persisted per-step ledger of one ``run_all`` invocation.
+
+    A JSON document under ``output_dir`` mapping each step's module
+    path to its outcome (``status``, ``seconds``, ``attempts``,
+    ``result_file``, ``error``).  Saved atomically after every step,
+    so a killed run leaves an accurate record; ``resume=True`` skips
+    steps whose status is ``"done"`` *and* whose result file still
+    exists (a deleted artifact re-runs the step -- the manifest never
+    outranks the data).
+    """
+
+    def __init__(self, path):
+        self.path = os.path.abspath(path)
+        self.steps = {}
+
+    @classmethod
+    def load(cls, path):
+        """Read a manifest; damaged or mismatched files yield a fresh
+        (empty) manifest rather than an error."""
+        manifest = cls(path)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return manifest
+        if not isinstance(doc, dict) or \
+                doc.get("version") != MANIFEST_VERSION:
+            return manifest
+        steps = doc.get("steps", {})
+        if isinstance(steps, dict):
+            manifest.steps = {str(k): dict(v) for k, v in steps.items()
+                              if isinstance(v, dict)}
+        return manifest
+
+    def record(self, module_path, **fields):
+        """Merge ``fields`` into the step's record and persist."""
+        entry = self.steps.setdefault(str(module_path), {})
+        entry.update(fields)
+        self.save()
+
+    def save(self):
+        directory = os.path.dirname(self.path) or "."
+        os.makedirs(directory, exist_ok=True)
+        doc = {"version": MANIFEST_VERSION, "steps": self.steps}
+        fd, tmp = tempfile.mkstemp(prefix=".manifest-tmp-", dir=directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, indent=2, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+
+    def completed_result(self, module_path):
+        """Path of the step's saved figure if it completed, else None."""
+        entry = self.steps.get(str(module_path), {})
+        if entry.get("status") != "done":
+            return None
+        name = entry.get("result_file")
+        if not name:
+            return None
+        path = os.path.join(os.path.dirname(self.path), name)
+        return path if os.path.exists(path) else None
+
+
+# ----------------------------------------------------------------------
 # execution machinery
 # ----------------------------------------------------------------------
-def _execute_step(module_path, kwargs):
+def _execute_step(module_path, kwargs, directive=None, inline=False):
     """Run one plan step in the current process.
 
     Returns ``(result, seconds, cache_delta)`` where ``cache_delta`` is
     the change in the process-global cache's lookup counters across the
     step.  Used both inline (``jobs=1``) and inside pool workers.
+
+    ``directive`` carries a parent-planned fault injection:
+    ``{"sleep": s}`` stalls before the work (driving a configured
+    timeout), ``{"crash": True}`` dies the way a preempted node does --
+    ``os._exit`` in a pool worker, :class:`WorkerCrashError` when
+    running inline (where ``os._exit`` would take the caller with it).
     """
+    if directive:
+        if directive.get("sleep"):
+            time.sleep(float(directive["sleep"]))
+        if directive.get("crash"):
+            if inline:
+                raise WorkerCrashError(
+                    f"injected worker crash in step {module_path}")
+            os._exit(13)
     cache = get_cache()
     before = cache.counters()
     start = time.perf_counter()
@@ -242,14 +418,116 @@ def _make_pool(jobs, cache_dir):
                                initargs=(cache_dir,))
 
 
+class _PoolHandle:
+    """A rebuildable process pool.
+
+    A died worker breaks the whole ``ProcessPoolExecutor`` (every
+    pending future raises ``BrokenProcessPool``), and a wedged worker
+    holds its slot forever.  This wrapper lets the runner throw the
+    broken pool away and continue on a fresh one, which is the entire
+    trick behind surviving crashes and timeouts.
+    """
+
+    def __init__(self, jobs, cache_dir):
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.pool = None
+        self.rebuilds = 0
+
+    def get(self):
+        if self.pool is None:
+            self.pool = _make_pool(self.jobs, self.cache_dir)
+        return self.pool
+
+    def rebuild(self, kill=False):
+        """Discard the current pool; the next ``get`` makes a new one."""
+        if self.pool is not None:
+            if kill:
+                # A timed-out worker never returns on its own; reap it
+                # hard.  ``_processes`` is private but there is no
+                # public way to kill a pool's members.
+                for proc in list((self.pool._processes or {}).values()):
+                    try:
+                        proc.kill()
+                    except (OSError, AttributeError):
+                        pass
+            self.pool.shutdown(wait=not kill, cancel_futures=True)
+            self.pool = None
+            self.rebuilds += 1
+
+    def shutdown(self):
+        if self.pool is not None:
+            self.pool.shutdown()
+            self.pool = None
+
+
+def _dispatch_attempt(handle, module_path, kwargs, directive,
+                      step_timeout):
+    """Run one attempt of one step through the pool, with a timeout.
+
+    Translates infrastructure failures into typed errors: a pool made
+    unusable by a worker death becomes :class:`WorkerCrashError` (pool
+    rebuilt), an attempt past ``step_timeout`` becomes
+    :class:`StepTimeoutError` (workers killed, pool rebuilt).
+    """
+    future = handle.get().submit(_execute_step, module_path, kwargs,
+                                 directive)
+    try:
+        return future.result(timeout=step_timeout)
+    except FutureTimeoutError:
+        handle.rebuild(kill=True)
+        raise StepTimeoutError(
+            f"step {module_path} exceeded its {step_timeout}s "
+            f"wall-clock budget") from None
+    except BrokenProcessPool:
+        handle.rebuild()
+        raise WorkerCrashError(
+            f"a worker process died while executing {module_path}") \
+            from None
+
+
+def _plan_directive(pipeline_faults, step_index, module_path, attempt):
+    """First parent-planned injection directive for this dispatch."""
+    for fault in pipeline_faults:
+        directive = fault.directive(step_index, module_path, attempt)
+        if directive:
+            return directive
+    return None
+
+
+def _collect(future, handle, module_path, step_timeout):
+    """Await one dispatched attempt, translating infrastructure death.
+
+    A pool broken by a worker crash (or a future cancelled by a pool
+    rebuild) becomes :class:`WorkerCrashError`; an attempt past
+    ``step_timeout`` becomes :class:`StepTimeoutError` after the
+    wedged workers are killed.  Both leave the handle ready to build a
+    fresh pool for the retry.
+    """
+    try:
+        return future.result(timeout=step_timeout)
+    except FutureTimeoutError:
+        handle.rebuild(kill=True)
+        raise StepTimeoutError(
+            f"step {module_path} exceeded its {step_timeout}s "
+            f"wall-clock budget") from None
+    except (BrokenProcessPool, CancelledError):
+        handle.rebuild()
+        raise WorkerCrashError(
+            f"a worker process died while executing {module_path}") \
+            from None
+
+
 def run_all(output_dir=None, plan=None, include_verification=False,
-            progress=None, jobs=1):
+            progress=None, jobs=1, resume=False, step_timeout=None,
+            failure_policy=None, pipeline_faults=()):
     """Execute a plan; returns dict with results, comparisons, rendering.
 
     Parameters
     ----------
     output_dir:
-        If given, each regenerated figure is saved there as JSON.
+        If given, each regenerated figure is saved there as JSON and a
+        :class:`RunManifest` tracks per-step outcomes.
     plan:
         Override the default plan (list of
         ``(module_path, kwargs, extractor)``; ``extractor`` may be
@@ -265,50 +543,101 @@ def run_all(output_dir=None, plan=None, include_verification=False,
         this process; ``> 1`` fans warmup solves and plan steps over a
         process pool sharing one cache directory (see the module
         docstring).  Results are identical at any job count.
+    resume:
+        Reload steps the manifest under ``output_dir`` records as done
+        (and whose saved figure still exists) instead of re-running
+        them; only the missing steps execute.  Requires ``output_dir``.
+    step_timeout:
+        Wall-clock seconds allowed per step attempt (``jobs > 1``
+        only: an in-process step cannot be preempted).  A timed-out
+        attempt kills the pool's workers, rebuilds the pool and counts
+        as a failure under the failure policy.
+    failure_policy:
+        A :class:`FailurePolicy` deciding whether a failed step aborts
+        the run, is recorded and skipped, or retried with backoff
+        (the default: retry twice).  Diagnosed
+        :class:`~repro.core.errors.ConvergenceError` failures keep
+        their own channel (``diagnoses``) and are never retried -- a
+        deterministic solver failure would only fail again.
+    pipeline_faults:
+        :class:`~repro.parallel.faults.PipelineFault` injectors for
+        chaos testing (worker crashes, cache corruption, stalls).
+        Directives are planned parent-side per (step, attempt).
 
     Returns
     -------
     dict with ``results``, ``measurements``, ``comparisons``,
     ``rendered``, plus ``timings`` (per step, in plan order:
     ``{"step", "seconds", "cache_hits", "cache_misses"}`` -- failed
-    steps carry ``"failed": True``), ``diagnoses`` (structured
+    steps carry ``"failed": True``, resumed ones ``"resumed": True``),
+    ``diagnoses`` (structured
     :class:`~repro.solvers.health.SolverDiagnosis` dicts for steps a
     diagnosed solver failure aborted; the run continues past them),
-    ``jobs``, ``cache`` (global-cache stats) and -- when ``jobs > 1``
-    -- ``warmup`` (task count, wall seconds, errors).
+    ``failures`` (steps lost to infrastructure errors after all
+    attempts), ``skipped`` (module paths resumed from disk),
+    ``manifest`` (its path, or ``None``), ``pool_rebuilds``, ``jobs``,
+    ``cache`` (global-cache stats) and -- when ``jobs > 1`` --
+    ``warmup`` (task count, wall seconds, errors).
     """
     steps = list(plan if plan is not None else DEFAULT_PLAN)
     if include_verification:
         steps += VERIFICATION_PLAN
     jobs = max(1, int(jobs))
+    policy = failure_policy if failure_policy is not None \
+        else FailurePolicy()
+    pipeline_faults = list(pipeline_faults)
+    if resume and not output_dir:
+        raise ConfigurationError(
+            "resume=True needs output_dir (the manifest lives there)")
+
+    manifest = None
+    resumed = {}
+    if output_dir:
+        manifest_path = os.path.join(output_dir, MANIFEST_NAME)
+        manifest = (RunManifest.load(manifest_path) if resume
+                    else RunManifest(manifest_path))
+    if resume:
+        for module_path, _kwargs, _extractor in steps:
+            saved = manifest.completed_result(module_path)
+            if saved is None:
+                continue
+            try:
+                resumed[module_path] = load_result(saved)
+            except ConfigurationError:
+                continue  # damaged artifact: the step re-runs
 
     cache = get_cache()
     ephemeral_dir = None
-    pool = None
+    handle = None
     warmup_report = None
     try:
+        effective_cache_dir = cache.cache_dir
         if jobs > 1:
-            cache_dir = cache.cache_dir
-            if cache_dir is None:
+            if effective_cache_dir is None:
                 # Workers can only share artifacts through the disk
                 # tier; give a memory-only global cache an ephemeral one
                 # for the duration of the run.
                 ephemeral_dir = tempfile.mkdtemp(prefix="repro-cache-")
-                cache_dir = ephemeral_dir
-                cache.cache_dir = cache_dir
-            pool = _make_pool(jobs, cache_dir)
-            tasks = _gather_warmup_tasks(steps)
+                effective_cache_dir = ephemeral_dir
+                cache.cache_dir = effective_cache_dir
+            handle = _PoolHandle(jobs, effective_cache_dir)
+            tasks = _gather_warmup_tasks(
+                [s for s in steps if s[0] not in resumed])
             if tasks:
                 if progress is not None:
                     progress(f"warmup ({len(tasks)} solves, "
                              f"jobs={jobs})")
                 start = time.perf_counter()
                 errors = []
+                pool = handle.get()
                 futures = [pool.submit(_run_warmup_task, t) for t in tasks]
                 for task, future in zip(tasks, futures):
                     try:
                         future.result()
-                    except Exception as exc:  # the step will retry inline
+                    except (BrokenProcessPool, CancelledError) as exc:
+                        handle.rebuild()
+                        errors.append((task, repr(exc)))
+                    except Exception as exc:  # the step retries inline
                         errors.append((task, repr(exc)))
                 warmup_report = {
                     "tasks": len(tasks),
@@ -316,62 +645,139 @@ def run_all(output_dir=None, plan=None, include_verification=False,
                     "errors": errors,
                 }
 
-        if pool is not None:
-            submitted = []
-            for module_path, kwargs, _extractor in steps:
+        # Chaos hook: damage the shared cache *after* warmup persisted
+        # its artifacts -- the steps must heal through quarantine.
+        for fault in pipeline_faults:
+            fault.on_cache(effective_cache_dir)
+
+        # First attempts fan out in parallel; retries run serially as
+        # failures surface during in-order collection.
+        submitted = {}
+        if handle is not None:
+            for index, (module_path, kwargs, _extractor) in \
+                    enumerate(steps):
+                if module_path in resumed:
+                    continue
                 if progress is not None:
                     progress(module_path)
-                submitted.append(pool.submit(_execute_step, module_path,
-                                             kwargs))
-        else:
-            submitted = None
+                directive = _plan_directive(pipeline_faults, index,
+                                            module_path, 1)
+                submitted[index] = handle.get().submit(
+                    _execute_step, module_path, kwargs, directive)
 
         results = {}
         measurements = {}
         timings = []
         diagnoses = []
+        failures = []
         for index, (module_path, kwargs, extractor) in enumerate(steps):
-            try:
-                if submitted is not None:
-                    result, seconds, delta = submitted[index].result()
-                else:
-                    if progress is not None:
-                        progress(module_path)
-                    result, seconds, delta = _execute_step(module_path,
-                                                           kwargs)
-            except ConvergenceError as err:
-                # A diagnosed solver failure inside one step must not
-                # take down the whole evaluation: record the structured
-                # diagnosis and keep collecting the other steps.
-                diagnoses.append({
-                    "step": module_path,
-                    "error": str(err),
-                    "diagnosis": (err.diagnosis.to_dict()
-                                  if err.diagnosis is not None else None),
-                })
+            if module_path in resumed:
+                result = resumed[module_path]
+                results[result.name] = result
+                if extractor is not None:
+                    measurements.update(extractor(result))
                 timings.append({
                     "step": module_path,
                     "seconds": 0.0,
                     "cache_hits": 0,
                     "cache_misses": 0,
-                    "failed": True,
+                    "resumed": True,
                 })
                 continue
-            results[result.name] = result
-            if output_dir:
-                save_result(result, output_dir)
-            if extractor is not None:
-                measurements.update(extractor(result))
+
+            attempt = 1
+            error = None
+            outcome = None
+            while True:
+                try:
+                    if handle is not None:
+                        if attempt == 1 and index in submitted:
+                            outcome = _collect(submitted[index], handle,
+                                               module_path, step_timeout)
+                        else:
+                            directive = _plan_directive(
+                                pipeline_faults, index, module_path,
+                                attempt)
+                            outcome = _collect(
+                                handle.get().submit(
+                                    _execute_step, module_path, kwargs,
+                                    directive),
+                                handle, module_path, step_timeout)
+                    else:
+                        if progress is not None and attempt == 1:
+                            progress(module_path)
+                        directive = _plan_directive(
+                            pipeline_faults, index, module_path, attempt)
+                        outcome = _execute_step(module_path, kwargs,
+                                                directive, inline=True)
+                    break
+                except ConvergenceError as err:
+                    # A diagnosed solver failure is deterministic --
+                    # retrying would only reproduce it.  Record the
+                    # structured diagnosis and keep collecting.
+                    error = err
+                    break
+                except Exception as err:
+                    if policy.mode == "fail_fast":
+                        raise
+                    error = err
+                    if attempt >= policy.attempts():
+                        break
+                    attempt += 1
+                    delay = policy.delay(index, attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+
+            if outcome is not None:
+                result, seconds, delta = outcome
+                results[result.name] = result
+                if output_dir:
+                    save_result(result, output_dir)
+                if extractor is not None:
+                    measurements.update(extractor(result))
+                timing = {
+                    "step": module_path,
+                    "seconds": seconds,
+                    "cache_hits": (delta.get("memory_hits", 0)
+                                   + delta.get("disk_hits", 0)),
+                    "cache_misses": delta.get("misses", 0),
+                }
+                if attempt > 1:
+                    timing["attempts"] = attempt
+                timings.append(timing)
+                if manifest is not None:
+                    manifest.record(module_path, status="done",
+                                    seconds=seconds, attempts=attempt,
+                                    result_file=f"{result.name}.json")
+                continue
+
+            if isinstance(error, ConvergenceError):
+                diagnoses.append({
+                    "step": module_path,
+                    "error": str(error),
+                    "diagnosis": (error.diagnosis.to_dict()
+                                  if error.diagnosis is not None
+                                  else None),
+                })
+            else:
+                failures.append({
+                    "step": module_path,
+                    "error": str(error),
+                    "attempts": attempt,
+                })
             timings.append({
                 "step": module_path,
-                "seconds": seconds,
-                "cache_hits": (delta.get("memory_hits", 0)
-                               + delta.get("disk_hits", 0)),
-                "cache_misses": delta.get("misses", 0),
+                "seconds": 0.0,
+                "cache_hits": 0,
+                "cache_misses": 0,
+                "failed": True,
             })
+            if manifest is not None:
+                manifest.record(module_path, status="failed",
+                                attempts=attempt, error=str(error))
     finally:
-        if pool is not None:
-            pool.shutdown()
+        if handle is not None:
+            handle.shutdown()
         if ephemeral_dir is not None:
             shutil.rmtree(ephemeral_dir, ignore_errors=True)
             # Keep the warmed memory tier; detach the vanished disk dir.
@@ -385,6 +791,10 @@ def run_all(output_dir=None, plan=None, include_verification=False,
         "rendered": render_comparison(comparisons),
         "timings": timings,
         "diagnoses": diagnoses,
+        "failures": failures,
+        "skipped": sorted(resumed),
+        "manifest": manifest.path if manifest is not None else None,
+        "pool_rebuilds": handle.rebuilds if handle is not None else 0,
         "jobs": jobs,
         "cache": get_cache().stats(),
     }

@@ -25,12 +25,44 @@ The guardrail checks reuse residual norms the solver already reduced
 and local ``isfinite`` scans of data already in memory; they add no
 communication or ledger events, so modeled timings and engine parity
 are unaffected.
+
+Checkpoint/restart
+------------------
+``solve`` accepts a :class:`~repro.core.checkpoint.CheckpointPolicy`
+(``checkpoint=``) and a snapshot path (``resume_from=``).  A snapshot
+captures the *complete* loop state -- every context vector exported to
+global layout, the scalar recurrence state, the residual history, the
+guardrail counters, the per-phase event ledger so far, and
+solver-specific state (P-CSI's Chebyshev interval and Lanczos
+configuration) -- so a resumed solve replays the exact arithmetic the
+uninterrupted run would have performed: the final
+:class:`~repro.solvers.result.SolveResult` (iterate, iteration count,
+residual history, event stream) is **bit-identical** on every engine
+and kernel backend.  Vectors round-trip through
+``context.to_global``/``from_global`` (pure data movement), which also
+makes snapshots engine-portable: a checkpoint written under the
+batched engine resumes under per-rank (and vice versa) while staying
+bit-identical, since those engines share one arithmetic stream.  A
+serial-context snapshot resumes under the virtual machine too, but
+the continued run then follows the distributed reduction ordering --
+bit-identity holds per arithmetic stream, not across them.
+
+Snapshots are refused on mismatch: a different solver, grid shape,
+right-hand side (content digest), tolerance or check frequency raises
+:class:`~repro.core.checkpoint.CheckpointError` instead of silently
+producing a non-reproducible run.
 """
 
 import abc
 
 import numpy as np
 
+from repro.core.cache import digest_of
+from repro.core.checkpoint import (
+    CheckpointError,
+    read_checkpoint,
+    sanitize_meta,
+)
 from repro.core.constants import (
     DEFAULT_CONVERGENCE_CHECK_FREQ,
     DEFAULT_SOLVER_TOLERANCE,
@@ -117,7 +149,7 @@ class IterativeSolver(abc.ABC):
         self.divergence_factor = float(divergence_factor)
 
     # ------------------------------------------------------------------
-    def solve(self, b, x0=None):
+    def solve(self, b, x0=None, checkpoint=None, resume_from=None):
         """Solve ``A x = b``.
 
         ``b`` and ``x0`` are global ``(ny, nx)`` arrays (``x0`` defaults
@@ -126,6 +158,14 @@ class IterativeSolver(abc.ABC):
         a :class:`~repro.core.errors.ConvergenceError` carrying the
         partial result and a structured diagnosis (see the module
         docstring).
+
+        ``checkpoint`` is an optional
+        :class:`~repro.core.checkpoint.CheckpointPolicy`: the loop
+        snapshots its full state every ``policy.every`` iterations (and
+        on diagnosed failure when ``policy.on_failure``).
+        ``resume_from`` names a snapshot to continue from instead of
+        running setup; the resumed run is bit-identical to an
+        uninterrupted one (see the module docstring).
         """
         ctx = self.context
         ledger = ctx.ledger
@@ -138,66 +178,100 @@ class IterativeSolver(abc.ABC):
         # np.where, not multiplication: NaN * 0 is NaN, so a (legitimate)
         # non-finite land value would survive `b * mask` and poison the
         # solve the entry guard just vetted.
-        b_vec = ctx.from_global(np.where(mask, b, 0.0))
-        if x0 is None:
-            x_vec = ctx.new_vector()
+        b_masked = np.where(mask, b, 0.0)
+        b_digest = digest_of("solve-checkpoint", b_masked)
+
+        if resume_from is not None:
+            (state, history, loop, acct,
+             b_norm) = self._restore_checkpoint(resume_from, b_digest)
+            threshold = self.tol * b_norm
+            iterations = loop["iterations"]
+            res_norm = loop["res_norm"]
+            checked_at = loop["checked_at"]
+            best_norm = loop["best_norm"]
+            checks_without_progress = loop["checks_without_progress"]
+            prev_checked = loop["prev_checked"]
+            growing_past_limit = loop["growing_past_limit"]
         else:
-            x_vec = ctx.from_global(np.where(mask, x0, 0.0))
+            b_vec = ctx.from_global(b_masked)
+            if x0 is None:
+                x_vec = ctx.new_vector()
+            else:
+                x_vec = ctx.from_global(np.where(mask, x0, 0.0))
 
-        before_setup = ledger.snapshot()
-        b_norm = ctx.norm2(b_vec, phase="setup")
-        if b_norm == 0.0:
-            # Zero RHS: the exact solution of the SPD system is x = 0;
-            # running even ``check_freq`` iterations to discover that
-            # wastes halo exchanges and reductions.
+            before_setup = ledger.snapshot()
+            b_norm = ctx.norm2(b_vec, phase="setup")
+            if b_norm == 0.0:
+                # Zero RHS: the exact solution of the SPD system is
+                # x = 0; running even ``check_freq`` iterations to
+                # discover that wastes halo exchanges and reductions.
+                after_setup = ledger.snapshot()
+                return SolveResult(
+                    x=ctx.to_global(ctx.new_vector()),
+                    iterations=0, converged=True,
+                    residual_norm=0.0, b_norm=0.0,
+                    residual_history=[],
+                    solver=self.name,
+                    preconditioner=ctx.preconditioner.name,
+                    events={},
+                    setup_events=_diff(after_setup, before_setup),
+                    extra={"zero_rhs": True},
+                )
+            threshold = self.tol * b_norm
+            try:
+                state = self._setup(b_vec, x_vec)
+            except BreakdownError as exc:
+                diagnosis = SolverDiagnosis(
+                    kind=BREAKDOWN, solver=self.name,
+                    message=f"setup: {exc}", iteration=0, b_norm=b_norm,
+                )
+                result = SolveResult(
+                    x=ctx.to_global(x_vec),
+                    iterations=0, converged=False,
+                    residual_norm=float("nan"), b_norm=b_norm,
+                    residual_history=[], solver=self.name,
+                    preconditioner=ctx.preconditioner.name,
+                    events={},
+                    setup_events=_diff(ledger.snapshot(), before_setup),
+                    extra={"diagnosis": diagnosis.to_dict()},
+                    diagnosis=diagnosis,
+                )
+                return self._raise_or_return(diagnosis, result)
             after_setup = ledger.snapshot()
-            return SolveResult(
-                x=ctx.to_global(ctx.new_vector()),
-                iterations=0, converged=True,
-                residual_norm=0.0, b_norm=0.0,
-                residual_history=[],
-                solver=self.name,
-                preconditioner=ctx.preconditioner.name,
-                events={},
-                setup_events=_diff(after_setup, before_setup),
-                extra={"zero_rhs": True},
-            )
-        threshold = self.tol * b_norm
-        try:
-            state = self._setup(b_vec, x_vec)
-        except BreakdownError as exc:
-            diagnosis = SolverDiagnosis(
-                kind=BREAKDOWN, solver=self.name,
-                message=f"setup: {exc}", iteration=0, b_norm=b_norm,
-            )
-            result = SolveResult(
-                x=ctx.to_global(x_vec),
-                iterations=0, converged=False,
-                residual_norm=float("nan"), b_norm=b_norm,
-                residual_history=[], solver=self.name,
-                preconditioner=ctx.preconditioner.name,
-                events={},
-                setup_events=_diff(ledger.snapshot(), before_setup),
-                extra={"diagnosis": diagnosis.to_dict()},
-                diagnosis=diagnosis,
-            )
-            return self._raise_or_return(diagnosis, result)
-        after_setup = ledger.snapshot()
+            acct = {"after_setup": after_setup,
+                    "before_setup": before_setup,
+                    "setup_events": None, "loop_base": {},
+                    "b_digest": b_digest}
 
-        history = []
+            history = []
+            iterations = 0
+            res_norm = float("inf")
+            checked_at = -1
+            best_norm = float("inf")
+            checks_without_progress = 0
+            prev_checked = None
+            growing_past_limit = 0
+
         converged = False
-        iterations = 0
-        res_norm = float("inf")
-
-        checked_at = -1
-        best_norm = float("inf")
-        checks_without_progress = 0
         stagnated = False
         diagnosis = None
-        prev_checked = None
-        growing_past_limit = 0
         divergence_limit = (self.divergence_factor * b_norm
                             if self.divergence_factor > 0 else float("inf"))
+
+        def loop_meta():
+            # Reads the *current* local values when invoked (closure):
+            # everything the loop needs to continue exactly where it
+            # stopped.
+            return {
+                "iterations": iterations,
+                "res_norm": res_norm,
+                "checked_at": checked_at,
+                "best_norm": best_norm,
+                "checks_without_progress": checks_without_progress,
+                "prev_checked": prev_checked,
+                "growing_past_limit": growing_past_limit,
+            }
+
         while iterations < self.max_iterations:
             iterations += 1
             try:
@@ -260,10 +334,13 @@ class IterativeSolver(abc.ABC):
                             >= self.stagnation_checks):
                         stagnated = True
                         break
+            if checkpoint is not None and checkpoint.due(iterations):
+                self._write_checkpoint(checkpoint, state, history,
+                                       loop_meta(), acct, b_norm)
 
         if diagnosis is not None:
-            return self._fail(diagnosis, state, history, iterations,
-                              res_norm, b_norm, after_setup, before_setup)
+            return self._fail(diagnosis, state, history, loop_meta(),
+                              b_norm, acct, checkpoint=checkpoint)
 
         if not converged:
             if checked_at != iterations:
@@ -276,9 +353,9 @@ class IterativeSolver(abc.ABC):
                         iteration=iterations, residual_norm=res_norm,
                         b_norm=b_norm,
                     )
-                    return self._fail(diagnosis, state, history, iterations,
-                                      res_norm, b_norm, after_setup,
-                                      before_setup)
+                    return self._fail(diagnosis, state, history,
+                                      loop_meta(), b_norm, acct,
+                                      checkpoint=checkpoint)
             converged = res_norm <= threshold
             if not converged and not stagnated:
                 diagnosis = SolverDiagnosis(
@@ -291,17 +368,15 @@ class IterativeSolver(abc.ABC):
                     data={"threshold": threshold,
                           "max_iterations": self.max_iterations},
                 )
-                return self._fail(diagnosis, state, history, iterations,
-                                  res_norm, b_norm, after_setup,
-                                  before_setup)
+                return self._fail(diagnosis, state, history, loop_meta(),
+                                  b_norm, acct, checkpoint=checkpoint)
         if stagnated:
             # Stagnation is a round-off floor, not a failure: record it
             # and return the result as documented.
             state.setdefault("extra", {})["stagnated"] = True
 
         return self._build_result(state, history, iterations, converged,
-                                  res_norm, b_norm, after_setup,
-                                  before_setup)
+                                  res_norm, b_norm, acct)
 
     # ------------------------------------------------------------------
     # guardrail plumbing
@@ -338,13 +413,33 @@ class IterativeSolver(abc.ABC):
         )
         return self._raise_or_return(diagnosis, result)
 
-    def _fail(self, diagnosis, state, history, iterations, res_norm,
-              b_norm, after_setup, before_setup):
+    def _fail(self, diagnosis, state, history, loop, b_norm, acct,
+              checkpoint=None):
         """Build the partial result for an abnormal stop and raise or
-        return it according to ``raise_on_failure``."""
-        result = self._build_result(state, history, iterations, False,
-                                    res_norm, b_norm, after_setup,
-                                    before_setup, diagnosis=diagnosis)
+        return it according to ``raise_on_failure``.
+
+        The diagnosis always carries the last *finite* checked residual
+        and the per-phase event ledger at the point of failure, so a
+        checkpoint-resume after diagnosis loses no accounting.  When a
+        checkpoint policy with ``on_failure`` is attached, the full loop
+        state is snapshotted before raising.
+        """
+        diagnosis.data.setdefault("last_finite_residual",
+                                  _last_finite(history))
+        diagnosis.data.setdefault(
+            "ledger",
+            {name: dict(vars(c)) for name, c in self._loop_events(
+                acct).items()})
+        if checkpoint is not None and checkpoint.on_failure:
+            try:
+                self._write_checkpoint(checkpoint, state, history, loop,
+                                       acct, b_norm, failure=diagnosis)
+            except CheckpointError:
+                # A failing snapshot must not mask the solver failure.
+                pass
+        result = self._build_result(state, history, loop["iterations"],
+                                    False, loop["res_norm"], b_norm,
+                                    acct, diagnosis=diagnosis)
         return self._raise_or_return(diagnosis, result)
 
     def _raise_or_return(self, diagnosis, result):
@@ -357,9 +452,19 @@ class IterativeSolver(abc.ABC):
             )
         return result
 
+    def _setup_events(self, acct):
+        """Setup-phase events: measured here, or carried by a resume."""
+        if acct["setup_events"] is not None:
+            return dict(acct["setup_events"])
+        return _diff(acct["after_setup"], acct["before_setup"])
+
+    def _loop_events(self, acct):
+        """Loop events so far: pre-resume base + everything since."""
+        return _add_events(acct["loop_base"],
+                           self.context.ledger.since(acct["after_setup"]))
+
     def _build_result(self, state, history, iterations, converged,
-                      res_norm, b_norm, after_setup, before_setup,
-                      diagnosis=None):
+                      res_norm, b_norm, acct, diagnosis=None):
         ctx = self.context
         extra = dict(state.get("extra", {}))
         if diagnosis is not None:
@@ -373,11 +478,105 @@ class IterativeSolver(abc.ABC):
             residual_history=history,
             solver=self.name,
             preconditioner=ctx.preconditioner.name,
-            events=ctx.ledger.since(after_setup),
-            setup_events=_diff(after_setup, before_setup),
+            events=self._loop_events(acct),
+            setup_events=self._setup_events(acct),
             extra=extra,
             diagnosis=diagnosis,
         )
+
+    # ------------------------------------------------------------------
+    # checkpoint/restart plumbing
+    # ------------------------------------------------------------------
+    def _snapshot_solver_meta(self):
+        """Solver-specific state to checkpoint (hook; JSON-able dict).
+
+        Subclasses whose behavior depends on state outside the loop
+        ``state`` dict (P-CSI's Chebyshev interval, Lanczos seeds and
+        step counts) override this and :meth:`_restore_solver_meta`.
+        """
+        return {}
+
+    def _restore_solver_meta(self, meta):
+        """Restore what :meth:`_snapshot_solver_meta` captured (hook)."""
+
+    def _write_checkpoint(self, policy, state, history, loop, acct,
+                          b_norm, failure=None):
+        """Snapshot the complete loop state through ``policy``."""
+        ctx = self.context
+        arrays = {}
+        scalars = {}
+        for name, value in state.items():
+            if name == "extra":
+                continue
+            if value is None or isinstance(value, (bool, int, float)):
+                scalars[name] = value
+            elif isinstance(value, np.generic):
+                scalars[name] = value.item()
+            else:
+                # Context vectors export to the engine-independent
+                # global layout -- snapshots resume on any engine.
+                arrays[f"vec_{name}"] = ctx.to_global(value)
+        meta = {
+            "solver": self.name,
+            "preconditioner": ctx.preconditioner.name,
+            "shape": [int(s) for s in ctx.mask.shape],
+            "b_digest": acct["b_digest"],
+            "b_norm": float(b_norm),
+            "tol": self.tol,
+            "check_freq": self.check_freq,
+            "scalars": sanitize_meta(scalars),
+            "extra": sanitize_meta(state.get("extra", {})),
+            "solver_state": sanitize_meta(self._snapshot_solver_meta()),
+            "history": [[int(i), float(r)] for i, r in history],
+            "loop": sanitize_meta(loop),
+            "setup_events": _events_to_meta(self._setup_events(acct)),
+            "loop_events": _events_to_meta(self._loop_events(acct)),
+            "failure": failure.to_dict() if failure is not None else None,
+        }
+        return policy.write(loop["iterations"], "solver", arrays, meta,
+                            failure=failure is not None)
+
+    def _restore_checkpoint(self, path, b_digest):
+        """Load and verify a snapshot; returns the resumed loop state."""
+        arrays, meta = read_checkpoint(path, kind="solver")
+        ctx = self.context
+        if meta.get("solver") != self.name:
+            raise CheckpointError(
+                f"checkpoint {path} belongs to solver "
+                f"{meta.get('solver')!r}, not {self.name!r}")
+        if tuple(meta.get("shape", ())) != tuple(ctx.mask.shape):
+            raise CheckpointError(
+                f"checkpoint {path} grid shape {meta.get('shape')} does "
+                f"not match context {list(ctx.mask.shape)}")
+        if meta.get("b_digest") != b_digest:
+            raise CheckpointError(
+                f"checkpoint {path} was written for a different "
+                f"right-hand side -- resuming would not reproduce the "
+                f"original solve")
+        for knob in ("tol", "check_freq"):
+            if meta.get(knob) != getattr(self, knob):
+                raise CheckpointError(
+                    f"checkpoint {path} was written with "
+                    f"{knob}={meta.get(knob)!r}, this solver uses "
+                    f"{getattr(self, knob)!r}; a resumed run would not "
+                    f"be bit-identical")
+        state = {}
+        for name, value in arrays.items():
+            if name.startswith("vec_"):
+                state[name[4:]] = ctx.from_global(value)
+        state.update(meta.get("scalars", {}))
+        state["extra"] = dict(meta.get("extra", {}))
+        self._restore_solver_meta(meta.get("solver_state", {}))
+        history = [(int(i), float(r)) for i, r in meta.get("history", [])]
+        loop = dict(meta["loop"])
+        acct = {
+            "after_setup": ctx.ledger.snapshot(),
+            "before_setup": None,
+            "setup_events": _events_from_meta(meta["setup_events"]),
+            "loop_base": _events_from_meta(meta["loop_events"]),
+            "b_digest": b_digest,
+        }
+        return state, history, loop, acct, float(meta["b_norm"])
 
     # ------------------------------------------------------------------
     # hooks
@@ -417,3 +616,36 @@ def _diff(after, before):
             allreduce_words=a.allreduce_words - b.allreduce_words,
         )
     return out
+
+
+def _add_events(base, delta):
+    """Per-phase sum of two event dicts (either may be empty)."""
+    from repro.parallel.events import EventCounts
+
+    if not base:
+        return dict(delta)
+    out = dict(base)
+    for name, counts in delta.items():
+        out[name] = out.get(name, EventCounts()) + counts
+    return out
+
+
+def _events_to_meta(events):
+    """Event dict -> JSON-able nested dict (checkpoint metadata)."""
+    return {name: dict(vars(counts)) for name, counts in events.items()}
+
+
+def _events_from_meta(meta):
+    """Inverse of :func:`_events_to_meta`."""
+    from repro.parallel.events import EventCounts
+
+    return {name: EventCounts(**{k: int(v) for k, v in counts.items()})
+            for name, counts in meta.items()}
+
+
+def _last_finite(history):
+    """Last finite residual norm in a check history (or ``None``)."""
+    for _iteration, value in reversed(history):
+        if np.isfinite(value):
+            return float(value)
+    return None

@@ -167,10 +167,11 @@ class PCSISolver(IterativeSolver):
     # ------------------------------------------------------------------
     # recovery policy
     # ------------------------------------------------------------------
-    def solve(self, b, x0=None):
+    def solve(self, b, x0=None, checkpoint=None, resume_from=None):
         """Guarded solve with divergence recovery (module docstring)."""
         if self.max_recoveries == 0 and self.fallback is None:
-            return super().solve(b, x0)
+            return super().solve(b, x0, checkpoint=checkpoint,
+                                 resume_from=resume_from)
 
         ledger = self.context.ledger
         diagnoses = []
@@ -180,13 +181,18 @@ class PCSISolver(IterativeSolver):
             snapshot = ledger.snapshot()
             error = None
             try:
-                result = super().solve(b, x0)
+                result = super().solve(b, x0, checkpoint=checkpoint,
+                                       resume_from=resume_from)
             except ConvergenceError as exc:
                 error = exc
                 result = exc.result
                 diagnosis = exc.diagnosis
             else:
                 diagnosis = None if result.converged else result.diagnosis
+            # A recovery retry restarts from scratch with fresh bounds:
+            # re-resuming the failed trajectory would replay the same
+            # divergence the widened interval is meant to escape.
+            resume_from = None
 
             recoverable = diagnosis is not None and diagnosis.recoverable
             if not recoverable:
@@ -303,6 +309,42 @@ class PCSISolver(IterativeSolver):
             result.setup_events["recovery"] = (
                 result.setup_events.get("recovery", EventCounts())
                 + recovery_counts)
+
+    # ------------------------------------------------------------------
+    # checkpoint hooks: the Chebyshev interval and Lanczos configuration
+    # live outside the loop state dict, but a resumed run (and any
+    # recovery re-estimation after it) depends on them bit-for-bit.
+    # ------------------------------------------------------------------
+    def _snapshot_solver_meta(self):
+        return {
+            "bounds": list(self._bounds) if self._bounds is not None
+            else None,
+            "user_bounds": self._user_bounds,
+            "nu_safety": self.nu_safety,
+            "mu_safety": self.mu_safety,
+            "lanczos_seed": self.lanczos_seed,
+            "lanczos_steps": self.lanczos_steps,
+            "lanczos_max_steps": self._lanczos_max_steps,
+            "lanczos_info_steps": (self._lanczos_info["steps"]
+                                   if self._lanczos_info else None),
+        }
+
+    def _restore_solver_meta(self, meta):
+        bounds = meta.get("bounds")
+        if bounds is not None:
+            self._bounds = (float(bounds[0]), float(bounds[1]))
+        self._user_bounds = bool(meta.get("user_bounds",
+                                          self._user_bounds))
+        self.nu_safety = float(meta.get("nu_safety", self.nu_safety))
+        self.mu_safety = float(meta.get("mu_safety", self.mu_safety))
+        if meta.get("lanczos_seed") is not None:
+            self.lanczos_seed = meta["lanczos_seed"]
+        self.lanczos_steps = meta.get("lanczos_steps", self.lanczos_steps)
+        self._lanczos_max_steps = int(meta.get("lanczos_max_steps",
+                                               self._lanczos_max_steps))
+        info_steps = meta.get("lanczos_info_steps")
+        if info_steps is not None and self._lanczos_info is None:
+            self._lanczos_info = {"steps": int(info_steps)}
 
     # ------------------------------------------------------------------
     def _setup(self, b, x):

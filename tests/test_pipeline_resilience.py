@@ -1,0 +1,253 @@
+"""Resilient experiment pipeline: manifest resume, retries, chaos.
+
+These tests inject the failures a long evaluation actually meets --
+died worker processes, wedged (timed-out) steps, silently corrupted
+cache entries -- and assert the runner completes anyway: retried steps
+succeed, crashed runs resume past their completed steps, and damaged
+artifacts are quarantined and rebuilt without operator intervention.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.cache import ArtifactCache, digest_of, get_cache, set_cache
+from repro.core.errors import ConfigurationError
+from repro.parallel.faults import (
+    CacheCorruptFault,
+    SlowRankFault,
+    WorkerCrashError,
+    WorkerCrashFault,
+    make_fault,
+    parse_fault_spec,
+)
+from repro.reporting import (
+    MANIFEST_NAME,
+    FailurePolicy,
+    RunManifest,
+    run_all,
+)
+
+#: A small two-step plan exercising the warmup + cache machinery.
+PLAN = [
+    ("repro.experiments.fig05_evp_marching",
+     {"sizes": (4, 8), "trials": 2},
+     lambda r: {"sec4.evp_roundoff_12x12":
+                r.series_by_label("relative round-off").y[-1]}),
+    ("repro.experiments.fig06_iterations", {}, None),
+]
+
+
+@pytest.fixture()
+def fresh_cache():
+    saved = get_cache()
+    set_cache(ArtifactCache())
+    yield get_cache()
+    set_cache(saved)
+
+
+class TestFailurePolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FailurePolicy(mode="explode")
+        with pytest.raises(ConfigurationError):
+            FailurePolicy(retries=-1)
+        with pytest.raises(ConfigurationError):
+            FailurePolicy(backoff=-0.5)
+
+    def test_attempts(self):
+        assert FailurePolicy(mode="retry", retries=3).attempts() == 4
+        assert FailurePolicy(mode="continue", retries=3).attempts() == 1
+        assert FailurePolicy(mode="fail_fast").attempts() == 1
+
+    def test_delay_grows_and_is_deterministic(self):
+        policy = FailurePolicy(retries=3, backoff=0.5, seed=7)
+        d2 = policy.delay(0, 2)
+        d3 = policy.delay(0, 3)
+        assert 0.5 <= d2 < 1.0          # base + jitter in [0, base)
+        assert 1.0 <= d3 < 1.5          # doubled base + jitter
+        assert policy.delay(0, 2) == d2  # deterministic jitter
+        assert policy.delay(1, 2) != d2  # per-step decorrelation
+        assert FailurePolicy(backoff=0.0).delay(0, 2) == 0.0
+
+
+class TestRunManifest:
+    def test_roundtrip_and_atomicity(self, tmp_path):
+        path = str(tmp_path / MANIFEST_NAME)
+        manifest = RunManifest(path)
+        manifest.record("mod.a", status="done", seconds=1.5,
+                        result_file="a.json")
+        manifest.record("mod.b", status="failed", error="boom")
+        loaded = RunManifest.load(path)
+        assert loaded.steps["mod.a"]["status"] == "done"
+        assert loaded.steps["mod.b"]["error"] == "boom"
+        assert not [n for n in os.listdir(tmp_path)
+                    if n.startswith(".manifest-tmp-")]
+
+    def test_damaged_manifest_is_fresh(self, tmp_path):
+        path = str(tmp_path / MANIFEST_NAME)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        assert RunManifest.load(path).steps == {}
+
+    def test_version_mismatch_is_fresh(self, tmp_path):
+        path = str(tmp_path / MANIFEST_NAME)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"version": 999, "steps": {"m": {"status": "done"}}},
+                      handle)
+        assert RunManifest.load(path).steps == {}
+
+    def test_completed_result_requires_the_artifact(self, tmp_path):
+        path = str(tmp_path / MANIFEST_NAME)
+        manifest = RunManifest(path)
+        manifest.record("mod.a", status="done", result_file="a.json")
+        assert manifest.completed_result("mod.a") is None  # file missing
+        with open(tmp_path / "a.json", "w", encoding="utf-8") as handle:
+            handle.write("{}")
+        assert manifest.completed_result("mod.a") == \
+            str(tmp_path / "a.json")
+        assert manifest.completed_result("mod.unknown") is None
+
+
+class TestPipelineFaultSpecs:
+    def test_registry_and_spec_parsing(self):
+        fault = parse_fault_spec("worker_crash:step=2,attempts=1")
+        assert isinstance(fault, WorkerCrashFault)
+        assert fault.step == 2
+        assert fault.directive(2, "mod", 1) == {"crash": True}
+        assert fault.directive(2, "mod", 2) is None
+        assert fault.directive(1, "mod", 1) is None
+
+        slow = make_fault("slow_rank", step=0, sleep=5.0)
+        assert slow.directive(0, "mod", 1) == {"sleep": 5.0}
+
+    def test_cache_corrupt_flips_bytes(self, tmp_path):
+        cache = ArtifactCache(cache_dir=str(tmp_path))
+        for tag in ("one", "two", "three"):
+            cache.store("cat", digest_of(tag), {"x": np.arange(8.0)},
+                        {"tag": tag})
+        fault = CacheCorruptFault(count=2, seed=1)
+        fault.on_cache(str(tmp_path))
+        assert len(fault.corrupted) == 2
+        # the damaged entries now fail their read-path checksum
+        report = cache.verify()
+        assert len(report["corrupt"]) == 2
+
+    def test_cache_corrupt_tolerates_missing_dir(self, tmp_path):
+        fault = CacheCorruptFault()
+        fault.on_cache(str(tmp_path / "absent"))
+        fault.on_cache(None)
+        assert fault.corrupted == []
+
+
+class TestResilientRunAll:
+    def test_crash_then_retry_completes(self, tmp_path, fresh_cache):
+        report = run_all(
+            output_dir=str(tmp_path), plan=PLAN, jobs=2,
+            failure_policy=FailurePolicy(mode="retry", retries=2,
+                                         backoff=0.01),
+            pipeline_faults=[WorkerCrashFault(step=0, attempts=1)])
+        assert report["failures"] == []
+        assert set(report["results"]) == {"fig05", "fig06"}
+        assert report["pool_rebuilds"] >= 1
+        manifest = json.load(open(tmp_path / MANIFEST_NAME))
+        assert all(v["status"] == "done"
+                   for v in manifest["steps"].values())
+
+    def test_crash_inline_raises_typed_error(self, tmp_path, fresh_cache):
+        with pytest.raises(WorkerCrashError):
+            run_all(output_dir=str(tmp_path), plan=PLAN, jobs=1,
+                    failure_policy=FailurePolicy(mode="fail_fast"),
+                    pipeline_faults=[WorkerCrashFault(step=0)])
+
+    def test_crash_continue_then_resume_runs_only_missing(
+            self, tmp_path, fresh_cache):
+        """A run that lost step 0 resumes re-running only step 0."""
+        first = run_all(
+            output_dir=str(tmp_path), plan=PLAN, jobs=1,
+            failure_policy=FailurePolicy(mode="continue"),
+            pipeline_faults=[WorkerCrashFault(step=0, attempts=1)])
+        assert [f["step"] for f in first["failures"]] == [PLAN[0][0]]
+        assert "fig06" in first["results"]
+        assert "fig05" not in first["results"]
+
+        second = run_all(output_dir=str(tmp_path), plan=PLAN, jobs=1,
+                         resume=True)
+        assert second["skipped"] == [PLAN[1][0]]
+        assert set(second["results"]) == {"fig05", "fig06"}
+        assert second["failures"] == []
+        (resumed_timing,) = [t for t in second["timings"]
+                             if t.get("resumed")]
+        assert resumed_timing["step"] == PLAN[1][0]
+
+    def test_resume_measurements_match_uninterrupted(self, tmp_path,
+                                                     fresh_cache):
+        """Resumed reports re-extract the same measurements the
+        uninterrupted run produced (extraction is a pure function of
+        the saved figure)."""
+        reference = run_all(output_dir=str(tmp_path / "ref"), plan=PLAN,
+                            jobs=1)
+        crashed = run_all(
+            output_dir=str(tmp_path / "res"), plan=PLAN, jobs=1,
+            failure_policy=FailurePolicy(mode="continue"),
+            pipeline_faults=[WorkerCrashFault(step=1, attempts=1)])
+        assert [f["step"] for f in crashed["failures"]] == [PLAN[1][0]]
+        resumed = run_all(output_dir=str(tmp_path / "res"), plan=PLAN,
+                          jobs=1, resume=True)
+        assert resumed["skipped"] == [PLAN[0][0]]
+        assert resumed["measurements"] == reference["measurements"]
+
+    def test_resume_without_output_dir_rejected(self, fresh_cache):
+        with pytest.raises(ConfigurationError, match="output_dir"):
+            run_all(plan=PLAN, resume=True)
+
+    def test_slow_step_times_out_and_retries(self, tmp_path, fresh_cache):
+        report = run_all(
+            output_dir=str(tmp_path), plan=PLAN[:1], jobs=2,
+            step_timeout=10,
+            failure_policy=FailurePolicy(mode="retry", retries=1,
+                                         backoff=0.01),
+            pipeline_faults=[SlowRankFault(step=0, sleep=120,
+                                           attempts=1)])
+        assert report["failures"] == []
+        assert report["timings"][0]["attempts"] == 2
+        assert report["pool_rebuilds"] >= 1
+
+    def test_corrupted_cache_is_quarantined_and_rebuilt(self, tmp_path):
+        """Deliberate cache corruption between the warmup and steps
+        waves is healed transparently: zero failures, identical
+        measurements, and every damaged file ends up either
+        quarantined during the run (read -> rebuilt) or caught by the
+        repair audit (never read, still damaged on disk)."""
+        cache_dir = str(tmp_path / "artifacts")
+        saved = get_cache()
+        try:
+            set_cache(ArtifactCache(cache_dir=cache_dir))
+            clean = run_all(output_dir=str(tmp_path / "clean"),
+                            plan=PLAN, jobs=2)
+            assert clean["failures"] == []
+
+            set_cache(ArtifactCache(cache_dir=cache_dir))
+            fault = CacheCorruptFault(count=2, seed=3)
+            healed = run_all(output_dir=str(tmp_path / "healed"),
+                             plan=PLAN, jobs=2, pipeline_faults=[fault])
+            audit = get_cache().verify(repair=True)
+            final = get_cache().verify()
+        finally:
+            set_cache(saved)
+        assert len(fault.corrupted) == 2
+        assert healed["failures"] == []
+        assert healed["measurements"] == clean["measurements"]
+        # Which corrupted entries the run itself reads (and therefore
+        # quarantines + rebuilds) depends on worker scheduling; the
+        # rest must still be damaged on disk for the audit to catch.
+        run_quarantined = healed["cache"]["quarantine_entries"]
+        assert run_quarantined + len(audit["corrupt"]) == 2
+        quarantine = os.path.join(cache_dir, "quarantine")
+        assert os.path.isdir(quarantine)
+        # both damaged files end up quarantined, plus the reason log
+        assert len(os.listdir(quarantine)) == 3
+        # after repair, a read-only audit finds a fully healthy cache
+        assert final["corrupt"] == []
