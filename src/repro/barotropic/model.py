@@ -208,20 +208,40 @@ class MiniPOP:
     # ------------------------------------------------------------------
     # time integration
     # ------------------------------------------------------------------
-    def step(self):
-        """Advance one model time step (one barotropic solve)."""
+    def begin_step(self):
+        """Pre-solve half of :meth:`step`; returns ``(psi, guess)``.
+
+        Computes the forcing, applies the Rayleigh drag blend to the
+        free-surface memory and assembles this step's linear system.
+        The caller must solve it (alone or as one column of a multi-RHS
+        batch covering several lockstepped models) and hand the solution
+        to :meth:`finish_step`.
+        """
         forcing = self._forcing()
         # Rayleigh drag on the free-surface memory (stability): blend the
         # stepper's history toward the current level before the solve.
         st = self.stepper
         st.eta_nm1 = ((1.0 - self.drag) * st.eta_nm1
                       + self.drag * st.eta_n)
-        eta = st.step(forcing)
+        return st.prepare_step(forcing)
+
+    def finish_step(self, x, iterations, residual_norm, converged):
+        """Post-solve half of :meth:`step`: accept the barotropic
+        solution and run the temperature physics."""
+        eta = self.stepper.apply_solution(x, iterations, residual_norm,
+                                          converged)
         self._advect_diffuse_temperature()
-        self.state.eta_prev = st.eta_nm1
+        self.state.eta_prev = self.stepper.eta_nm1
         self.state.eta = eta
         self.state.step += 1
         return self.state
+
+    def step(self):
+        """Advance one model time step (one barotropic solve)."""
+        psi, guess = self.begin_step()
+        result = self.solver.solve(psi, x0=guess)
+        return self.finish_step(result.x, result.iterations,
+                                result.residual_norm, result.converged)
 
     def run_days(self, days):
         """Run ``days`` simulated days; returns the final state."""

@@ -81,25 +81,50 @@ class BarotropicStepper:
         """Current SSH."""
         return self.eta_n
 
+    def prepare_step(self, forcing=None):
+        """Assemble this step's linear system; returns ``(psi, guess)``.
+
+        ``psi`` is the implicit free-surface right-hand side and
+        ``guess`` the warm-start initial iterate (``None`` when warm
+        starts are disabled).  Together with :meth:`apply_solution` this
+        splits :meth:`step` into its pre- and post-solve halves, so an
+        external driver can batch the solves of several lockstepped
+        steppers into one multi-RHS solve (see
+        :func:`repro.verification.ensemble.run_lockstep_months`).
+        """
+        stencil = self.solver.context.stencil
+        psi = free_surface_rhs(stencil, self.eta_n, self.eta_nm1, forcing)
+        guess = self.eta_n if self.use_previous_as_guess else None
+        return psi, guess
+
+    def apply_solution(self, x, iterations, residual_norm, converged):
+        """Accept a solve's solution and advance the SSH levels.
+
+        The second half of :meth:`step`: rolls ``eta^n -> eta^{n-1}``,
+        masks the new SSH in, bumps the step counter and records the
+        per-step statistics.  Returns the new SSH.
+        """
+        stencil = self.solver.context.stencil
+        self.eta_nm1 = self.eta_n
+        self.eta_n = x * stencil.mask
+        self.step_count += 1
+        self.history.append(StepStats(
+            step=self.step_count,
+            iterations=int(iterations),
+            residual_norm=float(residual_norm),
+            converged=bool(converged),
+        ))
+        return self.eta_n
+
     def step(self, forcing=None):
         """Advance one time step; returns the new SSH.
 
         ``forcing`` is an optional explicit forcing field for this step.
         """
-        stencil = self.solver.context.stencil
-        psi = free_surface_rhs(stencil, self.eta_n, self.eta_nm1, forcing)
-        guess = self.eta_n if self.use_previous_as_guess else None
+        psi, guess = self.prepare_step(forcing)
         result = self.solver.solve(psi, x0=guess)
-        self.eta_nm1 = self.eta_n
-        self.eta_n = result.x * stencil.mask
-        self.step_count += 1
-        self.history.append(StepStats(
-            step=self.step_count,
-            iterations=result.iterations,
-            residual_norm=result.residual_norm,
-            converged=result.converged,
-        ))
-        return self.eta_n
+        return self.apply_solution(result.x, result.iterations,
+                                   result.residual_norm, result.converged)
 
     def mean_iterations(self):
         """Average solver iterations per step so far."""

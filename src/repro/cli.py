@@ -183,10 +183,18 @@ def cmd_solve(args):
         extra_kwargs["fallback"] = args.fallback
     solver = make_solver(args.solver, ctx, tol=args.tol, **extra_kwargs)
     rng = np.random.default_rng(args.seed)
-    b = apply_stencil(config.stencil,
-                      rng.standard_normal(config.shape) * config.mask)
-    for fault in faults:
-        b = fault.on_rhs(b, config.mask)
+    nrhs = max(1, int(args.nrhs))
+    columns = []
+    for _ in range(nrhs):
+        col = apply_stencil(config.stencil,
+                            rng.standard_normal(config.shape) * config.mask)
+        for fault in faults:
+            col = fault.on_rhs(col, config.mask)
+        columns.append(col)
+    b = columns[0] if nrhs == 1 else np.stack(columns, axis=-1)
+    if nrhs > 1:
+        print(f"solving a batch of {nrhs} right-hand sides in one "
+              f"multi-RHS solve")
 
     policy = None
     if args.checkpoint_dir:
@@ -214,6 +222,14 @@ def cmd_solve(args):
             print(f"  last checkpoint: {policy.written[-1]}")
         return 3
     print(result.describe())
+    if result.extra.get("multi_rhs"):
+        iters = result.extra["per_rhs_iterations"]
+        norms = result.extra["per_rhs_residual_norm"]
+        convs = result.extra["per_rhs_converged"]
+        for j, (it, rn, ok) in enumerate(zip(iters, norms, convs)):
+            status = "converged" if ok else "NOT converged"
+            print(f"  rhs[{j}]: {status} in {it} iterations, "
+                  f"|r| = {rn:.2e}")
     if policy is not None and policy.written:
         print(f"  checkpoints written: {len(policy.written)} "
               f"(latest: {policy.written[-1]})")
@@ -374,6 +390,10 @@ def build_parser():
     p_solve.add_argument("--solver", default="pcsi")
     p_solve.add_argument("--precond", default="evp")
     p_solve.add_argument("--tol", type=float, default=1e-13)
+    p_solve.add_argument("--nrhs", type=int, default=1,
+                         help="solve this many random right-hand sides "
+                              "as one multi-RHS batch (prints per-RHS "
+                              "iteration counts)")
     p_solve.add_argument("--seed", type=int, default=0)
     p_solve.add_argument("--machine", default="yellowstone")
     p_solve.add_argument("--cores", type=int, nargs="*",

@@ -213,17 +213,28 @@ def result_from_payload(arrays, meta):
 
 
 def solve_key(config, solver, precond, tol, check_freq, max_iterations,
-              **solver_kwargs):
-    """Artifact-cache key for one measured solve (content-addressed)."""
-    return digest_of(CACHE_FORMAT_VERSION, "solve",
-                     config.content_digest(), solver, precond,
-                     float(tol), int(check_freq), int(max_iterations),
-                     dict(solver_kwargs))
+              rhs=None, **solver_kwargs):
+    """Artifact-cache key for one measured solve (content-addressed).
+
+    ``rhs`` is the right-hand side actually solved when it differs from
+    the default :func:`reference_rhs`; its **full content** -- every
+    column of a ``(ny, nx, nrhs)`` multi-RHS batch -- enters the digest,
+    so two batches sharing some columns but differing in any other can
+    never collide onto one cache entry.
+    """
+    parts = [CACHE_FORMAT_VERSION, "solve",
+             config.content_digest(), solver, precond,
+             float(tol), int(check_freq), int(max_iterations),
+             dict(solver_kwargs)]
+    if rhs is not None:
+        b = np.asarray(rhs, dtype=np.float64)
+        parts.append(digest_of("solve-rhs", b.shape, b))
+    return digest_of(*parts)
 
 
 def measure_solver(config, solver="chrongear", precond="diagonal",
                    tol=1.0e-13, check_freq=10, max_iterations=60000,
-                   cache=None, **solver_kwargs):
+                   cache=None, rhs=None, **solver_kwargs):
     """Solve once and cache the :class:`SolveResult` (with events).
 
     The context carries no decomposition: recorded flops correspond to a
@@ -233,10 +244,14 @@ def measure_solver(config, solver="chrongear", precond="diagonal",
     priced from -- is memoized in the artifact cache's memory tier and
     persisted to its disk tier, so warm processes skip the solve
     entirely and still observe identical measurements.
+
+    ``rhs`` overrides the default :func:`reference_rhs` -- a ``(ny, nx)``
+    field or a ``(ny, nx, nrhs)`` multi-RHS batch.  The cache key digests
+    its full content (see :func:`solve_key`).
     """
     cache = cache if cache is not None else get_cache()
     key = solve_key(config, solver, precond, tol, check_freq,
-                    max_iterations, **solver_kwargs)
+                    max_iterations, rhs=rhs, **solver_kwargs)
     result = cache.get_object("solve", key)
     if result is not None:
         return result
@@ -255,9 +270,10 @@ def measure_solver(config, solver="chrongear", precond="diagonal",
     extra_kwargs = dict(solver_kwargs)
     if cls is PCSISolver:
         extra_kwargs.setdefault("bounds_cache", cache)
+    b = reference_rhs(config) if rhs is None else np.asarray(
+        rhs, dtype=np.float64)
     result = cls(ctx, tol=tol, check_freq=check_freq,
-                 max_iterations=max_iterations, **extra_kwargs).solve(
-        reference_rhs(config))
+                 max_iterations=max_iterations, **extra_kwargs).solve(b)
     result.extra["measured_points"] = config.ny * config.nx
     cache.put_object("solve", key, result)
     cache.store("solve", key, *result_to_payload(result))

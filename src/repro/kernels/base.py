@@ -30,7 +30,16 @@ import numpy as np
 
 
 class KernelBackend:
-    """Base class for kernel backends (see module docstring)."""
+    """Base class for kernel backends (see module docstring).
+
+    ``xp`` is the array-module namespace the backend computes with --
+    numpy by default, or a GPU module (CuPy, ``jax.numpy``) resolved by
+    :func:`repro.kernels.resolve_array_module`.  Backends route their
+    array allocations and elementwise programs through ``self.xp`` so
+    the same code runs unchanged on device arrays; with ``xp = numpy``
+    every operation is literally the pre-existing numpy call, so the
+    default path stays bit-identical.
+    """
 
     #: Registry name ("numpy", "fused", "numba").
     name = "abstract"
@@ -45,32 +54,38 @@ class KernelBackend:
     #: Human-readable reason when ``available`` is False.
     unavailable_reason = None
 
+    def __init__(self, xp=None):
+        #: Array-module namespace (numpy unless a GPU module was bound).
+        self.xp = np if xp is None else xp
+
     # ------------------------------------------------------------------
     # nine-point stencil
     # ------------------------------------------------------------------
-    def stencil_apply(self, coeffs, x, xp, out):
+    def stencil_apply(self, coeffs, x, padded, out):
         """Global ``out = A @ x``.
 
-        ``xp`` is the caller-managed ``(ny + 2, nx + 2)`` padded copy of
-        ``x`` (zero border, interior already filled); ``out`` is
-        preallocated and never aliases ``x``/``xp``.
+        ``padded`` is the caller-managed ``(ny + 2, nx + 2[, nrhs])``
+        padded copy of ``x`` (zero border, interior already filled);
+        ``out`` is preallocated and never aliases ``x``/``padded``.
+        A trailing ``nrhs`` axis, when present, batches independent
+        right-hand sides through one vectorized pass.
         """
         raise NotImplementedError
 
     def stencil_apply_local(self, coeffs, local, h, out):
         """``A @ x`` on one rank's interior, neighbors read from halos.
 
-        ``local`` has shape ``(bny + 2h, bnx + 2h)``; ``out`` is the
-        preallocated ``(bny, bnx)`` interior result.
+        ``local`` has shape ``(bny + 2h, bnx + 2h[, nrhs])``; ``out`` is
+        the preallocated ``(bny, bnx[, nrhs])`` interior result.
         """
         raise NotImplementedError
 
     def stencil_apply_stacked(self, coeffs, stack, h, bny, bnx, out):
-        """``A @ x`` over a ``(p, bny + 2h, bnx + 2h)`` rank stack.
+        """``A @ x`` over a ``(p, bny + 2h, bnx + 2h[, nrhs])`` stack.
 
         ``coeffs`` is a dict of nine stacked ``(p, bny, bnx)``
         coefficient arrays; ``out`` is the preallocated ``(p, bny,
-        bnx)`` interior stack (may be a strided view).
+        bnx[, nrhs])`` interior stack (may be a strided view).
         """
         raise NotImplementedError
 
@@ -90,9 +105,10 @@ class KernelBackend:
     def evp_solve(self, engine, plan, y, out=None):
         """Solve ``B_i x_i = y_i`` for every tile in the engine's batch.
 
-        ``y`` has shape ``(B, my, mx)``; writes/returns ``x`` of the
-        same shape.  Must call ``engine.ring_correction`` for the ring
-        update so the correction stays backend-independent.
+        ``y`` has shape ``(B, my, mx)`` or ``(B, my, mx, nrhs)`` for a
+        multi-RHS batch; writes/returns ``x`` of the same shape.  Must
+        call ``engine.ring_correction`` for the ring update so the
+        correction stays backend-independent.
         """
         raise NotImplementedError
 
@@ -107,10 +123,18 @@ class KernelBackend:
 
 
 def validate_evp_shapes(engine, y):
-    """Shared argument check for ``evp_solve`` implementations."""
+    """Shared argument check for ``evp_solve`` implementations.
+
+    Accepts the ``(B, my, mx)`` single-RHS shape or the
+    ``(B, my, mx, nrhs)`` multi-RHS batch.
+    """
     expect = (engine.batch, engine.my, engine.mx)
-    if y.shape != expect:
+    ok = y.shape == expect or (y.ndim == 4 and y.shape[:3] == expect)
+    if not ok:
         from repro.core.errors import SolverError
 
-        raise SolverError(f"expected y of shape {expect}, got {y.shape}")
+        raise SolverError(
+            f"expected y of shape {expect} or {expect + ('nrhs',)}, "
+            f"got {y.shape}"
+        )
     return np.ascontiguousarray(y, dtype=np.float64)

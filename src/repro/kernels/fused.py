@@ -31,6 +31,14 @@ wins, in order of importance:
   product buffer are allocated once per shape group and reused; the
   hot loop performs no allocations at all.
 
+Multi-RHS batches reuse the *same* flat index programs over a working
+buffer with a trailing ``nrhs`` axis: the ``take`` gathers whole rows
+of columns at once, the coefficient rows broadcast over the trailing
+axis, and the subtract-reduce stays a strict left fold per element --
+so each column's bits match the single-RHS program exactly while the
+dispatch cost is paid once for the whole batch.  Per-``nrhs`` scratch
+is pooled on the plan.
+
 The ring correction itself (LU-derived ``W^-1`` applied as a batched
 matmul) lives on the engine and is shared by every backend -- see
 :meth:`EVPTileEngine.ring_correction`.
@@ -55,6 +63,104 @@ class _MarchStep:
         self.rhs = rhs          # (B, L) shared scratch
 
 
+class _MultiScratch:
+    """Per-``nrhs`` working set: the trailing-axis buffer plus scratch.
+
+    The index programs are ``nrhs``-independent; only the working
+    buffers change shape, so a plan keeps one of these per distinct
+    batch width it has seen.  The step coefficients are materialized
+    once with the trailing axis expanded (``vals``, ``invs``,
+    ``e_vals``): a same-shape contiguous multiply beats numpy's
+    broadcast of a ``(..., 1)`` view on every iteration, and repeating
+    a value along a new axis changes no products.
+    """
+
+    __slots__ = ("buf", "gathers", "rhss", "vals", "invs",
+                 "e_gather", "e_vals", "f")
+
+    def __init__(self, plan, b, k, nrhs):
+        self.buf = np.zeros((plan.buf.shape[0], nrhs))
+
+        def expand(a):
+            return np.ascontiguousarray(
+                np.broadcast_to(a[..., None], a.shape + (nrhs,)))
+
+        gather_pool = {}
+        rhs_pool = {}
+        self.gathers = []
+        self.rhss = []
+        self.vals = []
+        self.invs = []
+        for step in plan.steps:
+            rows, _, length = step.g_idx.shape
+            gkey = (rows, length)
+            if gkey not in gather_pool:
+                gather_pool[gkey] = np.empty((rows, b, length, nrhs))
+            if length not in rhs_pool:
+                rhs_pool[length] = np.empty((b, length, nrhs))
+            self.gathers.append(gather_pool[gkey])
+            self.rhss.append(rhs_pool[length])
+            self.vals.append(expand(step.vals))
+            self.invs.append(expand(step.inv_ne))
+        self.e_gather = np.empty((plan.e_gidx.shape[0], b, k, nrhs))
+        self.e_vals = expand(plan.e_vals)
+        self.f = np.empty((b, k, nrhs))
+
+
+class _StackedStencilProgram:
+    """Flat-index multi-RHS program for :meth:`stencil_apply_stacked`.
+
+    The nine coefficient rows are stacked (center first, then the
+    neighbors in the shared MAC order) with the center row *negated*:
+    ``(-c) * x`` equals ``-(c * x)`` bit-for-bit, so one strict
+    left-fold ``np.subtract.reduce`` followed by a negation reproduces
+    the reference accumulation ``c*x + n*xn + s*xs + ...`` exactly --
+    the same sign identity the fused edge residuals rely on.  One
+    ``take`` / one multiply / one reduce / one negate replace the nine
+    multiplies and eight adds of the view-walking path, with the
+    coefficients pre-expanded along the trailing ``nrhs`` axis.
+    """
+
+    __slots__ = ("coeffs", "g_idx", "vals", "gather", "res")
+
+    #: Same order as the view-walking path (and ``_COEFF_ORDER``).
+    ORDER = (("c", 0, 0), ("n", 1, 0), ("s", -1, 0), ("e", 0, 1),
+             ("w", 0, -1), ("ne", 1, 1), ("nw", 1, -1), ("se", -1, 1),
+             ("sw", -1, -1))
+
+    def __init__(self, coeffs, stack_shape, h, bny, bnx):
+        p, pny, pnx, nrhs = stack_shape
+        #: Pins the cache key: programs are looked up by ``id(coeffs)``
+        #: and revalidated with an ``is`` check against this reference.
+        self.coeffs = coeffs
+        jj, ii = np.mgrid[0:bny, 0:bnx]
+        boff = (np.arange(p, dtype=np.intp) * (pny * pnx))[:, None]
+        idx_rows = []
+        val_rows = []
+        for name, dj, di in self.ORDER:
+            src = ((h + dj + jj) * pnx + (h + di + ii)).ravel()
+            idx_rows.append(boff + src)
+            val_rows.append(np.asarray(coeffs[name]).reshape(p, bny * bnx))
+        g_idx = np.stack(idx_rows)
+        vals = np.stack(val_rows)
+        vals[0] = -vals[0]  # IEEE negation is exact; see class docstring
+        self.g_idx = np.ascontiguousarray(
+            g_idx[..., None] * nrhs + np.arange(nrhs, dtype=np.intp))
+        self.vals = np.ascontiguousarray(
+            np.broadcast_to(vals[..., None], vals.shape + (nrhs,)))
+        self.gather = np.empty(self.g_idx.shape)
+        self.res = np.empty(self.g_idx.shape[1:])
+
+    def run(self, stack, out):
+        gather = self.gather
+        stack.reshape(-1).take(self.g_idx, out=gather, mode="clip")
+        np.multiply(gather, self.vals, out=gather)
+        np.subtract.reduce(gather, axis=0, out=self.res)
+        np.negative(self.res, out=self.res)
+        out[...] = self.res.reshape(out.shape)
+        return out
+
+
 class _EvpPlan:
     """Precompiled marching/edge programs plus scratch for one engine.
 
@@ -67,7 +173,7 @@ class _EvpPlan:
     """
 
     __slots__ = ("steps", "e_gidx", "e_vals", "e_gather", "f",
-                 "ring_idx", "buf", "split", "n_interior")
+                 "ring_idx", "buf", "split", "n_interior", "multi")
 
     def __init__(self, engine):
         b, my, mx = engine.batch, engine.my, engine.mx
@@ -139,6 +245,15 @@ class _EvpPlan:
         self.buf = np.zeros(split + b * n_int)
         self.split = split
         self.n_interior = n_int
+        #: Per-``nrhs`` :class:`_MultiScratch`, built on first use.
+        self.multi = {}
+
+    def multi_scratch(self, b, k, nrhs):
+        ms = self.multi.get(nrhs)
+        if ms is None:
+            ms = _MultiScratch(self, b, k, nrhs)
+            self.multi[nrhs] = ms
+        return ms
 
 
 def _run_march(plan, buf):
@@ -169,20 +284,51 @@ def _run_edges(plan, buf):
     return plan.f
 
 
+def _run_march_multi(plan, ms):
+    """Marching program over the ``(N, nrhs)`` buffer.
+
+    Identical left-fold arithmetic per column -- the coefficient rows
+    broadcast over the trailing axis, so each column executes exactly
+    the single-RHS operation sequence.
+    """
+    buf = ms.buf
+    for step, gather, rhs, vals, inv in zip(plan.steps, ms.gathers,
+                                            ms.rhss, ms.vals, ms.invs):
+        np.take(buf, step.g_idx, axis=0, out=gather, mode="clip")
+        np.multiply(gather, vals, out=gather)
+        np.subtract.reduce(gather, axis=0, out=rhs)
+        np.multiply(rhs, inv, out=rhs)
+        buf[step.tgt_idx] = rhs
+
+
+def _run_edges_multi(plan, ms):
+    """Edge residuals over the ``(N, nrhs)`` buffer."""
+    gather = ms.e_gather
+    np.take(ms.buf, plan.e_gidx, axis=0, out=gather, mode="clip")
+    np.multiply(gather, ms.e_vals, out=gather)
+    np.subtract.reduce(gather, axis=0, out=ms.f)
+    np.negative(ms.f, out=ms.f)
+    return ms.f
+
+
 class FusedKernels(KernelBackend):
     """Fused numpy backend (see module docstring)."""
 
     name = "fused"
     deterministic = True
 
-    def __init__(self):
+    def __init__(self, xp=None):
+        super().__init__(xp)
         self._tmp = {}
+        #: Precompiled :class:`_StackedStencilProgram` per stacked
+        #: coefficient set and batch geometry.
+        self._stencil_multi = {}
 
     def _scratch(self, shape, dtype):
         key = (shape, np.dtype(dtype).str)
         buf = self._tmp.get(key)
         if buf is None:
-            buf = np.empty(shape, dtype=dtype)
+            buf = self.xp.empty(shape, dtype=dtype)
             self._tmp[key] = buf
         return buf
 
@@ -190,45 +336,61 @@ class FusedKernels(KernelBackend):
     # nine-point stencil: reference MAC order, per-term products landing
     # in a reused buffer instead of fresh temporaries.
     # ------------------------------------------------------------------
-    def stencil_apply(self, coeffs, x, xp, out):
+    def stencil_apply(self, coeffs, x, padded, out):
+        xp = self.xp
         t = self._scratch(x.shape, x.dtype)
-        np.multiply(coeffs.c, x, out=out)
+        cv = (lambda c: c[..., None]) if x.ndim == 3 else (lambda c: c)
+        xp.multiply(cv(coeffs.c), x, out=out)
         for coeff, view in (
-            (coeffs.n, xp[2:, 1:-1]), (coeffs.s, xp[:-2, 1:-1]),
-            (coeffs.e, xp[1:-1, 2:]), (coeffs.w, xp[1:-1, :-2]),
-            (coeffs.ne, xp[2:, 2:]), (coeffs.nw, xp[2:, :-2]),
-            (coeffs.se, xp[:-2, 2:]), (coeffs.sw, xp[:-2, :-2]),
+            (coeffs.n, padded[2:, 1:-1]), (coeffs.s, padded[:-2, 1:-1]),
+            (coeffs.e, padded[1:-1, 2:]), (coeffs.w, padded[1:-1, :-2]),
+            (coeffs.ne, padded[2:, 2:]), (coeffs.nw, padded[2:, :-2]),
+            (coeffs.se, padded[:-2, 2:]), (coeffs.sw, padded[:-2, :-2]),
         ):
-            np.multiply(coeff, view, out=t)
+            xp.multiply(cv(coeff), view, out=t)
             out += t
         return out
 
     def stencil_apply_local(self, coeffs, local, h, out):
-        bny, bnx = out.shape
-        t = self._scratch((bny, bnx), out.dtype)
+        xp = self.xp
+        bny, bnx = out.shape[:2]
+        t = self._scratch(out.shape, out.dtype)
+        cv = (lambda c: c[..., None]) if local.ndim == 3 else (lambda c: c)
 
         def view(dj, di):
             return local[h + dj:h + dj + bny, h + di:h + di + bnx]
 
-        np.multiply(coeffs.c, view(0, 0), out=out)
+        xp.multiply(cv(coeffs.c), view(0, 0), out=out)
         for name, dj, di in (("n", 1, 0), ("s", -1, 0), ("e", 0, 1),
                              ("w", 0, -1), ("ne", 1, 1), ("nw", 1, -1),
                              ("se", -1, 1), ("sw", -1, -1)):
-            np.multiply(getattr(coeffs, name), view(dj, di), out=t)
+            xp.multiply(cv(getattr(coeffs, name)), view(dj, di), out=t)
             out += t
         return out
 
     def stencil_apply_stacked(self, coeffs, stack, h, bny, bnx, out):
-        t = self._scratch((stack.shape[0], bny, bnx), out.dtype)
+        xp = self.xp
+        if (stack.ndim == 4 and xp is np and stack.flags.c_contiguous
+                and stack.dtype == np.float64):
+            key = (id(coeffs), stack.shape, h, bny, bnx)
+            prog = self._stencil_multi.get(key)
+            if prog is None or prog.coeffs is not coeffs:
+                prog = _StackedStencilProgram(coeffs, stack.shape,
+                                              h, bny, bnx)
+                self._stencil_multi[key] = prog
+            return prog.run(stack, out)
+        t = self._scratch((stack.shape[0], bny, bnx) + stack.shape[3:],
+                          out.dtype)
+        cv = (lambda c: c[..., None]) if stack.ndim == 4 else (lambda c: c)
 
         def view(dj, di):
             return stack[:, h + dj:h + dj + bny, h + di:h + di + bnx]
 
-        np.multiply(coeffs["c"], view(0, 0), out=out)
+        xp.multiply(cv(coeffs["c"]), view(0, 0), out=out)
         for name, dj, di in (("n", 1, 0), ("s", -1, 0), ("e", 0, 1),
                              ("w", 0, -1), ("ne", 1, 1), ("nw", 1, -1),
                              ("se", -1, 1), ("sw", -1, -1)):
-            np.multiply(coeffs[name], view(dj, di), out=t)
+            xp.multiply(cv(coeffs[name]), view(dj, di), out=t)
             out += t
         return out
 
@@ -241,6 +403,8 @@ class FusedKernels(KernelBackend):
     def evp_solve(self, engine, plan, y, out=None):
         y = validate_evp_shapes(engine, y)
         b, my, mx = engine.batch, engine.my, engine.mx
+        if y.ndim == 4:
+            return self._evp_solve_multi(engine, plan, y, out)
         buf, split = plan.buf, plan.split
         state = buf[:split]
         buf[split:] = y.reshape(b * plan.n_interior)
@@ -252,6 +416,26 @@ class FusedKernels(KernelBackend):
         buf[plan.ring_idx] = ring
         _run_march(plan, buf)
         x = state.reshape(b, my + 2, mx + 2)[:, 1:my + 1, 1:mx + 1]
+        if out is None:
+            return x.copy()
+        out[...] = x
+        return out
+
+    def _evp_solve_multi(self, engine, plan, y, out):
+        b, my, mx = engine.batch, engine.my, engine.mx
+        nrhs = y.shape[3]
+        ms = plan.multi_scratch(b, engine.k, nrhs)
+        buf, split = ms.buf, plan.split
+        state = buf[:split]
+        buf[split:] = y.reshape(b * plan.n_interior, nrhs)
+        state.fill(0.0)
+        _run_march_multi(plan, ms)
+        f = _run_edges_multi(plan, ms)
+        ring = engine.ring_correction(f)
+        state.fill(0.0)
+        buf[plan.ring_idx] = ring
+        _run_march_multi(plan, ms)
+        x = state.reshape(b, my + 2, mx + 2, nrhs)[:, 1:my + 1, 1:mx + 1]
         if out is None:
             return x.copy()
         out[...] = x

@@ -154,12 +154,33 @@ class NumbaKernels(KernelBackend):
     )
 
     # ------------------------------------------------------------------
-    def stencil_apply(self, coeffs, x, xp, out):
+    # Multi-RHS batches (a trailing ``nrhs`` axis) loop column by column
+    # through the compiled single-RHS loops on contiguous copies, so the
+    # batched path reproduces the backend's own single-RHS arithmetic
+    # stream exactly.
+    # ------------------------------------------------------------------
+    def stencil_apply(self, coeffs, x, padded, out):
+        if x.ndim == 3:
+            for j in range(x.shape[-1]):
+                out[..., j] = _stencil_2d(
+                    coeffs.c, coeffs.n, coeffs.s, coeffs.e, coeffs.w,
+                    coeffs.ne, coeffs.nw, coeffs.se, coeffs.sw,
+                    np.ascontiguousarray(padded[..., j]), 1,
+                    np.empty(out.shape[:2]))
+            return out
         return _stencil_2d(coeffs.c, coeffs.n, coeffs.s, coeffs.e,
                            coeffs.w, coeffs.ne, coeffs.nw, coeffs.se,
-                           coeffs.sw, xp, 1, out)
+                           coeffs.sw, padded, 1, out)
 
     def stencil_apply_local(self, coeffs, local, h, out):
+        if local.ndim == 3:
+            for j in range(local.shape[-1]):
+                out[..., j] = _stencil_2d(
+                    coeffs.c, coeffs.n, coeffs.s, coeffs.e, coeffs.w,
+                    coeffs.ne, coeffs.nw, coeffs.se, coeffs.sw,
+                    np.ascontiguousarray(local[..., j]), h,
+                    np.empty(out.shape[:2]))
+            return out
         return _stencil_2d(coeffs.c, coeffs.n, coeffs.s, coeffs.e,
                            coeffs.w, coeffs.ne, coeffs.nw, coeffs.se,
                            coeffs.sw, local, h, out)
@@ -167,6 +188,12 @@ class NumbaKernels(KernelBackend):
     def stencil_apply_stacked(self, coeffs, stack, h, bny, bnx, out):
         args = tuple(np.ascontiguousarray(coeffs[name])
                      for name in _COEFF_ORDER)
+        if stack.ndim == 4:
+            for j in range(stack.shape[-1]):
+                out[..., j] = _stencil_stacked(
+                    *args, np.ascontiguousarray(stack[..., j]), h,
+                    np.empty((stack.shape[0], bny, bnx)))
+            return out
         return _stencil_stacked(*args, stack, h, out)
 
     # ------------------------------------------------------------------
@@ -180,6 +207,14 @@ class NumbaKernels(KernelBackend):
     def evp_solve(self, engine, plan, y, out=None):
         y = validate_evp_shapes(engine, y)
         b, my, mx = engine.batch, engine.my, engine.mx
+        if y.ndim == 4:
+            nrhs = y.shape[3]
+            if out is None:
+                out = np.empty((b, my, mx, nrhs))
+            for j in range(nrhs):
+                out[..., j] = self.evp_solve(
+                    engine, plan, np.ascontiguousarray(y[..., j]))
+            return out
         c, n, s, e, w, nw, se, sw, ne = plan
         p = np.zeros((b, my + 2, mx + 2))
         _evp_march(p, y, c, n, s, e, w, nw, se, sw, ne)

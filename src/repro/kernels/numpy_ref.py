@@ -11,6 +11,16 @@ module-level tuple in :mod:`repro.operators.blocked`) is part of the
 reference semantics: all deterministic backends must accumulate in the
 same order, since floating-point addition does not commute in the last
 bit.
+
+Multi-RHS batches ride a trailing ``nrhs`` axis: the slice programs are
+unchanged except that the 2-D coefficient arrays gain an explicit
+trailing broadcast axis, so every element of every column sees exactly
+the operation sequence the single-RHS path performs -- batched results
+are bit-identical per column.
+
+All array math is routed through ``self.xp`` (numpy unless an
+alternative array module was bound), so the same programs run on GPU
+array modules.
 """
 
 import numpy as np
@@ -27,48 +37,55 @@ class NumpyKernels(KernelBackend):
     # ------------------------------------------------------------------
     # nine-point stencil
     # ------------------------------------------------------------------
-    def stencil_apply(self, coeffs, x, xp, out):
-        np.multiply(coeffs.c, x, out=out)
-        out += coeffs.n * xp[2:, 1:-1]
-        out += coeffs.s * xp[:-2, 1:-1]
-        out += coeffs.e * xp[1:-1, 2:]
-        out += coeffs.w * xp[1:-1, :-2]
-        out += coeffs.ne * xp[2:, 2:]
-        out += coeffs.nw * xp[2:, :-2]
-        out += coeffs.se * xp[:-2, 2:]
-        out += coeffs.sw * xp[:-2, :-2]
+    def stencil_apply(self, coeffs, x, padded, out):
+        xp = self.xp
+        cv = (lambda c: c[..., None]) if x.ndim == 3 else (lambda c: c)
+        xp.multiply(cv(coeffs.c), x, out=out)
+        out += cv(coeffs.n) * padded[2:, 1:-1]
+        out += cv(coeffs.s) * padded[:-2, 1:-1]
+        out += cv(coeffs.e) * padded[1:-1, 2:]
+        out += cv(coeffs.w) * padded[1:-1, :-2]
+        out += cv(coeffs.ne) * padded[2:, 2:]
+        out += cv(coeffs.nw) * padded[2:, :-2]
+        out += cv(coeffs.se) * padded[:-2, 2:]
+        out += cv(coeffs.sw) * padded[:-2, :-2]
         return out
 
     def stencil_apply_local(self, coeffs, local, h, out):
-        bny, bnx = out.shape
+        xp = self.xp
+        bny, bnx = out.shape[:2]
+        cv = (lambda c: c[..., None]) if local.ndim == 3 else (lambda c: c)
 
         def view(dj, di):
             return local[h + dj:h + dj + bny, h + di:h + di + bnx]
 
-        np.multiply(coeffs.c, view(0, 0), out=out)
-        out += coeffs.n * view(1, 0)
-        out += coeffs.s * view(-1, 0)
-        out += coeffs.e * view(0, 1)
-        out += coeffs.w * view(0, -1)
-        out += coeffs.ne * view(1, 1)
-        out += coeffs.nw * view(1, -1)
-        out += coeffs.se * view(-1, 1)
-        out += coeffs.sw * view(-1, -1)
+        xp.multiply(cv(coeffs.c), view(0, 0), out=out)
+        out += cv(coeffs.n) * view(1, 0)
+        out += cv(coeffs.s) * view(-1, 0)
+        out += cv(coeffs.e) * view(0, 1)
+        out += cv(coeffs.w) * view(0, -1)
+        out += cv(coeffs.ne) * view(1, 1)
+        out += cv(coeffs.nw) * view(1, -1)
+        out += cv(coeffs.se) * view(-1, 1)
+        out += cv(coeffs.sw) * view(-1, -1)
         return out
 
     def stencil_apply_stacked(self, coeffs, stack, h, bny, bnx, out):
+        xp = self.xp
+        cv = (lambda c: c[..., None]) if stack.ndim == 4 else (lambda c: c)
+
         def view(dj, di):
             return stack[:, h + dj:h + dj + bny, h + di:h + di + bnx]
 
-        np.multiply(coeffs["c"], view(0, 0), out=out)
-        out += coeffs["n"] * view(1, 0)
-        out += coeffs["s"] * view(-1, 0)
-        out += coeffs["e"] * view(0, 1)
-        out += coeffs["w"] * view(0, -1)
-        out += coeffs["ne"] * view(1, 1)
-        out += coeffs["nw"] * view(1, -1)
-        out += coeffs["se"] * view(-1, 1)
-        out += coeffs["sw"] * view(-1, -1)
+        xp.multiply(cv(coeffs["c"]), view(0, 0), out=out)
+        out += cv(coeffs["n"]) * view(1, 0)
+        out += cv(coeffs["s"]) * view(-1, 0)
+        out += cv(coeffs["e"]) * view(0, 1)
+        out += cv(coeffs["w"]) * view(0, -1)
+        out += cv(coeffs["ne"]) * view(1, 1)
+        out += cv(coeffs["nw"]) * view(1, -1)
+        out += cv(coeffs["se"]) * view(-1, 1)
+        out += cv(coeffs["sw"]) * view(-1, -1)
         return out
 
     # ------------------------------------------------------------------
@@ -76,15 +93,19 @@ class NumpyKernels(KernelBackend):
     # ------------------------------------------------------------------
     def evp_solve(self, engine, plan, y, out=None):
         """March -> edge residuals -> ring correction -> march again."""
+        xp = self.xp
         y = validate_evp_shapes(engine, y)
         b, my, mx = engine.batch, engine.my, engine.mx
-        p = np.zeros((b, my + 2, mx + 2))
-        engine._march(p, y)
-        f = engine._edge_residuals(p, y)
+        trailing = y.shape[3:]
+        march = engine._march_multi if trailing else engine._march
+        edges = engine._edge_residuals_multi if trailing else engine._edge_residuals
+        p = xp.zeros((b, my + 2, mx + 2) + trailing)
+        march(p, y)
+        f = edges(p, y)
         ring = engine.ring_correction(f)
-        p2 = np.zeros((b, my + 2, mx + 2))
+        p2 = xp.zeros((b, my + 2, mx + 2) + trailing)
         p2[:, engine._ring_rows, engine._ring_cols] = ring
-        engine._march(p2, y)
+        march(p2, y)
         x = p2[:, 1:my + 1, 1:mx + 1]
         if out is None:
             return x.copy()

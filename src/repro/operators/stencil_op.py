@@ -22,18 +22,19 @@ from repro.kernels import resolve_kernels
 MATVEC_FLOPS_PER_POINT = 9
 
 #: Cached padded scratch buffers for :func:`apply_stencil`, keyed by
-#: ``(ny, nx, dtype)``.  The matvec is the serial hot loop; reusing the
-#: ``(ny + 2, nx + 2)`` buffer avoids one full-grid allocation per call.
-#: The zero border (the closed boundary) is written once at creation and
-#: never touched afterwards, so no re-zeroing is needed.
+#: ``(shape, dtype)``.  The matvec is the serial hot loop; reusing the
+#: ``(ny + 2, nx + 2[, nrhs])`` buffer avoids one full-grid allocation
+#: per call.  The zero border (the closed boundary) is written once at
+#: creation and never touched afterwards, so no re-zeroing is needed.
 _PADDED_SCRATCH = {}
 
 
-def _padded_scratch(ny, nx, dtype):
-    key = (ny, nx, np.dtype(dtype).str)
+def _padded_scratch(shape, dtype):
+    key = (shape, np.dtype(dtype).str)
     buf = _PADDED_SCRATCH.get(key)
     if buf is None:
-        buf = np.zeros((ny + 2, nx + 2), dtype=dtype)
+        ny, nx = shape[:2]
+        buf = np.zeros((ny + 2, nx + 2) + shape[2:], dtype=dtype)
         _PADDED_SCRATCH[key] = buf
     return buf
 
@@ -41,17 +42,18 @@ def _padded_scratch(ny, nx, dtype):
 def apply_stencil(coeffs, x, out=None, kernels=None):
     """Global ``A @ x`` for a nine-point :class:`StencilCoeffs`.
 
-    Out-of-domain neighbors contribute zero (closed boundary).  ``out``
-    may alias neither ``x`` nor the coefficient arrays.  ``kernels``
-    selects the executing backend (default: ``$REPRO_KERNELS``/auto).
+    Out-of-domain neighbors contribute zero (closed boundary).  ``x``
+    may carry a trailing ``nrhs`` axis, batching independent fields
+    through one vectorized pass.  ``out`` may alias neither ``x`` nor
+    the coefficient arrays.  ``kernels`` selects the executing backend
+    (default: ``$REPRO_KERNELS``/auto).
     """
-    ny, nx = x.shape
-    xp = _padded_scratch(ny, nx, x.dtype)
-    xp[1:-1, 1:-1] = x
+    padded = _padded_scratch(x.shape, x.dtype)
+    padded[1:-1, 1:-1] = x
 
     if out is None:
         out = np.empty_like(x)
-    return resolve_kernels(kernels).stencil_apply(coeffs, x, xp, out)
+    return resolve_kernels(kernels).stencil_apply(coeffs, x, padded, out)
 
 
 def apply_stencil_local(coeffs, local, halo_width, out=None, kernels=None):
@@ -79,7 +81,7 @@ def apply_stencil_local(coeffs, local, halo_width, out=None, kernels=None):
     bny = local.shape[0] - 2 * h
     bnx = local.shape[1] - 2 * h
     if out is None:
-        out = np.empty((bny, bnx), dtype=local.dtype)
+        out = np.empty((bny, bnx) + local.shape[2:], dtype=local.dtype)
     return resolve_kernels(kernels).stencil_apply_local(coeffs, local, h, out)
 
 

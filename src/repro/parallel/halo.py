@@ -64,24 +64,35 @@ class BlockField:
         self.stack = stack
 
     @classmethod
-    def zeros(cls, decomp, dtype=np.float64, stacked=False):
+    def zeros(cls, decomp, dtype=np.float64, stacked=False, nrhs=None):
         """A zero-valued block field over ``decomp``.
 
         ``stacked=True`` requests the structure-of-arrays layout and
-        requires a uniform decomposition.
+        requires a uniform decomposition.  ``nrhs`` adds a trailing
+        batch axis so the field holds that many independent RHS columns
+        (``None`` keeps the scalar 2-D layout).
         """
         h = decomp.halo_width
+        trailing = () if nrhs is None else (int(nrhs),)
         if stacked:
             bny, bnx = decomp.uniform_block_shape()
             stack = np.zeros(
-                (decomp.num_active, bny + 2 * h, bnx + 2 * h), dtype=dtype
+                (decomp.num_active, bny + 2 * h, bnx + 2 * h) + trailing,
+                dtype=dtype,
             )
             return cls(decomp, list(stack), stack=stack)
         locals_ = [
-            np.zeros((b.ny + 2 * h, b.nx + 2 * h), dtype=dtype)
+            np.zeros((b.ny + 2 * h, b.nx + 2 * h) + trailing, dtype=dtype)
             for b in decomp.active_blocks
         ]
         return cls(decomp, locals_)
+
+    @property
+    def nrhs(self):
+        """Trailing batch width, or ``None`` for a scalar 2-D field."""
+        arr = self.stack if self.stack is not None else self.locals_[0]
+        base = 3 if self.stack is not None else 2
+        return arr.shape[base] if arr.ndim > base else None
 
     @property
     def is_stacked(self):
@@ -99,7 +110,7 @@ class BlockField:
         return self.locals_[rank][h:h + block.ny, h:h + block.nx]
 
     def interior_stack(self):
-        """View of all ranks' interiors, shape ``(p, bny, bnx)``.
+        """View of all ranks' interiors, shape ``(p, bny, bnx[, nrhs])``.
 
         Only available on stacked fields.
         """
@@ -148,20 +159,22 @@ class HaloExchanger:
 
     # ------------------------------------------------------------------
     def scatter(self, global_field, dtype=None, stacked=False):
-        """Distribute a global ``(ny, nx)`` array into a new BlockField.
+        """Distribute a global ``(ny, nx[, nrhs])`` array into a BlockField.
 
         Halo rings are zero-initialized; call an exchange method to fill
         them.  ``stacked=True`` produces a structure-of-arrays field
-        (uniform decompositions only).
+        (uniform decompositions only).  A 3-D input distributes every
+        RHS column at once into a trailing-axis field.
         """
         decomp = self.decomp
-        if global_field.shape != (decomp.ny, decomp.nx):
+        if global_field.shape[:2] != (decomp.ny, decomp.nx):
             raise DecompositionError(
                 f"field shape {global_field.shape} does not match grid "
                 f"({decomp.ny}, {decomp.nx})"
             )
+        nrhs = global_field.shape[2] if global_field.ndim == 3 else None
         field = BlockField.zeros(decomp, dtype=dtype or global_field.dtype,
-                                 stacked=stacked)
+                                 stacked=stacked, nrhs=nrhs)
         for rank, block in enumerate(decomp.active_blocks):
             field.interior(rank)[...] = global_field[block.slices]
         return field
@@ -172,7 +185,8 @@ class HaloExchanger:
         Points belonging to eliminated land blocks get ``fill``.
         """
         decomp = self.decomp
-        out = np.full((decomp.ny, decomp.nx), fill,
+        trailing = field.locals_[0].shape[2:]
+        out = np.full((decomp.ny, decomp.nx) + trailing, fill,
                       dtype=dtype or field.locals_[0].dtype)
         for rank, block in enumerate(decomp.active_blocks):
             out[block.slices] = field.interior(rank)
@@ -235,8 +249,10 @@ class HaloExchanger:
         """
         decomp = self.decomp
         h = decomp.halo_width
-        padded = np.zeros((decomp.ny + 2 * h, decomp.nx + 2 * h),
-                          dtype=field.locals_[0].dtype)
+        padded = np.zeros(
+            (decomp.ny + 2 * h, decomp.nx + 2 * h)
+            + field.locals_[0].shape[2:],
+            dtype=field.locals_[0].dtype)
         for rank, block in enumerate(decomp.active_blocks):
             padded[h + block.j0:h + block.j1, h + block.i0:h + block.i1] = \
                 field.interior(rank)
@@ -300,14 +316,22 @@ class HaloExchanger:
         h = decomp.halo_width
         scatter_idx, gather_idx = self._stacked_index_maps()
         dtype = field.stack.dtype
-        scratch = self._padded_scratch.get(dtype.str)
+        trailing = field.stack.shape[3:]
+        key = (dtype.str, trailing)
+        scratch = self._padded_scratch.get(key)
         if scratch is None:
             # Out-of-domain positions stay zero forever: the scatter
             # below only ever writes interior positions, so the border
             # ring (the closed lateral boundary) never needs re-zeroing.
-            scratch = np.zeros((decomp.ny + 2 * h) * (decomp.nx + 2 * h),
-                               dtype=dtype)
-            self._padded_scratch[dtype.str] = scratch
+            scratch = np.zeros(
+                ((decomp.ny + 2 * h) * (decomp.nx + 2 * h),) + trailing,
+                dtype=dtype)
+            self._padded_scratch[key] = scratch
         scratch[scatter_idx] = field.interior_stack()
-        np.take(scratch, gather_idx, out=field.stack)
+        if scratch.ndim == 1:
+            np.take(scratch, gather_idx, out=field.stack)
+        else:
+            # Trailing-axis batch: one axis-0 take moves every column's
+            # halos at once.
+            np.take(scratch, gather_idx, axis=0, out=field.stack)
         return field

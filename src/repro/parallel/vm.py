@@ -152,25 +152,35 @@ class VirtualMachine:
         """Assemble a global field from block interiors."""
         return self.exchanger.gather(field, fill=fill)
 
-    def zeros(self, dtype=np.float64):
-        """A zero block field over this machine's decomposition."""
+    def zeros(self, dtype=np.float64, nrhs=None):
+        """A zero block field over this machine's decomposition.
+
+        ``nrhs`` adds a trailing batch axis holding that many RHS
+        columns.
+        """
         return BlockField.zeros(self.decomp, dtype=dtype,
-                                stacked=self.is_batched)
+                                stacked=self.is_batched, nrhs=nrhs)
 
     # ------------------------------------------------------------------
     # communication
     # ------------------------------------------------------------------
     def exchange(self, field, phase="boundary"):
-        """Halo update; records one boundary event on the ledger."""
+        """Halo update; records one boundary event on the ledger.
+
+        A multi-RHS field moves ``nrhs`` words per halo point in the
+        *same* exchange -- one latency charge, ``nrhs``-fold payload --
+        which is exactly the amortization batched solves buy.
+        """
         if self.is_batched and field.is_stacked:
             self.exchanger.exchange_stacked(field)
         elif self.fast_exchange:
             self.exchanger.exchange_via_global(field)
         else:
             self.exchanger.exchange(field)
+        width = field.nrhs or 1
         self.ledger.record_halo(
             phase,
-            words=self.decomp.halo_words_per_exchange(),
+            words=width * self.decomp.halo_words_per_exchange(),
             exchanges=1,
         )
         if self.faults:
@@ -179,13 +189,62 @@ class VirtualMachine:
                 fault.on_exchange(field, self._halo_rounds, self)
         return field
 
+    def _column_partials(self, a, b, j):
+        """Rank-ordered partials of one RHS column of a batched pair.
+
+        Columns are reduced on *contiguous* per-column copies so each
+        column's pairwise summation blocking -- and therefore its bits
+        -- matches the single-RHS reduction exactly.
+        """
+        if self.is_batched and a.is_stacked and b.is_stacked:
+            return masked_partials_stacked(
+                np.ascontiguousarray(a.interior_stack()[..., j]),
+                np.ascontiguousarray(b.interior_stack()[..., j]),
+                self._mask_stack,
+            )
+        return [
+            masked_local_dot(np.ascontiguousarray(a.interior(r)[..., j]),
+                             np.ascontiguousarray(b.interior(r)[..., j]),
+                             self._mask_blocks[r])
+            for r in range(self.num_ranks)
+        ]
+
+    def _global_dot_multi(self, a, b, phase):
+        """Per-column masked inner products, one fused all-reduce.
+
+        Returns an ``(nrhs,)`` array.  The ledger records a single
+        all-reduce carrying ``nrhs`` words -- the multi-RHS amortization
+        of reduction latency -- while flops scale with the batch width.
+        """
+        nrhs = a.nrhs
+        out = np.empty(nrhs)
+        column_partials = []
+        for j in range(nrhs):
+            partials = self._column_partials(a, b, j)
+            column_partials.append(partials)
+            out[j] = masked_global_sum_blocks(partials)
+        self.ledger.record_flops("computation", nrhs * self._max_points)
+        self.ledger.record_flops(phase, nrhs * self._max_points)
+        self.ledger.record_allreduce(phase, words=nrhs)
+        if self.faults:
+            # One fused all-reduce = one logical reduction event; every
+            # column's payload passes through at the same count.
+            self._reductions += 1
+            for fault in self.faults:
+                for partials in column_partials:
+                    fault.on_reduction(partials, self._reductions)
+        return out
+
     def global_dot(self, a, b, phase="reduction"):
         """Masked global inner product with reduction-event accounting.
 
         The masking multiply plus local product-and-sum is ``~2 n^2``
         flops on the critical rank (paper Eq. 2); the all-reduce carries
-        one word per rank.
+        one word per rank.  Batched multi-RHS fields return an
+        ``(nrhs,)`` array from one fused all-reduce.
         """
+        if a.nrhs is not None:
+            return self._global_dot_multi(a, b, phase)
         if self.is_batched and a.is_stacked and b.is_stacked:
             partials = masked_partials_stacked(
                 a.interior_stack(), b.interior_stack(), self._mask_stack
@@ -212,8 +271,32 @@ class VirtualMachine:
         """Two masked inner products fused into a single all-reduce.
 
         This is the heart of the ChronGear reformulation: rho and delta
-        share one reduction (Algorithm 1 step 9).
+        share one reduction (Algorithm 1 step 9).  Batched multi-RHS
+        fields return a pair of ``(nrhs,)`` arrays from one fused
+        all-reduce of ``2 * nrhs`` words.
         """
+        if a1.nrhs is not None:
+            nrhs = a1.nrhs
+            out1 = np.empty(nrhs)
+            out2 = np.empty(nrhs)
+            column_partials = []
+            for j in range(nrhs):
+                p1 = self._column_partials(a1, b1, j)
+                p2 = self._column_partials(a2, b2, j)
+                column_partials.append((p1, p2))
+                out1[j] = masked_global_sum_blocks(p1)
+                out2[j] = masked_global_sum_blocks(p2)
+            self.ledger.record_flops("computation",
+                                     2 * nrhs * self._max_points)
+            self.ledger.record_flops(phase, 2 * nrhs * self._max_points)
+            self.ledger.record_allreduce(phase, words=2 * nrhs)
+            if self.faults:
+                self._reductions += 1
+                for fault in self.faults:
+                    for p1, p2 in column_partials:
+                        fault.on_reduction(p1, self._reductions)
+                        fault.on_reduction(p2, self._reductions)
+            return out1, out2
         if (self.is_batched and a1.is_stacked and b1.is_stacked
                 and a2.is_stacked and b2.is_stacked):
             partials1 = masked_partials_stacked(

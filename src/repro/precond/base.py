@@ -140,6 +140,18 @@ class Preconditioner(abc.ABC):
         return np.stack([source[b.slices]
                          for b in self.decomp.active_blocks])
 
+    @staticmethod
+    def _bcast(coeff, data):
+        """Broadcast a mask/coefficient array over a trailing RHS axis.
+
+        Multi-RHS data carries one more (trailing) axis than the 2-D
+        coefficient; numpy's right-aligned broadcasting would misalign
+        them, so the coefficient gets an explicit trailing axis.  For
+        matching ranks this is the identity, keeping the single-RHS
+        arithmetic byte-for-byte unchanged.
+        """
+        return coeff[..., None] if data.ndim > coeff.ndim else coeff
+
     @property
     def is_spd(self):
         """Whether ``M`` is symmetric positive definite on the ocean

@@ -102,6 +102,16 @@ class BlockLUPreconditioner(Preconditioner):
         if factor is None:
             return np.zeros_like(y_block)
         lu, idx, shape = factor
+        if y_block.ndim == 3:
+            # Multi-RHS: one triangular solve per column on a contiguous
+            # copy, so each column's arithmetic stream matches its
+            # single-RHS solve exactly.
+            nrhs = y_block.shape[2]
+            out = np.zeros((shape[0] * shape[1], nrhs), dtype=y_block.dtype)
+            for j in range(nrhs):
+                flat = np.ascontiguousarray(y_block[..., j]).ravel()
+                out[idx, j] = lu.solve(flat[idx])
+            return out.reshape(shape + (nrhs,))
         flat = y_block.ravel()
         out = np.zeros_like(flat)
         out[idx] = lu.solve(flat[idx])
@@ -114,7 +124,7 @@ class BlockLUPreconditioner(Preconditioner):
             out[...] = 0.0
         for (rank, j0, j1, i0, i1), factor in zip(self._tiles, self._factors):
             out[j0:j1, i0:i1] = self._solve_tile(factor, r[j0:j1, i0:i1])
-        out *= self._mask_f
+        out *= self._bcast(self._mask_f, out)
         return out
 
     def apply_block(self, rank, r_interior, out=None):
@@ -131,7 +141,7 @@ class BlockLUPreconditioner(Preconditioner):
             y = r_interior[j0 - block.j0:j1 - block.j0, i0 - block.i0:i1 - block.i0]
             out[j0 - block.j0:j1 - block.j0,
                 i0 - block.i0:i1 - block.i0] = self._solve_tile(factor, y)
-        out *= self._mask_f[block.slices]
+        out *= self._bcast(self._mask_f[block.slices], out)
         return out
 
     def apply_stack(self, r_stack, out=None):
@@ -158,7 +168,7 @@ class BlockLUPreconditioner(Preconditioner):
                 i0 - block.i0:i1 - block.i0] = self._solve_tile(factor, y)
         if self._mask_f_stack is None:
             self._mask_f_stack = self._interior_stack(self._mask_f)
-        out *= self._mask_f_stack
+        out *= self._bcast(self._mask_f_stack, out)
         return out
 
     # ------------------------------------------------------------------

@@ -39,7 +39,7 @@ class DiagonalPreconditioner(Preconditioner):
     def apply_global(self, r, out=None):
         if out is None:
             out = np.empty_like(r)
-        np.multiply(r, self._inv_diag, out=out)
+        np.multiply(r, self._bcast(self._inv_diag, r), out=out)
         return out
 
     def apply_block(self, rank, r_interior, out=None):
@@ -47,7 +47,7 @@ class DiagonalPreconditioner(Preconditioner):
         inv = self._inv_diag if block is None else self._inv_diag[block.slices]
         if out is None:
             out = np.empty_like(r_interior)
-        np.multiply(r_interior, inv, out=out)
+        np.multiply(r_interior, self._bcast(inv, r_interior), out=out)
         return out
 
     def apply_stack(self, r_stack, out=None):
@@ -58,7 +58,8 @@ class DiagonalPreconditioner(Preconditioner):
             self._inv_diag_stack = self._interior_stack(self._inv_diag)
         if out is None:
             out = np.empty_like(r_stack)
-        np.multiply(r_stack, self._inv_diag_stack, out=out)
+        np.multiply(r_stack, self._bcast(self._inv_diag_stack, r_stack),
+                    out=out)
         return out
 
     def apply_flops(self, rank=None):

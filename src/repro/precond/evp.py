@@ -149,6 +149,8 @@ class EVPTileEngine:
         # batched BLAS matmul ``f @ R^T`` (see :meth:`ring_correction`).
         self._rT = np.ascontiguousarray(np.swapaxes(self._r, 1, 2))
         self._ring_scratch = np.empty((self.batch, 1, self.k))
+        #: Per-``nrhs`` scratch pair for the multi-RHS ring correction.
+        self._ring_multi = {}
         self._plan = self.kernels.prepare_evp(self)
 
     # ------------------------------------------------------------------
@@ -218,16 +220,20 @@ class EVPTileEngine:
     def _march(self, p, y):
         """Fill ``p`` northeastward from its ring values.
 
-        ``p`` has shape ``(B, my+2, mx+2)`` or ``(B, k, my+2, mx+2)``
-        (the latter during influence-matrix construction, with the
-        coefficients broadcast over the unit-vector axis); the ring must
+        ``p`` has shape ``(B, my+2, mx+2)``, ``(B, k, my+2, mx+2)``
+        (during influence-matrix construction, with the coefficients
+        broadcast over the unit-vector axis) or ``(B, my+2, mx+2, nrhs)``
+        (a multi-RHS solve batch on a trailing axis); the ring must
         already be set and everything else zero.  ``y`` matches ``p``'s
-        leading shape with trailing ``(my, mx)``.
+        layout with ``(my, mx)`` in place of the padded extents.
 
-        The solve-path (3-D) branch gathers into a per-length scratch
-        buffer and updates it in place -- one reused ``(B, L)`` buffer
+        The solve-path branches gather into a per-length scratch buffer
+        and update it in place -- one reused ``(B, L[, nrhs])`` buffer
         per anti-diagonal length instead of a fresh allocation per step
-        -- without changing any operation's order or rounding.
+        -- without changing any operation's order or rounding.  The
+        multi-RHS batch uses the dedicated :meth:`_march_multi` (the
+        trailing-axis layout cannot be told apart from the influence
+        layout by shape alone on 3x3 tiles).
         """
         extra = p.ndim == 4
         lead = p.shape[:-2]
@@ -248,12 +254,35 @@ class EVPTileEngine:
                 pf[:, target] = rhs
         return p
 
-    def _rhs_scratch(self, length):
-        """The reused ``(B, length)`` right-hand-side buffer."""
-        buf = self._march_scratch.get(length)
+    def _march_multi(self, p, y):
+        """Multi-RHS marching sweep over ``(B, my+2, mx+2, nrhs)``.
+
+        The ``(B, L)`` coefficients broadcast over the trailing axis, so
+        every column runs the exact single-RHS elementwise sequence --
+        the batched sweep is bit-identical per column.
+        """
+        nrhs = p.shape[3]
+        pf = p.reshape(p.shape[0], (self.my + 2) * (self.mx + 2), nrhs)
+        yf = y.reshape(y.shape[0], self.my * self.mx, nrhs)
+        for y_src, inv_ne, target, terms in self._march_steps:
+            rhs = self._rhs_scratch(y_src.shape[0], nrhs)
+            np.take(yf, y_src, axis=1, out=rhs)
+            for vals, p_src in terms:
+                np.subtract(rhs, vals[..., None] * pf[:, p_src], out=rhs)
+            np.multiply(rhs, inv_ne[..., None], out=rhs)
+            pf[:, target] = rhs
+        return p
+
+    def _rhs_scratch(self, length, nrhs=None):
+        """The reused ``(B, length[, nrhs])`` right-hand-side buffer."""
+        key = length if nrhs is None else (length, nrhs)
+        buf = self._march_scratch.get(key)
         if buf is None:
-            buf = np.empty((self.batch, length))
-            self._march_scratch[length] = buf
+            shape = (self.batch, length)
+            if nrhs is not None:
+                shape += (nrhs,)
+            buf = np.empty(shape)
+            self._march_scratch[key] = buf
         return buf
 
     def _edge_residuals(self, p, y):
@@ -288,6 +317,41 @@ class EVPTileEngine:
                              * p[..., 1 + dj:1 + dj + my - 1, tx + 1 + di])
             acc = acc + ne[..., :my - 1, tx] * p[..., 2:2 + my - 1, tx + 2]
             f[..., mx:] = acc
+        return f
+
+    def _edge_residuals_multi(self, p, y):
+        """Edge residuals for a multi-RHS batch ``(B, my+2, mx+2, nrhs)``.
+
+        Same accumulation order as :meth:`_edge_residuals` with the 2-D
+        coefficients broadcast over the trailing RHS axis, so each
+        column's residuals are bit-identical to its single-RHS pass.
+        Returns ``(B, k, nrhs)``.
+        """
+        my, mx = self.my, self.mx
+        nrhs = p.shape[3]
+        f = np.empty((p.shape[0], self.k, nrhs), dtype=p.dtype)
+        views = [(self._coeff_view(name, False), dj, di)
+                 for name, dj, di in self.terms]
+        ne = self._coeff_view("ne", False)
+
+        # north edge: centers (my-1, tx) for tx in [0, mx)
+        ty = my - 1
+        acc = -np.array(y[:, ty, :, :])
+        for coeff, dj, di in views:
+            acc = acc + (coeff[:, ty, :, None]
+                         * p[:, ty + 1 + dj, 1 + di:1 + di + mx, :])
+        acc = acc + ne[:, ty, :, None] * p[:, ty + 2, 2:2 + mx, :]
+        f[:, :mx, :] = acc
+
+        if my > 1:
+            # east edge: centers (ty, mx-1) for ty in [0, my-1)
+            tx = mx - 1
+            acc = -np.array(y[:, :my - 1, tx, :])
+            for coeff, dj, di in views:
+                acc = acc + (coeff[:, :my - 1, tx, None]
+                             * p[:, 1 + dj:1 + dj + my - 1, tx + 1 + di, :])
+            acc = acc + ne[:, :my - 1, tx, None] * p[:, 2:2 + my - 1, tx + 2, :]
+            f[:, mx:, :] = acc
         return f
 
     # ------------------------------------------------------------------
@@ -353,7 +417,32 @@ class EVPTileEngine:
         iterates bit-identical across the deterministic backends and
         cached influence payloads valid under all of them.  Returns a
         reused ``(B, k)`` scratch view; consume it before the next call.
+
+        A ``(B, k, nrhs)`` multi-RHS batch is corrected as one gufunc
+        matmul over an ``(nrhs, B)`` batch of the *same* ``(1, k) @
+        (k, k)`` slices the single-RHS path runs -- the batched matmul
+        applies the identical inner kernel to each 2-D slice, so each
+        column's ring is bit-identical to its standalone solve.  (One
+        fused ``(k, k) @ (k, nrhs)`` gemm would be faster still but
+        could legally reorder the per-element accumulation.)  Returns a
+        fresh ``(B, k, nrhs)`` array in that case.
         """
+        if f.ndim == 3:
+            nrhs = f.shape[2]
+            scratch = self._ring_multi.get(nrhs)
+            if scratch is None:
+                scratch = (np.empty((nrhs, f.shape[0], 1, self.k)),
+                           np.empty((nrhs, f.shape[0], self.k)))
+                self._ring_multi[nrhs] = scratch
+            rows, cols = scratch
+            # (nrhs, B, k): column-major over the batch so every slice
+            # is the contiguous row vector the single path sees.
+            cols[...] = np.moveaxis(f, 2, 0)
+            np.matmul(cols[:, :, None, :], self._rT, out=rows)
+            np.negative(rows, out=rows)
+            out = np.empty((f.shape[0], self.k, nrhs), dtype=f.dtype)
+            out[...] = rows[:, :, 0, :].transpose(1, 2, 0)
+            return out
         np.matmul(f[:, None, :], self._rT, out=self._ring_scratch)
         ring = self._ring_scratch[:, 0, :]
         np.negative(ring, out=ring)
@@ -466,6 +555,7 @@ class EVPBlockPreconditioner(Preconditioner):
         self._mask_f = self.mask.astype(np.float64)
         self._gather_idx = self._build_gather_indices()
         self._stack_idx = None
+        self._stack_ident = None
         self._block_idx = None
         self._mask_f_stack = None
         self._rank_solve_flops = self._accumulate_rank_flops(
@@ -599,7 +689,7 @@ class EVPBlockPreconditioner(Preconditioner):
             jj, ii = self._gather_idx[shape]
             x = engine.solve(r[jj, ii])
             out[jj, ii] = x
-        out *= self._mask_f
+        out *= self._bcast(self._mask_f, out)
         return out
 
     def _build_block_indices(self):
@@ -645,11 +735,11 @@ class EVPBlockPreconditioner(Preconditioner):
             out[...] = 0.0
         for shape, positions, jj, ii in self._block_idx[rank]:
             engine = self._engines[shape]
-            y = np.zeros((engine.batch,) + shape)
+            y = np.zeros((engine.batch,) + shape + r_interior.shape[2:])
             y[positions] = r_interior[jj, ii]
             x = engine.solve(y)
             out[jj, ii] = x[positions]
-        out *= self._mask_f[block.slices]
+        out *= self._bcast(self._mask_f[block.slices], out)
         return out
 
     def _build_stack_indices(self):
@@ -673,6 +763,31 @@ class EVPBlockPreconditioner(Preconditioner):
             out[shape] = (rr, jj, ii)
         return out
 
+    def _stack_identity_shape(self):
+        """The ``(p, my, mx)`` stack shape whose gather is the identity.
+
+        When there is a single shape group whose tiles are exactly the
+        rank interiors in batch order (``tile_size >= block size`` on a
+        uniform decomposition), ``r_stack[rr, jj, ii]`` would copy the
+        stack verbatim; :meth:`apply_stack` then skips the gather and
+        scatter entirely.  Returns ``None`` when the layout is anything
+        else.
+        """
+        if len(self._stack_idx) != 1:
+            return None
+        (shape, (rr, jj, ii)), = self._stack_idx.items()
+        p, my, mx = rr.shape
+        if (my, mx) != shape:
+            return None
+        exp_rr = np.arange(p, dtype=np.intp)[:, None, None]
+        exp_jj = np.arange(my, dtype=np.intp)[None, :, None]
+        exp_ii = np.arange(mx, dtype=np.intp)[None, None, :]
+        if (np.array_equal(rr, np.broadcast_to(exp_rr, rr.shape))
+                and np.array_equal(jj, np.broadcast_to(exp_jj, jj.shape))
+                and np.array_equal(ii, np.broadcast_to(exp_ii, ii.shape))):
+            return (p, my, mx)
+        return None
+
     def apply_stack(self, r_stack, out=None):
         """Batched application over stacked rank interiors.
 
@@ -688,6 +803,19 @@ class EVPBlockPreconditioner(Preconditioner):
         if self._stack_idx is None:
             self._stack_idx = self._build_stack_indices()
             self._mask_f_stack = self._interior_stack(self._mask_f)
+            self._stack_ident = self._stack_identity_shape()
+        if self._stack_ident == r_stack.shape[:3]:
+            # Every block is exactly one tile in batch order: the gather
+            # is the identity permutation, so solve the stack in place
+            # and skip both fancy-indexing copies.  Same values through
+            # the same engine -- the gathered copy merely duplicated the
+            # stack -- so the output is bit-identical to the slow path.
+            engine = self._engines[next(iter(self._groups))]
+            if out is None:
+                out = np.empty_like(r_stack)
+            engine.solve(r_stack, out=out)
+            out *= self._bcast(self._mask_f_stack, out)
+            return out
         if out is None:
             out = np.zeros_like(r_stack)
         else:
@@ -697,7 +825,7 @@ class EVPBlockPreconditioner(Preconditioner):
             rr, jj, ii = self._stack_idx[shape]
             x = engine.solve(r_stack[rr, jj, ii])
             out[rr, jj, ii] = x
-        out *= self._mask_f_stack
+        out *= self._bcast(self._mask_f_stack, out)
         return out
 
     # ------------------------------------------------------------------

@@ -22,7 +22,7 @@ class IdentityPreconditioner(Preconditioner):
     def apply_global(self, r, out=None):
         if out is None:
             out = np.empty_like(r)
-        np.multiply(r, self.mask, out=out)
+        np.multiply(r, self._bcast(self.mask, r), out=out)
         return out
 
     def apply_block(self, rank, r_interior, out=None):
@@ -30,7 +30,7 @@ class IdentityPreconditioner(Preconditioner):
         local_mask = self.mask if block is None else self.mask[block.slices]
         if out is None:
             out = np.empty_like(r_interior)
-        np.multiply(r_interior, local_mask, out=out)
+        np.multiply(r_interior, self._bcast(local_mask, r_interior), out=out)
         return out
 
     def apply_stack(self, r_stack, out=None):
@@ -41,7 +41,7 @@ class IdentityPreconditioner(Preconditioner):
             self._mask_stack = self._interior_stack(self.mask)
         if out is None:
             out = np.empty_like(r_stack)
-        np.multiply(r_stack, self._mask_stack, out=out)
+        np.multiply(r_stack, self._bcast(self._mask_stack, r_stack), out=out)
         return out
 
     def apply_flops(self, rank=None):

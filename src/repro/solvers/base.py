@@ -166,7 +166,20 @@ class IterativeSolver(abc.ABC):
         ``resume_from`` names a snapshot to continue from instead of
         running setup; the resumed run is bit-identical to an
         uninterrupted one (see the module docstring).
+
+        **Multi-RHS batches**: ``b`` may also be a list/tuple of
+        ``(ny, nx)`` fields or a single ``(ny, nx, nrhs)`` array -- the
+        solve then runs all columns through one batched iteration loop
+        (see :meth:`_solve_multi`) and returns a result whose ``x`` is
+        ``(ny, nx, nrhs)`` with per-column accounting in ``extra``.
         """
+        if isinstance(b, (list, tuple)):
+            b = np.stack([np.asarray(col, dtype=np.float64) for col in b],
+                         axis=-1)
+        b = np.asarray(b)
+        if b.ndim == 3:
+            return self._solve_multi(b, x0=x0, checkpoint=checkpoint,
+                                     resume_from=resume_from)
         ctx = self.context
         ledger = ctx.ledger
         mask = ctx.mask
@@ -579,6 +592,537 @@ class IterativeSolver(abc.ABC):
         return state, history, loop, acct, float(meta["b_norm"])
 
     # ------------------------------------------------------------------
+    # multi-RHS batched solve
+    # ------------------------------------------------------------------
+    def _solve_multi(self, b, x0=None, checkpoint=None, resume_from=None):
+        """Solve ``A x_j = b_j`` for every column of a ``(ny, nx, nrhs)``
+        batch through **one** iteration loop.
+
+        All columns share each halo exchange, stencil application,
+        preconditioner application and (fused, ``nrhs``-word) global
+        reduction, which is where the batching speedup comes from.  Per
+        column, the arithmetic stream is *bit-identical* to a standalone
+        single-RHS solve on the same engine and kernel backend: every
+        elementwise update broadcasts scalar-identical coefficients over
+        the trailing axis, and reductions run per column on contiguous
+        copies.
+
+        The guarded-loop semantics apply per column: a column converges,
+        diverges, stagnates, or goes non-finite on its own, is frozen
+        into the output at the iteration where that happened (its exact
+        iteration count lands in ``extra["per_rhs_iterations"]``), and
+        the remaining columns are *compacted* so later iterations do no
+        work for finished columns.  Zero-RHS columns exit at iteration 0.
+        A :class:`BreakdownError` raised by the batched recurrence is a
+        batch-level verdict (SPD violation) and fails all still-active
+        columns.
+
+        The result's scalar fields summarize the batch (worst residual
+        norm, max iterations, ``converged`` = all columns converged);
+        ``extra`` carries the per-column truth, including a
+        ``per_rhs_diagnosis`` dict for failed columns.  With
+        ``raise_on_failure`` the first failing column's diagnosis is
+        raised, carrying the full batch result.
+        """
+        ctx = self.context
+        ledger = ctx.ledger
+        mask = ctx.mask
+        nrhs = int(b.shape[2])
+        if b.shape[:2] != mask.shape:
+            raise SolverError(
+                f"multi-RHS b has grid shape {b.shape[:2]}, context "
+                f"expects {mask.shape}")
+        if x0 is not None:
+            x0 = np.asarray(x0, dtype=np.float64)
+            if x0.ndim == 2:
+                # One shared initial guess for every column.
+                x0 = np.repeat(x0[:, :, None], nrhs, axis=2)
+            if x0.shape != b.shape:
+                raise SolverError(
+                    f"x0 batch shape {x0.shape} does not match b shape "
+                    f"{b.shape}")
+
+        entry_diag = self._check_entry(b, x0, mask)
+        if entry_diag is not None:
+            x = (np.zeros_like(b, dtype=np.float64) if x0 is None
+                 else np.where(mask[..., None], x0, 0.0))
+            result = SolveResult(
+                x=x, iterations=0, converged=False,
+                residual_norm=float("nan"), b_norm=float("nan"),
+                residual_history=[], solver=self.name,
+                preconditioner=ctx.preconditioner.name,
+                events={}, setup_events={},
+                extra={"diagnosis": entry_diag.to_dict()},
+                diagnosis=entry_diag,
+            )
+            return self._raise_or_return(entry_diag, result)
+
+        b_masked = np.where(mask[..., None], b, 0.0)
+        b_digest = digest_of("solve-checkpoint", b_masked)
+
+        # Full-width outputs, indexed by original column id.
+        x_full = np.zeros(mask.shape + (nrhs,))
+        per_iter = np.zeros(nrhs, dtype=np.int64)
+        per_conv = np.zeros(nrhs, dtype=bool)
+        per_norm = np.zeros(nrhs)
+        per_stag = np.zeros(nrhs, dtype=bool)
+        per_hist = [[] for _ in range(nrhs)]
+        per_diag = {}
+
+        saved_nrhs = ctx.nrhs
+        try:
+            if resume_from is not None:
+                (state, acct, b_norms_all, active, loop, outputs,
+                 histories) = self._restore_checkpoint_multi(
+                     resume_from, b_digest, nrhs)
+                x_full, per_iter, per_conv, per_norm, per_stag = outputs
+                per_hist, per_diag, history = histories
+                iterations = loop["iterations"]
+                checked_at = loop["checked_at"]
+                res_norms = loop["res_norms"]
+                best = loop["best"]
+                cwp = loop["cwp"]
+                prev = loop["prev"]
+                growing = loop["growing"]
+                b_norms = b_norms_all[active]
+                thresholds = self.tol * b_norms
+            else:
+                ctx.nrhs = nrhs
+                before_setup = ledger.snapshot()
+                b_vec_full = ctx.from_global(b_masked)
+                b_norms_all = ctx.norm2(b_vec_full, phase="setup")
+                zero = b_norms_all == 0.0
+                # Zero columns: the exact solution of the SPD system is
+                # x = 0; they exit here, at iteration 0.
+                per_conv[zero] = True
+                active = np.flatnonzero(~zero)
+                if active.size == 0:
+                    after_setup = ledger.snapshot()
+                    return SolveResult(
+                        x=x_full, iterations=0, converged=True,
+                        residual_norm=0.0, b_norm=0.0,
+                        residual_history=[], solver=self.name,
+                        preconditioner=ctx.preconditioner.name,
+                        events={},
+                        setup_events=_diff(after_setup, before_setup),
+                        extra=self._multi_extra(
+                            {}, nrhs, per_iter, per_conv, per_norm,
+                            per_stag, per_diag, b_norms_all),
+                    )
+                if active.size < nrhs:
+                    ctx.nrhs = int(active.size)
+                    b_vec = ctx.compact(b_vec_full, active)
+                else:
+                    b_vec = b_vec_full
+                if x0 is None:
+                    x_vec = ctx.new_vector()
+                else:
+                    x_vec = ctx.from_global(np.ascontiguousarray(
+                        np.where(mask[..., None], x0, 0.0)[..., active]))
+                b_norms = b_norms_all[active]
+                thresholds = self.tol * b_norms
+                try:
+                    state = self._setup(b_vec, x_vec)
+                except BreakdownError as exc:
+                    diagnosis = SolverDiagnosis(
+                        kind=BREAKDOWN, solver=self.name,
+                        message=f"setup: {exc}", iteration=0,
+                        b_norm=float(np.max(b_norms_all)),
+                    )
+                    result = SolveResult(
+                        x=x_full, iterations=0, converged=False,
+                        residual_norm=float("nan"),
+                        b_norm=float(np.max(b_norms_all)),
+                        residual_history=[], solver=self.name,
+                        preconditioner=ctx.preconditioner.name,
+                        events={},
+                        setup_events=_diff(ledger.snapshot(),
+                                           before_setup),
+                        extra={"diagnosis": diagnosis.to_dict()},
+                        diagnosis=diagnosis,
+                    )
+                    return self._raise_or_return(diagnosis, result)
+                after_setup = ledger.snapshot()
+                acct = {"after_setup": after_setup,
+                        "before_setup": before_setup,
+                        "setup_events": None, "loop_base": {},
+                        "b_digest": b_digest}
+                history = []
+                iterations = 0
+                checked_at = -1
+                res_norms = np.full(active.size, np.inf)
+                best = np.full(active.size, np.inf)
+                cwp = np.zeros(active.size, dtype=np.int64)
+                prev = np.full(active.size, np.nan)
+                growing = np.zeros(active.size, dtype=np.int64)
+
+            div_limits = (self.divergence_factor * b_norms
+                          if self.divergence_factor > 0
+                          else np.full(active.size, np.inf))
+
+            def freeze(pos, col, norm):
+                x_full[..., col] = xg[..., pos]
+                per_iter[col] = iterations
+                per_norm[col] = norm
+
+            while active.size and iterations < self.max_iterations:
+                iterations += 1
+                try:
+                    self._iterate(state, iterations)
+                except BreakdownError as exc:
+                    # Batch-level verdict: the recurrence broke for the
+                    # whole batch (SPD violation); every still-active
+                    # column fails with its own BREAKDOWN diagnosis.
+                    xg = ctx.to_global(state["x"])
+                    for pos, col in enumerate(active):
+                        col = int(col)
+                        freeze(pos, col, res_norms[pos])
+                        per_diag[col] = SolverDiagnosis(
+                            kind=BREAKDOWN, solver=self.name,
+                            message=str(exc), iteration=iterations,
+                            residual_norm=float(res_norms[pos]),
+                            b_norm=float(b_norms[pos]),
+                            data={"column": col},
+                        )
+                    active = active[:0]
+                    break
+                if iterations % self.check_freq == 0:
+                    res_norms = np.asarray(self._residual_norm(state))
+                    checked_at = iterations
+                    history.append((iterations, float(np.max(res_norms))))
+                    for pos, col in enumerate(active):
+                        per_hist[int(col)].append(
+                            (iterations, float(res_norms[pos])))
+                    # Per-column guardrails -- the exact scalar-loop
+                    # semantics, vectorized over the active columns.
+                    nonfin = ~np.isfinite(res_norms)
+                    conv = ~nonfin & (res_norms <= thresholds)
+                    live = ~nonfin & ~conv
+                    grow = (live & (res_norms > div_limits)
+                            & ~np.isnan(prev) & (res_norms > prev))
+                    growing[grow] += 1
+                    growing[live & ~grow] = 0
+                    div = live & (growing >= self.divergence_checks)
+                    upd = live & ~div
+                    prev[upd] = res_norms[upd]
+                    improved = upd & (res_norms < best * (1.0 - 1e-6))
+                    best[improved] = res_norms[improved]
+                    cwp[improved] = 0
+                    cwp[upd & ~improved] += 1
+                    if self.stagnation_checks:
+                        stag = (upd & ~improved
+                                & (cwp >= self.stagnation_checks))
+                    else:
+                        stag = np.zeros(active.size, dtype=bool)
+                    finished = nonfin | conv | div | stag
+                    if finished.any():
+                        xg = ctx.to_global(state["x"])
+                        for pos in np.flatnonzero(finished):
+                            col = int(active[pos])
+                            freeze(pos, col, res_norms[pos])
+                            per_conv[col] = bool(conv[pos])
+                            per_stag[col] = bool(stag[pos])
+                            if nonfin[pos]:
+                                per_diag[col] = SolverDiagnosis(
+                                    kind=NONFINITE_RESIDUAL,
+                                    solver=self.name,
+                                    message=(
+                                        f"column {col}: checked residual "
+                                        f"norm is {res_norms[pos]}"),
+                                    iteration=iterations,
+                                    residual_norm=float(res_norms[pos]),
+                                    b_norm=float(b_norms[pos]),
+                                    data={
+                                        "column": col,
+                                        "last_finite_norm":
+                                            _last_finite(per_hist[col]),
+                                    },
+                                )
+                            elif div[pos]:
+                                per_diag[col] = SolverDiagnosis(
+                                    kind=DIVERGED, solver=self.name,
+                                    message=(
+                                        f"column {col}: |r| = "
+                                        f"{res_norms[pos]:.3e} grew past "
+                                        f"{self.divergence_factor:g} * "
+                                        f"|b| = {div_limits[pos]:.3e} "
+                                        f"over {int(growing[pos]) + 1} "
+                                        f"consecutive checks"),
+                                    iteration=iterations,
+                                    residual_norm=float(res_norms[pos]),
+                                    b_norm=float(b_norms[pos]),
+                                    data={
+                                        "column": col,
+                                        "divergence_factor":
+                                            self.divergence_factor,
+                                        "limit": float(div_limits[pos]),
+                                        "history_tail":
+                                            per_hist[col][-4:],
+                                    },
+                                )
+                        keep = np.flatnonzero(~finished)
+                        old_width = int(active.size)
+                        active = active[keep]
+                        b_norms = b_norms[keep]
+                        thresholds = thresholds[keep]
+                        div_limits = div_limits[keep]
+                        res_norms = res_norms[keep]
+                        best = best[keep]
+                        cwp = cwp[keep]
+                        prev = prev[keep]
+                        growing = growing[keep]
+                        if active.size:
+                            ctx.nrhs = int(active.size)
+                            self._compact_state(state, keep, old_width)
+                if (checkpoint is not None and active.size
+                        and checkpoint.due(iterations)):
+                    self._write_checkpoint_multi(
+                        checkpoint, state, acct, b_norms_all, active,
+                        iterations, checked_at, history, res_norms,
+                        best, cwp, prev, growing, x_full, per_iter,
+                        per_conv, per_norm, per_stag, per_hist, per_diag)
+
+            if active.size:
+                # Budget exhausted with columns still running: one final
+                # explicit check, then freeze the holdouts.
+                if checked_at != iterations:
+                    res_norms = np.asarray(self._residual_norm(state))
+                    history.append((iterations, float(np.max(res_norms))))
+                    for pos, col in enumerate(active):
+                        per_hist[int(col)].append(
+                            (iterations, float(res_norms[pos])))
+                conv = np.isfinite(res_norms) & (res_norms <= thresholds)
+                xg = ctx.to_global(state["x"])
+                for pos, col in enumerate(active):
+                    col = int(col)
+                    freeze(pos, col, res_norms[pos])
+                    per_conv[col] = bool(conv[pos])
+                    if conv[pos]:
+                        continue
+                    if not np.isfinite(res_norms[pos]):
+                        per_diag[col] = SolverDiagnosis(
+                            kind=NONFINITE_RESIDUAL, solver=self.name,
+                            message=(f"column {col}: final residual "
+                                     f"norm is {res_norms[pos]}"),
+                            iteration=iterations,
+                            residual_norm=float(res_norms[pos]),
+                            b_norm=float(b_norms[pos]),
+                            data={"column": col},
+                        )
+                    else:
+                        per_diag[col] = SolverDiagnosis(
+                            kind=BUDGET_EXHAUSTED, solver=self.name,
+                            message=(
+                                f"column {col}: failed to reach |r| <= "
+                                f"{thresholds[pos]:.3e} after "
+                                f"{iterations} iterations (|r| = "
+                                f"{res_norms[pos]:.3e})"),
+                            iteration=iterations,
+                            residual_norm=float(res_norms[pos]),
+                            b_norm=float(b_norms[pos]),
+                            data={"column": col,
+                                  "threshold": float(thresholds[pos]),
+                                  "max_iterations": self.max_iterations},
+                        )
+
+            extra = self._multi_extra(
+                dict(state.get("extra", {})), nrhs, per_iter, per_conv,
+                per_norm, per_stag, per_diag, b_norms_all)
+            batch_diag = per_diag[min(per_diag)] if per_diag else None
+            result = SolveResult(
+                x=x_full, iterations=int(iterations),
+                converged=bool(per_conv.all()),
+                residual_norm=float(np.max(per_norm)),
+                b_norm=float(np.max(b_norms_all)),
+                residual_history=history,
+                solver=self.name,
+                preconditioner=ctx.preconditioner.name,
+                events=self._loop_events(acct),
+                setup_events=self._setup_events(acct),
+                extra=extra,
+                diagnosis=batch_diag,
+            )
+            if batch_diag is not None:
+                return self._raise_or_return(batch_diag, result)
+            return result
+        finally:
+            ctx.nrhs = saved_nrhs
+
+    def _multi_extra(self, extra, nrhs, per_iter, per_conv, per_norm,
+                     per_stag, per_diag, b_norms_all):
+        """The per-column accounting block of a multi-RHS result."""
+        extra["multi_rhs"] = int(nrhs)
+        extra["per_rhs_iterations"] = [int(v) for v in per_iter]
+        extra["per_rhs_converged"] = [bool(v) for v in per_conv]
+        extra["per_rhs_residual_norm"] = [float(v) for v in per_norm]
+        extra["per_rhs_b_norm"] = [float(v) for v in b_norms_all]
+        zero_cols = [int(c) for c in np.flatnonzero(b_norms_all == 0.0)]
+        if zero_cols:
+            extra["zero_rhs_columns"] = zero_cols
+            if len(zero_cols) == nrhs:
+                extra["zero_rhs"] = True
+        if per_stag.any():
+            extra["stagnated"] = True
+            extra["stagnated_columns"] = [
+                int(c) for c in np.flatnonzero(per_stag)]
+        if per_diag:
+            extra["per_rhs_diagnosis"] = {
+                str(col): diag.to_dict()
+                for col, diag in sorted(per_diag.items())}
+            extra["diagnosis"] = per_diag[min(per_diag)].to_dict()
+        return extra
+
+    def _compact_state(self, state, keep, old_width):
+        """Drop finished columns from every entry of the loop state.
+
+        Context vectors compact through :meth:`SolverContext.compact`
+        (pure data movement); ``(old_width,)`` recurrence arrays (the
+        batched rho/sigma/...) compact by indexing; true scalars pass
+        through untouched.
+        """
+        ctx = self.context
+        for name, value in list(state.items()):
+            if name == "extra":
+                continue
+            if (isinstance(value, np.ndarray) and value.ndim == 1
+                    and value.shape[0] == old_width):
+                state[name] = value[keep]
+            elif self._is_context_vector(value):
+                state[name] = ctx.compact(value, keep)
+
+    @staticmethod
+    def _is_context_vector(value):
+        """A multi-RHS context vector: BlockField or (ny, nx, k) array."""
+        if hasattr(value, "locals_"):
+            return True
+        return isinstance(value, np.ndarray) and value.ndim == 3
+
+    def _write_checkpoint_multi(self, policy, state, acct, b_norms_all,
+                                active, iterations, checked_at, history,
+                                res_norms, best, cwp, prev, growing,
+                                x_full, per_iter, per_conv, per_norm,
+                                per_stag, per_hist, per_diag):
+        """Snapshot the complete multi-RHS loop state."""
+        ctx = self.context
+        n_act = int(active.size)
+        arrays = {
+            "x_full": x_full, "b_norms_all": b_norms_all,
+            "active": np.asarray(active, dtype=np.int64),
+            "per_iter": per_iter, "per_conv": per_conv,
+            "per_norm": per_norm, "per_stag": per_stag,
+            "res_norms": res_norms, "best": best, "cwp": cwp,
+            "prev": prev, "growing": growing,
+        }
+        scalars = {}
+        for name, value in state.items():
+            if name == "extra":
+                continue
+            if value is None or isinstance(value, (bool, int, float)):
+                scalars[name] = value
+            elif isinstance(value, np.generic):
+                scalars[name] = value.item()
+            elif (isinstance(value, np.ndarray) and value.ndim == 1
+                    and value.shape[0] == n_act):
+                arrays[f"col_{name}"] = value
+            else:
+                arrays[f"vec_{name}"] = ctx.to_global(value)
+        meta = {
+            "solver": self.name,
+            "preconditioner": ctx.preconditioner.name,
+            "shape": [int(s) for s in ctx.mask.shape],
+            "nrhs": int(b_norms_all.shape[0]),
+            "b_digest": acct["b_digest"],
+            "tol": self.tol,
+            "check_freq": self.check_freq,
+            "scalars": sanitize_meta(scalars),
+            "extra": sanitize_meta(state.get("extra", {})),
+            "solver_state": sanitize_meta(self._snapshot_solver_meta()),
+            "history": [[int(i), float(r)] for i, r in history],
+            "per_history": [[[int(i), float(r)] for i, r in h]
+                            for h in per_hist],
+            "per_diagnosis": {str(c): d.to_dict()
+                              for c, d in per_diag.items()},
+            "loop": {"iterations": int(iterations),
+                     "checked_at": int(checked_at)},
+            "setup_events": _events_to_meta(self._setup_events(acct)),
+            "loop_events": _events_to_meta(self._loop_events(acct)),
+        }
+        return policy.write(int(iterations), "solver_multi", arrays, meta)
+
+    def _restore_checkpoint_multi(self, path, b_digest, nrhs):
+        """Load and verify a multi-RHS snapshot."""
+        arrays, meta = read_checkpoint(path, kind="solver_multi")
+        ctx = self.context
+        if meta.get("solver") != self.name:
+            raise CheckpointError(
+                f"checkpoint {path} belongs to solver "
+                f"{meta.get('solver')!r}, not {self.name!r}")
+        if tuple(meta.get("shape", ())) != tuple(ctx.mask.shape):
+            raise CheckpointError(
+                f"checkpoint {path} grid shape {meta.get('shape')} does "
+                f"not match context {list(ctx.mask.shape)}")
+        if int(meta.get("nrhs", -1)) != int(nrhs):
+            raise CheckpointError(
+                f"checkpoint {path} holds {meta.get('nrhs')} RHS "
+                f"columns, this solve has {nrhs}")
+        if meta.get("b_digest") != b_digest:
+            raise CheckpointError(
+                f"checkpoint {path} was written for a different "
+                f"right-hand side batch -- resuming would not reproduce "
+                f"the original solve")
+        for knob in ("tol", "check_freq"):
+            if meta.get(knob) != getattr(self, knob):
+                raise CheckpointError(
+                    f"checkpoint {path} was written with "
+                    f"{knob}={meta.get(knob)!r}, this solver uses "
+                    f"{getattr(self, knob)!r}; a resumed run would not "
+                    f"be bit-identical")
+        active = np.asarray(arrays["active"], dtype=np.intp)
+        ctx.nrhs = int(active.size) if active.size else None
+        state = {}
+        for name, value in arrays.items():
+            if name.startswith("vec_"):
+                state[name[4:]] = ctx.from_global(value)
+            elif name.startswith("col_"):
+                state[name[4:]] = np.array(value, dtype=np.float64)
+        state.update(meta.get("scalars", {}))
+        state["extra"] = dict(meta.get("extra", {}))
+        self._restore_solver_meta(meta.get("solver_state", {}))
+        loop = {
+            "iterations": int(meta["loop"]["iterations"]),
+            "checked_at": int(meta["loop"]["checked_at"]),
+            "res_norms": np.array(arrays["res_norms"]),
+            "best": np.array(arrays["best"]),
+            "cwp": np.array(arrays["cwp"], dtype=np.int64),
+            "prev": np.array(arrays["prev"]),
+            "growing": np.array(arrays["growing"], dtype=np.int64),
+        }
+        acct = {
+            "after_setup": ctx.ledger.snapshot(),
+            "before_setup": None,
+            "setup_events": _events_from_meta(meta["setup_events"]),
+            "loop_base": _events_from_meta(meta["loop_events"]),
+            "b_digest": b_digest,
+        }
+        outputs = (
+            np.array(arrays["x_full"]),
+            np.array(arrays["per_iter"], dtype=np.int64),
+            np.array(arrays["per_conv"], dtype=bool),
+            np.array(arrays["per_norm"]),
+            np.array(arrays["per_stag"], dtype=bool),
+        )
+        per_hist = [[(int(i), float(r)) for i, r in h]
+                    for h in meta.get("per_history", [])]
+        while len(per_hist) < nrhs:
+            per_hist.append([])
+        per_diag = {int(c): _diagnosis_from_dict(d)
+                    for c, d in meta.get("per_diagnosis", {}).items()}
+        history = [(int(i), float(r)) for i, r in meta.get("history", [])]
+        histories = (per_hist, per_diag, history)
+        return (state, acct, np.array(arrays["b_norms_all"]), active,
+                loop, outputs, histories)
+
+    # ------------------------------------------------------------------
     # hooks
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -649,3 +1193,26 @@ def _last_finite(history):
         if np.isfinite(value):
             return float(value)
     return None
+
+
+def _diagnosis_from_dict(payload):
+    """Rebuild a :class:`SolverDiagnosis` from its ``to_dict()`` form.
+
+    Checkpoint metadata round-trips through JSON, so the float fields
+    may come back as strings like ``"nan"``; coerce defensively.
+    """
+    def _float(value, default):
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            return default
+
+    return SolverDiagnosis(
+        kind=str(payload.get("kind", "")),
+        solver=str(payload.get("solver", "")),
+        message=str(payload.get("message", "")),
+        iteration=int(payload.get("iteration", 0)),
+        residual_norm=_float(payload.get("residual_norm"), float("nan")),
+        b_norm=_float(payload.get("b_norm"), float("nan")),
+        data=dict(payload.get("data", {})),
+    )

@@ -65,6 +65,11 @@ class SolverContext(abc.ABC):
         self.kernels = resolve_kernels(kernels)
         self.ledger = ledger if ledger is not None else EventLedger()
         self.mask = np.asarray(stencil.mask, dtype=bool)
+        #: Trailing batch width for multi-RHS solves.  ``None`` (the
+        #: default) keeps the scalar 2-D vector layout; solvers set it
+        #: during a batched solve so :meth:`new_vector` allocates the
+        #: active column count (it shrinks as columns converge).
+        self.nrhs = None
 
     # -- vectors -------------------------------------------------------
     @abc.abstractmethod
@@ -100,8 +105,13 @@ class SolverContext(abc.ABC):
     def precond(self, r, out=None, phase="preconditioning"):
         """``out = M^-1 r``."""
         out = self._apply_precond(r, out)
-        self.ledger.record_flops(phase, self._precond_flops())
+        self.ledger.record_flops(phase,
+                                 self._vec_width(r) * self._precond_flops())
         return out
+
+    def _vec_width(self, v):
+        """Trailing batch width of a context vector (1 when scalar)."""
+        return self._width(v)
 
     def _precond_flops(self):
         """Critical-rank flops of one preconditioner application.
@@ -132,8 +142,32 @@ class SolverContext(abc.ABC):
         """Two masked inner products fused into one all-reduce."""
 
     def norm2(self, v, phase="reduction"):
-        """Masked 2-norm via one reduction."""
-        return float(np.sqrt(max(self.dot(v, v, phase=phase), 0.0)))
+        """Masked 2-norm via one reduction.
+
+        For a multi-RHS vector this is a ``(nrhs,)`` array of per-column
+        norms (one fused all-reduce), each bit-identical to the scalar
+        path's value for that column.
+        """
+        value = self.dot(v, v, phase=phase)
+        if isinstance(value, np.ndarray):
+            return np.sqrt(np.maximum(value, 0.0))
+        return float(np.sqrt(max(value, 0.0)))
+
+    # -- multi-RHS support ---------------------------------------------
+    @abc.abstractmethod
+    def compact(self, v, keep):
+        """Drop converged columns: keep only ``v[..., keep]``.
+
+        ``keep`` is an integer index array into the current column set.
+        Pure data movement -- the surviving columns' bits are untouched,
+        which is what keeps early-exit batches identical to full-width
+        ones.
+        """
+
+    @staticmethod
+    def _width(v):
+        """Trailing batch width of an array (1 for scalar 2-D layout)."""
+        return v.shape[2] if getattr(v, "ndim", 2) == 3 else 1
 
     # -- elementwise updates -------------------------------------------
     @abc.abstractmethod
@@ -209,7 +243,9 @@ class SerialContext(SolverContext):
 
     # -- vectors -------------------------------------------------------
     def new_vector(self):
-        return np.zeros(self.stencil.shape)
+        if self.nrhs is None:
+            return np.zeros(self.stencil.shape)
+        return np.zeros(self.stencil.shape + (self.nrhs,))
 
     def copy(self, v):
         return v.copy()
@@ -220,16 +256,22 @@ class SerialContext(SolverContext):
     def to_global(self, v):
         return v.copy()
 
+    def compact(self, v, keep):
+        return np.ascontiguousarray(v[..., keep])
+
     # -- operator ------------------------------------------------------
     def matvec(self, x, out=None, phase="computation"):
+        w = self._width(x)
         out = apply_stencil(self.stencil, x, out=out, kernels=self.kernels)
-        self.ledger.record_flops(phase, MATVEC_FLOPS_PER_POINT * self._critical)
+        self.ledger.record_flops(phase,
+                                 w * MATVEC_FLOPS_PER_POINT * self._critical)
         # The halo-update *event* is recorded even for a 1-rank context
         # (with zero payload): event counts are the solver's algorithmic
         # signature, and experiment sweeps rescale the payload to each
         # target decomposition.  The machine model prices halo events at
-        # zero when p == 1.
-        self.ledger.record_halo("boundary", words=self._halo_words)
+        # zero when p == 1.  A multi-RHS batch moves nrhs-fold payload in
+        # the same single exchange.
+        self.ledger.record_halo("boundary", words=w * self._halo_words)
         return out
 
     def _sub(self, a, b, out=None):
@@ -242,7 +284,31 @@ class SerialContext(SolverContext):
         return self.preconditioner.apply_global(r, out=out)
 
     # -- reductions ----------------------------------------------------
+    def _dot_columns(self, a, b):
+        """Per-column masked dots of a multi-RHS pair, shape ``(nrhs,)``.
+
+        Each column is reduced on a *contiguous* copy so the pairwise
+        summation blocking (and hence every bit of the result) matches
+        the scalar path exactly; a strided reduction over the batch
+        layout could legally re-block the accumulation.
+        """
+        nrhs = a.shape[2]
+        value = np.empty(nrhs)
+        for j in range(nrhs):
+            value[j] = masked_dot(np.ascontiguousarray(a[..., j]),
+                                  np.ascontiguousarray(b[..., j]),
+                                  self._mask_f)
+        return value
+
     def dot(self, a, b, phase="reduction"):
+        if a.ndim == 3:
+            value = self._dot_columns(a, b)
+            nrhs = a.shape[2]
+            self.ledger.record_flops("computation", nrhs * self._critical)
+            self.ledger.record_flops(phase, nrhs * self._critical)
+            # All columns' partials ride one fused all-reduce.
+            self.ledger.record_allreduce(phase, words=nrhs)
+            return value
         value = masked_dot(a, b, self._mask_f)
         self.ledger.record_flops("computation", self._critical)
         self.ledger.record_flops(phase, self._critical)
@@ -250,6 +316,14 @@ class SerialContext(SolverContext):
         return value
 
     def dot_pair(self, a1, b1, a2, b2, phase="reduction"):
+        if a1.ndim == 3:
+            v1 = self._dot_columns(a1, b1)
+            v2 = self._dot_columns(a2, b2)
+            nrhs = a1.shape[2]
+            self.ledger.record_flops("computation", 2 * nrhs * self._critical)
+            self.ledger.record_flops(phase, 2 * nrhs * self._critical)
+            self.ledger.record_allreduce(phase, words=2 * nrhs)
+            return v1, v2
         v1 = masked_dot(a1, b1, self._mask_f)
         v2 = masked_dot(a2, b2, self._mask_f)
         self.ledger.record_flops("computation", 2 * self._critical)
@@ -264,17 +338,21 @@ class SerialContext(SolverContext):
             self._scratch = np.empty_like(like)
         return self._scratch
 
+    # Coefficients may be scalars or per-column ``(nrhs,)`` arrays --
+    # numpy's right-aligned broadcasting lines those up with the
+    # trailing RHS axis, and the per-element arithmetic is identical to
+    # the scalar path either way.
     def axpy(self, alpha, x, y, phase="computation"):
         s = self._get_scratch(x)
         np.multiply(x, alpha, out=s)
         y += s
-        self.ledger.record_flops(phase, self._critical)
+        self.ledger.record_flops(phase, self._width(y) * self._critical)
         return y
 
     def xpay(self, x, beta, y, phase="computation"):
         y *= beta
         y += x
-        self.ledger.record_flops(phase, self._critical)
+        self.ledger.record_flops(phase, self._width(y) * self._critical)
         return y
 
     def combine(self, a, x, b, y, phase="computation"):
@@ -282,12 +360,12 @@ class SerialContext(SolverContext):
         s = self._get_scratch(x)
         np.multiply(x, a, out=s)
         y += s
-        self.ledger.record_flops(phase, 2 * self._critical)
+        self.ledger.record_flops(phase, 2 * self._width(y) * self._critical)
         return y
 
     def scale(self, factor, v, phase="computation"):
         v *= factor
-        self.ledger.record_flops(phase, self._critical)
+        self.ledger.record_flops(phase, self._width(v) * self._critical)
         return v
 
     # -- topology ------------------------------------------------------
@@ -336,7 +414,7 @@ class DistributedContext(SolverContext):
 
     # -- vectors -------------------------------------------------------
     def new_vector(self):
-        return self.vm.zeros()
+        return self.vm.zeros(nrhs=self.nrhs)
 
     def copy(self, v):
         return v.copy()
@@ -347,18 +425,33 @@ class DistributedContext(SolverContext):
     def to_global(self, v):
         return self.vm.gather(v)
 
+    def compact(self, v, keep):
+        keep = np.asarray(keep, dtype=np.intp)
+        out = self.vm.zeros(nrhs=int(keep.size))
+        if v.is_stacked and out.is_stacked:
+            out.stack[...] = v.stack[..., keep]
+        else:
+            for rank in range(self.vm.num_ranks):
+                out.locals_[rank][...] = v.locals_[rank][..., keep]
+        return out
+
+    def _vec_width(self, v):
+        return v.nrhs or 1
+
     # -- operator ------------------------------------------------------
     def matvec(self, x, out=None, phase="computation"):
+        w = x.nrhs or 1
         self.vm.exchange(x)
         if out is None:
-            out = self.vm.zeros()
+            out = self.vm.zeros(nrhs=x.nrhs)
         self.operator.apply(x, out)
-        self.ledger.record_flops(phase, MATVEC_FLOPS_PER_POINT * self._critical)
+        self.ledger.record_flops(phase,
+                                 w * MATVEC_FLOPS_PER_POINT * self._critical)
         return out
 
     def _sub(self, a, b, out=None):
         if out is None:
-            out = self.vm.zeros()
+            out = self.vm.zeros(nrhs=a.nrhs)
         if self._batched(a, b, out):
             np.subtract(a.interior_stack(), b.interior_stack(),
                         out=out.interior_stack())
@@ -370,7 +463,7 @@ class DistributedContext(SolverContext):
 
     def _apply_precond(self, r, out):
         if out is None:
-            out = self.vm.zeros()
+            out = self.vm.zeros(nrhs=r.nrhs)
         if self._batched(r, out):
             # The interior stack is a strided view; apply_stack
             # implementations write through it elementwise.
@@ -390,6 +483,9 @@ class DistributedContext(SolverContext):
         return self.vm.global_dot_pair(a1, b1, a2, b2, phase=phase)
 
     # -- elementwise ---------------------------------------------------
+    # Coefficients may be scalars or per-column ``(nrhs,)`` arrays; the
+    # trailing RHS axis lines up with numpy's right-aligned
+    # broadcasting in both the stacked and per-rank layouts.
     def axpy(self, alpha, x, y, phase="computation"):
         if self._batched(x, y):
             xi = x.interior_stack()
@@ -399,7 +495,7 @@ class DistributedContext(SolverContext):
         else:
             for rank in range(self.vm.num_ranks):
                 y.interior(rank)[...] += alpha * x.interior(rank)
-        self.ledger.record_flops(phase, self._critical)
+        self.ledger.record_flops(phase, self._vec_width(y) * self._critical)
         return y
 
     def xpay(self, x, beta, y, phase="computation"):
@@ -412,7 +508,7 @@ class DistributedContext(SolverContext):
                 yi = y.interior(rank)
                 yi *= beta
                 yi += x.interior(rank)
-        self.ledger.record_flops(phase, self._critical)
+        self.ledger.record_flops(phase, self._vec_width(y) * self._critical)
         return y
 
     def combine(self, a, x, b, y, phase="computation"):
@@ -428,7 +524,7 @@ class DistributedContext(SolverContext):
                 yi = y.interior(rank)
                 yi *= b
                 yi += a * x.interior(rank)
-        self.ledger.record_flops(phase, 2 * self._critical)
+        self.ledger.record_flops(phase, 2 * self._vec_width(y) * self._critical)
         return y
 
     def scale(self, factor, v, phase="computation"):
@@ -437,7 +533,7 @@ class DistributedContext(SolverContext):
         else:
             for rank in range(self.vm.num_ranks):
                 v.interior(rank)[...] *= factor
-        self.ledger.record_flops(phase, self._critical)
+        self.ledger.record_flops(phase, self._vec_width(v) * self._critical)
         return v
 
     # -- topology ------------------------------------------------------

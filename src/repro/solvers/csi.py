@@ -151,13 +151,24 @@ class PCSISolver(IterativeSolver):
 
     def _ensure_bounds(self):
         if self._bounds is None:
-            nu, mu, info = estimate_eigenbounds(
-                self.context, tol=self.lanczos_tol,
-                steps=self.lanczos_steps, seed=self.lanczos_seed,
-                max_steps=self._lanczos_max_steps,
-                nu_safety=self.nu_safety, mu_safety=self.mu_safety,
-                phase="setup", cache=self.bounds_cache,
-            )
+            # The spectral interval of M^-1 A does not depend on the
+            # right-hand side, so the Lanczos run always executes in
+            # scalar (single-column) mode -- a multi-RHS solve estimates
+            # once and shares the bounds across every column, exactly
+            # like a sequence of single-RHS solves would.
+            ctx = self.context
+            saved_nrhs = ctx.nrhs
+            ctx.nrhs = None
+            try:
+                nu, mu, info = estimate_eigenbounds(
+                    ctx, tol=self.lanczos_tol,
+                    steps=self.lanczos_steps, seed=self.lanczos_seed,
+                    max_steps=self._lanczos_max_steps,
+                    nu_safety=self.nu_safety, mu_safety=self.mu_safety,
+                    phase="setup", cache=self.bounds_cache,
+                )
+            finally:
+                ctx.nrhs = saved_nrhs
             nu, mu = self._injected_bound_skew(nu, mu)
             self._check_bounds(nu, mu)
             self._bounds = (nu, mu)
