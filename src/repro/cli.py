@@ -16,8 +16,12 @@ Commands
     backend (default ``$REPRO_KERNELS`` or ``auto``);
     ``--inject-fault SPEC`` (repeatable) attaches
     deterministic fault injectors to exercise the solver guardrails,
-    and ``--max-recoveries`` / ``--fallback chrongear`` control P-CSI's
-    divergence recovery.  A diagnosed failure exits with status 3.
+    and ``--max-recoveries`` / ``--fallback chrongear`` control the
+    divergence recovery of the spectrally bounded solvers (P-CSI and
+    CA-PCG).  ``--sstep N`` sets CA-PCG's batch depth (one Gram
+    reduction per ``N`` iterations); ``--show-events`` prints the
+    solve's global-reduction and halo-exchange ledger.  A diagnosed
+    failure exits with status 3.
     ``--checkpoint-dir DIR`` snapshots the solver state every
     ``--checkpoint-every`` iterations (and on diagnosed failure);
     ``--resume-from PATH`` continues a solve from such a snapshot,
@@ -72,6 +76,7 @@ EXPERIMENTS = {
         "repro.experiments.ablation_diagnostic_field",
     "ablation-block-layout": "repro.experiments.ablation_block_layout",
     "ext-solver-strategies": "repro.experiments.ext_solver_strategies",
+    "ext-capcg-model": "repro.experiments.ext_capcg_model",
 }
 
 
@@ -178,9 +183,11 @@ def cmd_solve(args):
         print(f"injecting fault: {fault.describe()}")
 
     extra_kwargs = {}
-    if args.solver.lower() in ("pcsi", "csi"):
+    if args.solver.lower() in ("pcsi", "csi", "capcg"):
         extra_kwargs["max_recoveries"] = args.max_recoveries
         extra_kwargs["fallback"] = args.fallback
+    if args.solver.lower() == "capcg":
+        extra_kwargs["sstep"] = args.sstep
     solver = make_solver(args.solver, ctx, tol=args.tol, **extra_kwargs)
     rng = np.random.default_rng(args.seed)
     nrhs = max(1, int(args.nrhs))
@@ -222,6 +229,27 @@ def cmd_solve(args):
             print(f"  last checkpoint: {policy.written[-1]}")
         return 3
     print(result.describe())
+    if args.show_events:
+        from repro.perfmodel import event_totals
+
+        for stage, events in (("setup", result.setup_events),
+                              ("loop", result.events)):
+            tot = event_totals(events)
+            print(f"  {stage} events: {tot.allreduces} global reductions "
+                  f"({tot.allreduce_words} words), "
+                  f"{tot.halo_exchanges} halo exchanges "
+                  f"({tot.halo_words} words)")
+            for phase in sorted(events):
+                c = events[phase]
+                if c.allreduces or c.halo_exchanges:
+                    print(f"    {phase:18s} reductions {c.allreduces:5d} "
+                          f"({c.allreduce_words} words)  "
+                          f"halo {c.halo_exchanges:5d} "
+                          f"({c.halo_words} words)")
+        if result.iterations:
+            loop_tot = event_totals(result.events)
+            print(f"  loop reductions / iteration: "
+                  f"{loop_tot.allreduces / result.iterations:.3f}")
     if result.extra.get("multi_rhs"):
         iters = result.extra["per_rhs_iterations"]
         norms = result.extra["per_rhs_residual_norm"]
@@ -415,12 +443,20 @@ def build_parser():
                               ", 'eigenbounds:nu_factor=12', 'nan_rhs'; "
                               "repeatable")
     p_solve.add_argument("--max-recoveries", type=int, default=2,
-                         help="P-CSI divergence recovery attempts "
-                              "(default: 2)")
+                         help="divergence recovery attempts for the "
+                              "spectrally bounded solvers, P-CSI and "
+                              "CA-PCG (default: 2)")
     p_solve.add_argument("--fallback", default=None,
                          choices=["chrongear"],
-                         help="P-CSI last-resort solver once recoveries "
-                              "are exhausted")
+                         help="last-resort solver once P-CSI/CA-PCG "
+                              "recoveries are exhausted")
+    p_solve.add_argument("--sstep", type=int, default=4,
+                         help="CA-PCG batch depth: one Gram reduction "
+                              "per this many iterations (default: 4)")
+    p_solve.add_argument("--show-events", action="store_true",
+                         help="print the solve's communication ledger "
+                              "(global reductions and halo exchanges, "
+                              "counts and words, per stage and phase)")
     p_solve.add_argument("--checkpoint-dir", default=None,
                          help="snapshot solver state into this "
                               "directory (periodic + on failure)")

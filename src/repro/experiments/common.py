@@ -31,7 +31,15 @@ from repro.parallel.decomposition import decomposition_for_core_count, _factor_p
 from repro.parallel.events import EventCounts
 from repro.precond import make_preconditioner
 from repro.precond.evp import evp_for_config
-from repro.solvers import ChronGearSolver, PCSISolver, PCGSolver, SerialContext
+from repro.solvers import (
+    CAPCGSolver,
+    ChronGearSolver,
+    PCGSolver,
+    PCSISolver,
+    PipeCGSolver,
+    SerialContext,
+    SpectralBoundedSolver,
+)
 from repro.solvers.result import SolveResult
 
 #: The four solver configurations of the paper's evaluation (plus the
@@ -266,9 +274,10 @@ def measure_solver(config, solver="chrongear", precond="diagonal",
     pre = get_cached_preconditioner(config, precond, cache=cache)
     ctx = SerialContext(config.stencil, pre)
     cls = {"chrongear": ChronGearSolver, "pcsi": PCSISolver,
-           "pcg": PCGSolver}[solver]
+           "pcg": PCGSolver, "pipecg": PipeCGSolver,
+           "capcg": CAPCGSolver}[solver]
     extra_kwargs = dict(solver_kwargs)
-    if cls is PCSISolver:
+    if issubclass(cls, SpectralBoundedSolver):
         extra_kwargs.setdefault("bounds_cache", cache)
     b = reference_rhs(config) if rhs is None else np.asarray(
         rhs, dtype=np.float64)

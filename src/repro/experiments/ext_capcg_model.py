@@ -1,0 +1,151 @@
+"""Extension: communication-avoiding CG against the paper's solvers.
+
+PR 6's solver-strategy study compared the three reduction-latency
+strategies the paper's related work discusses (fuse / overlap /
+eliminate).  This study adds the fourth: **amortize** the reductions --
+the s-step communication-avoiding PCG of :mod:`repro.solvers.capcg`,
+which batches ``s`` CG iterations over a Chebyshev Krylov basis and
+issues a single Gram-matrix all-reduce per batch (``1/s`` global
+reductions per iteration, plus the periodic convergence checks).
+
+The sweep prices each solver's *measured* event stream (recorded by a
+real serial solve on a scaled grid) across modeled core counts of the
+0.1-degree geometry on both machine models (Yellowstone and Edison),
+and tabulates the global-reduction counts per solve alongside the
+modeled wall-clock.  The expected shape:
+
+* CA-PCG retains ChronGear's iteration count exactly (it *is* PCG in
+  exact arithmetic), so its reduction count falls like ``1/s`` while
+  ChronGear's and PipeCG's stay one per iteration;
+* its flop cost is roughly 3x ChronGear's (the communication-avoiding
+  trade: basis build + Gram + materialization), so it loses at small
+  core counts where computation dominates;
+* at scale the ``(4 + log p) alpha`` latency term dominates and CA-PCG
+  undercuts both ChronGear and PipeCG, approaching -- but not reaching
+  -- P-CSI's reduction-free loop.
+"""
+
+import math
+
+from repro.experiments.common import (
+    CORES_0P1DEG,
+    ExperimentResult,
+    FULL_SHAPES,
+    Series,
+    geometry_decomposition,
+    get_cached_config,
+    get_cached_preconditioner,
+    print_result,
+    reference_rhs,
+    rescale_events,
+)
+from repro.perfmodel import (
+    EDISON,
+    YELLOWSTONE,
+    capcg_reductions_per_iteration,
+    event_totals,
+    phase_times,
+    phase_times_overlapped,
+)
+from repro.solvers import (
+    CAPCGSolver,
+    ChronGearSolver,
+    PCSISolver,
+    PipeCGSolver,
+    SerialContext,
+)
+
+#: Small modeled core counts prepended to the paper's 0.1-degree sweep
+#: so the crossover (computation-bound -> latency-bound) is visible.
+SMALL_CORES = (16, 64, 256)
+
+#: Default s values swept for CA-PCG.
+SSTEPS = (2, 4, 8)
+
+
+def _solver_matrix(ssteps):
+    """(label, class, kwargs, pricer) rows for the comparison."""
+    rows = [
+        ("ChronGear", ChronGearSolver, {}, phase_times),
+        ("P-CSI", PCSISolver, {}, phase_times),
+        ("PipeCG", PipeCGSolver, {}, phase_times_overlapped),
+    ]
+    for s in ssteps:
+        rows.append((f"CA-PCG s={s}", CAPCGSolver, {"sstep": int(s)},
+                     phase_times))
+    return rows
+
+
+def run(config_name="pop_0.1deg", scale=0.25, cores=SMALL_CORES + CORES_0P1DEG,
+        machines=(YELLOWSTONE, EDISON), precond="evp", tol=1.0e-13,
+        ssteps=SSTEPS):
+    """Modeled per-solve seconds and reduction counts, all strategies.
+
+    One series per (solver, machine); reduction counts (which do not
+    depend on the machine or core count) land in ``notes`` together
+    with the at-scale orderings the study is meant to demonstrate.
+    """
+    config = get_cached_config(config_name, scale=scale)
+    b = reference_rhs(config)
+    pre = get_cached_preconditioner(config, precond)
+    shape = FULL_SHAPES[config_name.split("@")[0]]
+    decomps = {p: geometry_decomposition(shape, p) for p in cores}
+    points = config.ny * config.nx
+
+    result = ExperimentResult(
+        name="ext_capcg_model",
+        title="Reduction strategies + communication avoidance "
+              f"({config.name}, {precond}; modeled s/solve)",
+    )
+    reductions = {}
+    for label, cls, kwargs, pricer in _solver_matrix(ssteps):
+        solve = cls(SerialContext(config.stencil, pre), tol=tol,
+                    max_iterations=60000, **kwargs).solve(b)
+        loop = event_totals(solve.events)
+        reductions[label] = loop.allreduces
+        result.notes[f"iterations {label}"] = solve.iterations
+        result.notes[f"loop reductions {label}"] = loop.allreduces
+        for machine in machines:
+            times = []
+            for p in cores:
+                events = rescale_events(solve.events, points, decomps[p])
+                times.append(pricer(events, machine,
+                                    decomps[p].num_active).total)
+            result.series.append(Series(label=f"{label} ({machine.name})",
+                                        x=list(cores), y=times))
+
+    # The acceptance ordering: CA-PCG's reduction count is strictly
+    # below both one-reduction-per-iteration solvers at every s.
+    for s in ssteps:
+        label = f"CA-PCG s={s}"
+        result.notes[f"{label} reductions < ChronGear"] = \
+            reductions[label] < reductions["ChronGear"]
+        result.notes[f"{label} reductions < PipeCG"] = \
+            reductions[label] < reductions["PipeCG"]
+        iters = result.notes[f"iterations {label}"]
+        result.notes[f"{label} modeled reductions/iter"] = \
+            round(capcg_reductions_per_iteration(s, check_freq=10), 4)
+        result.notes[f"{label} reduction budget ok"] = (
+            reductions[label]
+            <= math.ceil(iters / s) + math.ceil(iters / 10) + 1)
+
+    # Wall-clock orderings at the largest modeled core count, per
+    # machine: amortization beats fuse and overlap at scale.
+    best_s = f"CA-PCG s={max(ssteps)}"
+    for machine in machines:
+        suffix = f" ({machine.name})"
+        at_max = {label: result.series_by_label(label + suffix).y[-1]
+                  for label, _, _, _ in _solver_matrix(ssteps)}
+        result.notes[f"capcg beats ChronGear at max cores{suffix}"] = \
+            at_max[best_s] < at_max["ChronGear"]
+        result.notes[f"capcg beats PipeCG at max cores{suffix}"] = \
+            at_max[best_s] < at_max["PipeCG"]
+    return result
+
+
+def main():
+    print_result(run(), xlabel="cores")
+
+
+if __name__ == "__main__":
+    main()

@@ -267,6 +267,61 @@ class VirtualMachine:
                 fault.on_reduction(partials, self._reductions)
         return masked_global_sum_blocks(partials)
 
+    def _pair_partials(self, a, b):
+        """Rank-ordered partials of one scalar vector pair."""
+        if self.is_batched and a.is_stacked and b.is_stacked:
+            return masked_partials_stacked(
+                a.interior_stack(), b.interior_stack(), self._mask_stack
+            )
+        return [
+            masked_local_dot(a.interior(r), b.interior(r),
+                             self._mask_blocks[r])
+            for r in range(self.num_ranks)
+        ]
+
+    def global_dot_block(self, xs, ys, phase="reduction"):
+        """All pairwise masked inner products in **one** all-reduce.
+
+        ``xs``/``ys`` are sequences of block fields; returns a
+        ``(len(xs), len(ys))`` array (trailing ``(nrhs,)`` axis for
+        multi-RHS fields) with ``out[i, j] = <xs[i], ys[j]>``.  Every
+        pair is reduced on the same contiguous per-column path as
+        :meth:`global_dot`, so each entry is bit-identical to a
+        standalone reduction; the ledger records a **single** fused
+        all-reduce carrying the whole Gram payload -- the
+        communication-avoiding s-step assembly.
+        """
+        xs = list(xs)
+        ys = list(ys)
+        nrhs = xs[0].nrhs
+        w = nrhs or 1
+        shape = (len(xs), len(ys)) + (() if nrhs is None else (nrhs,))
+        out = np.empty(shape)
+        all_partials = []
+        for i, a in enumerate(xs):
+            for j, b in enumerate(ys):
+                if nrhs is None:
+                    partials = self._pair_partials(a, b)
+                    all_partials.append(partials)
+                    out[i, j] = masked_global_sum_blocks(partials)
+                else:
+                    for c in range(nrhs):
+                        partials = self._column_partials(a, b, c)
+                        all_partials.append(partials)
+                        out[i, j, c] = masked_global_sum_blocks(partials)
+        n_words = len(xs) * len(ys) * w
+        self.ledger.record_flops("computation", n_words * self._max_points)
+        self.ledger.record_flops(phase, n_words * self._max_points)
+        self.ledger.record_allreduce(phase, words=n_words)
+        if self.faults:
+            # One fused all-reduce = one logical reduction event; every
+            # pair's payload passes through at the same count.
+            self._reductions += 1
+            for fault in self.faults:
+                for partials in all_partials:
+                    fault.on_reduction(partials, self._reductions)
+        return out
+
     def global_dot_pair(self, a1, b1, a2, b2, phase="reduction"):
         """Two masked inner products fused into a single all-reduce.
 

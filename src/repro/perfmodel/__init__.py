@@ -24,6 +24,7 @@ from repro.perfmodel.machines import (
 )
 from repro.perfmodel.timing import (
     PhaseTimes,
+    event_totals,
     phase_times,
     phase_times_overlapped,
     solve_time,
@@ -34,6 +35,8 @@ from repro.perfmodel.equations import (
     pcsi_step_time,
     chrongear_evp_step_time,
     pcsi_evp_step_time,
+    capcg_step_time,
+    capcg_reductions_per_iteration,
 )
 from repro.perfmodel.pop import (
     PopCostModel,
@@ -55,6 +58,7 @@ __all__ = [
     "EDISON",
     "get_machine",
     "PhaseTimes",
+    "event_totals",
     "phase_times",
     "phase_times_overlapped",
     "solve_time",
@@ -63,6 +67,8 @@ __all__ = [
     "pcsi_step_time",
     "chrongear_evp_step_time",
     "pcsi_evp_step_time",
+    "capcg_step_time",
+    "capcg_reductions_per_iteration",
     "PopCostModel",
     "baroclinic_day_time",
     "simulation_rate_sypd",

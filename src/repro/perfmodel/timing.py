@@ -178,3 +178,16 @@ def solver_day_time(result, machine, p, solves_per_day):
     is less than that of one call to the solver").
     """
     return solve_time(result, machine, p).scaled(solves_per_day)
+
+
+def event_totals(events):
+    """Sum a per-phase event dict into one :class:`EventCounts`.
+
+    The aggregate behind ``repro solve --show-events``: total global
+    reductions, reduction words, halo exchanges and halo words a solve
+    issued, regardless of which phase charged them.
+    """
+    total = EventCounts()
+    for counts in events.values():
+        total = total + counts
+    return total

@@ -15,6 +15,10 @@
 * :mod:`repro.solvers.pipecg` -- pipelined CG (Ghysels & Vanroose 2014,
   the related-work alternative: overlap the reduction instead of
   removing it).
+* :mod:`repro.solvers.capcg` -- s-step communication-avoiding PCG
+  (one Gram reduction per ``s`` iterations over a Chebyshev basis).
+* :mod:`repro.solvers.spectral` -- shared eigenbound acquisition and
+  divergence-recovery machinery for P-CSI and CA-PCG.
 * :mod:`repro.solvers.lanczos` -- eigenvalue-bound estimation for
   P-CSI's Chebyshev interval (paper section 3).
 * :mod:`repro.solvers.health` -- structured diagnoses for abnormal
@@ -38,6 +42,8 @@ from repro.solvers.pcg import PCGSolver
 from repro.solvers.pipecg import PipeCGSolver
 from repro.solvers.chrongear import ChronGearSolver
 from repro.solvers.csi import PCSISolver
+from repro.solvers.spectral import SpectralBoundedSolver
+from repro.solvers.capcg import CAPCGSolver
 from repro.solvers.lanczos import LanczosEstimator, estimate_eigenbounds
 
 __all__ = [
@@ -50,6 +56,8 @@ __all__ = [
     "PipeCGSolver",
     "ChronGearSolver",
     "PCSISolver",
+    "SpectralBoundedSolver",
+    "CAPCGSolver",
     "LanczosEstimator",
     "estimate_eigenbounds",
     "SolverDiagnosis",
@@ -70,6 +78,7 @@ SOLVER_REGISTRY = {
     "pcsi": PCSISolver,
     "csi": PCSISolver,
     "pipecg": PipeCGSolver,
+    "capcg": CAPCGSolver,
 }
 
 

@@ -153,6 +153,48 @@ class SolverContext(abc.ABC):
             return np.sqrt(np.maximum(value, 0.0))
         return float(np.sqrt(max(value, 0.0)))
 
+    @abc.abstractmethod
+    def dot_block(self, xs, ys, phase="reduction"):
+        """All pairwise masked inner products in **one** all-reduce.
+
+        ``xs`` and ``ys`` are sequences of context vectors; the result
+        is a ``(len(xs), len(ys))`` array with ``out[i, j] =
+        <xs[i], ys[j]>`` (trailing ``(nrhs,)`` axis for multi-RHS
+        vectors).  Every pair's local partial rides a single fused
+        all-reduce of ``len(xs) * len(ys) [* nrhs]`` words -- the
+        communication-avoiding Gram-matrix assembly: one ``reduction``
+        event regardless of how many inner products it carries.
+        """
+
+    def gram(self, vs, ws=None, phase="reduction"):
+        """Gram matrix ``V^T W`` (or ``V^T V``) via :meth:`dot_block`.
+
+        The s-step CA-PCG entry point: assembling the whole Gram system
+        costs exactly one global reduction.
+        """
+        return self.dot_block(vs, vs if ws is None else ws, phase=phase)
+
+    # -- column stacking (pure data movement, no events) ----------------
+    @abc.abstractmethod
+    def stack_columns(self, vs):
+        """Concatenate vectors into one multi-RHS vector (copies).
+
+        Scalar vectors contribute one column each; multi-RHS vectors
+        contribute their full width.  This is how the s-step basis build
+        routes independent recurrences through the batched multi-RHS
+        kernel paths (stacked stencil program, ``apply_stack``
+        preconditioning): one halo exchange and one stencil sweep serve
+        all stacked columns.
+        """
+
+    @abc.abstractmethod
+    def split_columns(self, v, widths):
+        """Inverse of :meth:`stack_columns`: split off contiguous column
+        groups.  ``widths`` is a sequence whose entries are ``None``
+        (emit a scalar vector from one column) or an int ``w`` (emit a
+        width-``w`` multi-RHS vector).  Pure data movement.
+        """
+
     # -- multi-RHS support ---------------------------------------------
     @abc.abstractmethod
     def compact(self, v, keep):
@@ -331,6 +373,43 @@ class SerialContext(SolverContext):
         self.ledger.record_allreduce(phase, words=2)
         return v1, v2
 
+    def dot_block(self, xs, ys, phase="reduction"):
+        xs = list(xs)
+        ys = list(ys)
+        multi = xs[0].ndim == 3
+        w = xs[0].shape[2] if multi else 1
+        shape = (len(xs), len(ys)) + ((w,) if multi else ())
+        out = np.empty(shape)
+        for i, x in enumerate(xs):
+            for j, y in enumerate(ys):
+                if multi:
+                    out[i, j] = self._dot_columns(x, y)
+                else:
+                    out[i, j] = masked_dot(x, y, self._mask_f)
+        n_words = len(xs) * len(ys) * w
+        self.ledger.record_flops("computation", n_words * self._critical)
+        self.ledger.record_flops(phase, n_words * self._critical)
+        # The whole Gram block rides ONE fused all-reduce.
+        self.ledger.record_allreduce(phase, words=n_words)
+        return out
+
+    # -- column stacking -----------------------------------------------
+    def stack_columns(self, vs):
+        cols = [v[..., None] if v.ndim == 2 else v for v in vs]
+        return np.ascontiguousarray(np.concatenate(cols, axis=2))
+
+    def split_columns(self, v, widths):
+        out = []
+        start = 0
+        for w in widths:
+            if w is None:
+                out.append(np.ascontiguousarray(v[..., start]))
+                start += 1
+            else:
+                out.append(np.ascontiguousarray(v[..., start:start + w]))
+                start += int(w)
+        return out
+
     # -- elementwise ---------------------------------------------------
     def _get_scratch(self, like):
         if self._scratch is None or self._scratch.shape != like.shape \
@@ -481,6 +560,41 @@ class DistributedContext(SolverContext):
 
     def dot_pair(self, a1, b1, a2, b2, phase="reduction"):
         return self.vm.global_dot_pair(a1, b1, a2, b2, phase=phase)
+
+    def dot_block(self, xs, ys, phase="reduction"):
+        return self.vm.global_dot_block(xs, ys, phase=phase)
+
+    # -- column stacking -----------------------------------------------
+    def stack_columns(self, vs):
+        widths = [v.nrhs or 1 for v in vs]
+        out = self.vm.zeros(nrhs=sum(widths))
+        start = 0
+        for v, w in zip(vs, widths):
+            for rank in range(self.vm.num_ranks):
+                dst = out.locals_[rank]
+                src = v.locals_[rank]
+                if v.nrhs is None:
+                    dst[..., start] = src
+                else:
+                    dst[..., start:start + w] = src
+            start += w
+        return out
+
+    def split_columns(self, v, widths):
+        out = []
+        start = 0
+        for w in widths:
+            piece = self.vm.zeros(nrhs=w)
+            span = 1 if w is None else int(w)
+            for rank in range(self.vm.num_ranks):
+                src = v.locals_[rank]
+                if w is None:
+                    piece.locals_[rank][...] = src[..., start]
+                else:
+                    piece.locals_[rank][...] = src[..., start:start + span]
+            out.append(piece)
+            start += span
+        return out
 
     # -- elementwise ---------------------------------------------------
     # Coefficients may be scalars or per-column ``(nrhs,)`` arrays; the

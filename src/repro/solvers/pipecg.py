@@ -38,6 +38,8 @@ of the overlap), fewer synchronization stalls.
 
 import math
 
+import numpy as np
+
 from repro.core.errors import BreakdownError, SolverError
 from repro.solvers.base import IterativeSolver
 
@@ -90,6 +92,9 @@ class PipeCGSolver(IterativeSolver):
         m = ctx.precond(w)
         n = ctx.matvec(m)
 
+        if isinstance(gamma, np.ndarray):
+            return self._iterate_multi(state, k, gamma, delta, m, n)
+
         if not (math.isfinite(gamma) and math.isfinite(delta)):
             raise BreakdownError(
                 f"PipeCG breakdown: non-finite reduction "
@@ -124,6 +129,68 @@ class PipeCGSolver(IterativeSolver):
         if k % self.replace_freq == 0:
             # Residual replacement: resynchronize the recursively
             # updated vectors with their definitions.
+            state["r"] = ctx.residual(state["b"], state["x"])
+            state["u"] = ctx.precond(state["r"])
+            state["w"] = ctx.matvec(state["u"])
+
+    def _iterate_multi(self, state, k, gamma, delta, m, n):
+        """Batched recurrences, one ``(nrhs,)`` entry per column.
+
+        Live columns run the exact scalar coefficient arithmetic
+        elementwise, so each column's iterate is bit-identical to a
+        standalone solve; an exactly solved column (``gamma = delta =
+        0``) freezes its ``x``/``r`` through zero coefficients (the
+        auxiliary vectors keep updating, which is harmless), and a
+        non-finite reduction poisons only its own column, which the
+        next convergence check diagnoses.  A vanished ``gamma`` or
+        recurrence denominator on a live column is an SPD violation and
+        raises the same :class:`BreakdownError` the scalar path would.
+        """
+        ctx = self.context
+        r, u, w = state["r"], state["u"], state["w"]
+        noop = (gamma == 0.0) & (delta == 0.0)
+        live = ~noop
+        if state["gamma"] is None:
+            if bool(np.any(live & (delta == 0.0) & np.isfinite(gamma))):
+                raise BreakdownError(
+                    "PipeCG breakdown: denominator vanished")
+            beta = np.zeros_like(gamma)
+            alpha = np.where(live,
+                             gamma / np.where(live, delta, 1.0), 0.0)
+        else:
+            gamma_old = np.asarray(state["gamma"], dtype=np.float64)
+            alpha_old = np.asarray(state["alpha"], dtype=np.float64)
+            if bool(np.any(live & (gamma_old == 0.0)
+                           & np.isfinite(gamma))):
+                raise BreakdownError("PipeCG breakdown: gamma vanished")
+            beta = np.where(live,
+                            gamma / np.where(live, gamma_old, 1.0), 0.0)
+            # Live columns always carry alpha_old != 0 (a zero alpha
+            # would have tripped the gamma check one iteration earlier).
+            denom = delta - beta * gamma / np.where(live, alpha_old, 1.0)
+            if bool(np.any(live & (denom == 0.0) & np.isfinite(gamma))):
+                raise BreakdownError(
+                    "PipeCG breakdown: denominator vanished")
+            alpha = np.where(live,
+                             gamma / np.where(live, denom, 1.0), 0.0)
+
+        ctx.xpay(n, beta, state["z"])        # z = n + beta z
+        ctx.xpay(m, beta, state["q"])        # q = m + beta q
+        ctx.xpay(u, beta, state["p"])        # p = u + beta p
+        ctx.xpay(w, beta, state["s"])        # s = w + beta s
+        ctx.axpy(alpha, state["p"], state["x"])
+        ctx.axpy(-alpha, state["s"], r)
+        ctx.axpy(-alpha, state["q"], u)
+        ctx.axpy(-alpha, state["z"], w)
+
+        if state["gamma"] is None:
+            state["gamma"] = gamma
+            state["alpha"] = alpha
+        else:
+            state["gamma"] = np.where(live, gamma, state["gamma"])
+            state["alpha"] = np.where(live, alpha, state["alpha"])
+
+        if k % self.replace_freq == 0:
             state["r"] = ctx.residual(state["b"], state["x"])
             state["u"] = ctx.precond(state["r"])
             state["w"] = ctx.matvec(state["u"])

@@ -29,6 +29,10 @@ class TestCommands:
                      "fig13", "table1"):
             assert name in EXPERIMENTS
 
+    def test_registry_covers_the_extension_studies(self):
+        assert "ext-solver-strategies" in EXPERIMENTS
+        assert "ext-capcg-model" in EXPERIMENTS
+
     def test_run_unknown_experiment(self, capsys):
         assert main(["run", "fig99"]) == 2
 
@@ -54,6 +58,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "converged" in out
         assert "modeled @" in out
+
+    def test_solve_capcg_show_events(self, capsys):
+        assert main([
+            "solve", "--config", "test", "--scale", "1.0",
+            "--solver", "capcg", "--sstep", "4",
+            "--precond", "diagonal", "--tol", "1e-10",
+            "--cores", "64", "--show-events",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+        assert "global reductions" in out
+        assert "loop reductions / iteration" in out
 
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):

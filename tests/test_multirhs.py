@@ -22,15 +22,19 @@ from repro.parallel import VirtualMachine, decompose
 from repro.precond import make_preconditioner
 from repro.precond.evp import evp_for_config
 from repro.solvers import (
+    CAPCGSolver,
     ChronGearSolver,
     DistributedContext,
     PCGSolver,
     PCSISolver,
+    PipeCGSolver,
     SerialContext,
+    SpectralBoundedSolver,
 )
 
 SOLVERS = {"chrongear": ChronGearSolver, "pcg": PCGSolver,
-           "pcsi": PCSISolver}
+           "pcsi": PCSISolver, "pipecg": PipeCGSolver,
+           "capcg": CAPCGSolver}
 
 
 @pytest.fixture(scope="module")
@@ -82,7 +86,7 @@ def _solve_batched_and_looped(cfg, rhs_batch, solver_name, engine,
     batched = build()
     multi = batched.solve(rhs_batch)
     kw = {}
-    if cls is PCSISolver:
+    if issubclass(cls, SpectralBoundedSolver):
         # The batch estimated its interval once; hand the identical
         # bounds to the singles, as a sequence of solves would reuse.
         kw["eig_bounds"] = batched.eig_bounds
