@@ -1,0 +1,186 @@
+"""Benchmark: the ``repro tune`` auto-selector end to end.
+
+Runs :func:`repro.tuning.tune` on the test grid against a throwaway
+cache directory, records the ranked candidate table in
+``BENCH_tune.json``, and asserts the tune -> persist -> auto-apply
+contract on every run:
+
+* the persisted choice round-trips through a *fresh* cache instance
+  (:func:`load_tuned_choice` finds it on disk, not just in memory);
+* re-solving with the winning combo reproduces the tuned iteration
+  count exactly (the choice is a real recipe, not a stale statistic);
+* ``repro solve`` resolution semantics hold -- explicit flags beat the
+  tuned choice, unset flags inherit it.
+
+The file doubles as the CI gate::
+
+    PYTHONPATH=src python benchmarks/bench_tune.py            # full run
+    PYTHONPATH=src python benchmarks/bench_tune.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_tune.py --quick --check
+
+``--check`` exits nonzero when any contract assertion fails or when no
+candidate converged at all.
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.cache import ArtifactCache  # noqa: E402
+from repro.experiments.common import reference_rhs  # noqa: E402
+from repro.grid import test_config as make_test_config  # noqa: E402
+from repro.parallel import decompose  # noqa: E402
+from repro.tuning import (  # noqa: E402
+    load_tuned_choice,
+    render_table,
+    tune,
+    tuned_choice_key,
+)
+
+
+def _resolve(flag, tuned, default):
+    """The ``repro solve`` precedence: explicit flag > tuned > default."""
+    return flag if flag is not None else (tuned or {}).get(
+        default[0]) or default[1]
+
+
+def verify_contract(config, blocks, report, cache_dir, tol):
+    """Assert persist + reload + re-solve reproducibility.
+
+    Returns the verification entry for the report; raises
+    AssertionError on contract violation.
+    """
+    from repro.solvers import SerialContext, make_solver
+    from repro.solvers.spectral import SpectralBoundedSolver
+    from repro.solvers import SOLVER_REGISTRY
+    from repro.tuning import _build_preconditioner
+
+    choice = report["choice"]
+    assert choice is not None, "no candidate converged; nothing persisted"
+
+    by, bx = blocks
+    decomp = decompose(config.ny, config.nx, by, bx, mask=config.mask)
+
+    # 1. Round-trip through a FRESH cache: the choice must come back
+    #    from disk, matching what tune() persisted.
+    fresh = ArtifactCache(cache_dir=cache_dir)
+    reloaded = load_tuned_choice(config, decomp, cache=fresh)
+    assert reloaded is not None, "persisted choice not found on disk"
+    for field in ("solver", "precond", "kernels", "engine"):
+        assert reloaded[field] == choice[field], (
+            f"reloaded {field}={reloaded[field]!r} != "
+            f"persisted {choice[field]!r}")
+    assert reloaded == load_tuned_choice(config, decomp, cache=fresh), \
+        "memory-tier promotion changed the choice"
+
+    # 2. The choice is a reproducible recipe: re-solving with the
+    #    winning combo matches the tuned iteration count exactly.
+    pre = _build_preconditioner(choice["precond"], config, decomp,
+                                choice["kernels"], fresh)
+    ctx = SerialContext(config.stencil, pre, decomp=decomp,
+                        kernels=choice["kernels"])
+    kwargs = {"tol": tol, "max_iterations": 2000}
+    if issubclass(SOLVER_REGISTRY[choice["solver"].lower()],
+                  SpectralBoundedSolver):
+        kwargs["bounds_cache"] = fresh
+    solver = make_solver(choice["solver"], ctx, **kwargs)
+    start = time.perf_counter()
+    result = solver.solve(reference_rhs(config))
+    elapsed = time.perf_counter() - start
+    assert result.converged, "re-solve with the tuned choice diverged"
+    assert result.iterations == choice["iterations"], (
+        f"re-solve took {result.iterations} iterations, tune recorded "
+        f"{choice['iterations']}")
+
+    # 3. Resolution semantics: unset flags inherit the choice, explicit
+    #    flags win.
+    assert _resolve(None, reloaded, ("solver", "pcsi")) \
+        == choice["solver"]
+    assert _resolve("capcg", reloaded, ("solver", "pcsi")) == "capcg"
+    assert _resolve(None, None, ("solver", "pcsi")) == "pcsi"
+
+    return {
+        "reloaded_from_disk": True,
+        "re_solve_iterations": int(result.iterations),
+        "re_solve_wall_time": elapsed,
+        "key": tuned_choice_key(config, decomp),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced candidate matrix (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 when a contract assertion fails or "
+                             "no candidate converged")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default BENCH_tune.json "
+                             "at the repo root; BENCH_tune_quick.json "
+                             "with --quick)")
+    args = parser.parse_args(argv)
+
+    root = Path(__file__).resolve().parent.parent
+    if args.out is not None:
+        out_path = Path(args.out)
+    else:
+        out_path = root / ("BENCH_tune_quick.json" if args.quick
+                           else "BENCH_tune.json")
+
+    ny, nx = (32, 48) if args.quick else (48, 64)
+    blocks = (4, 4)
+    tol = 1e-10 if args.quick else 1e-12
+    config = make_test_config(ny, nx, seed=7)
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="bench-tune-") as tmp:
+        cache = ArtifactCache(cache_dir=tmp)
+        print(f"[bench_tune] tuning {ny}x{nx} on {blocks[0]}x{blocks[1]} "
+              f"blocks (tol {tol:g}"
+              + (", quick matrix" if args.quick else "") + ") ...",
+              flush=True)
+        report = tune(config, blocks=blocks, quick=args.quick, tol=tol,
+                      cache=cache)
+        for line in render_table(report):
+            print(f"[bench_tune] {line}")
+
+        verification = None
+        try:
+            verification = verify_contract(config, blocks, report, tmp,
+                                           tol)
+            print("[bench_tune] contract verified: persisted choice "
+                  "reloads from disk and reproduces "
+                  f"{verification['re_solve_iterations']} iterations")
+        except AssertionError as exc:
+            failures.append(str(exc))
+
+    out = {
+        "benchmark": "tune",
+        "grid": [ny, nx],
+        "blocks": list(blocks),
+        "quick": bool(args.quick),
+        "tol": tol,
+        "choice": report["choice"],
+        "ranked": report["ranked"],
+        "failed": [e for e in report["entries"] if not e["converged"]],
+        "verification": verification,
+    }
+    out_path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(f"[bench_tune] wrote {out_path}")
+
+    if args.check and failures:
+        for failure in failures:
+            print(f"[bench_tune] GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    if args.check:
+        print("[bench_tune] tune contract gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,13 @@ Commands
     ``run()`` (ints/floats parsed, tuples comma-separated).
 ``solve``
     One-off barotropic solve on a named configuration with a chosen
-    solver/preconditioner; prints iterations and modeled times.
+    solver/preconditioner; prints iterations and modeled times.  When
+    ``repro tune`` has persisted a winning combo for this grid +
+    decomposition, any of ``--solver``/``--precond``/``--kernels``/
+    ``--engine`` left unset is filled from it (``--no-tuned`` opts
+    out).  ``--precond`` accepts the polynomial kinds ``cheby:D`` and
+    ``ncheby:D[:K]``; ``--precond-degree`` / ``--newton-steps``
+    override the suffix.
     ``--engine {serial,perrank,batched}`` selects the execution
     substrate; ``--kernels {auto,numpy,fused,numba}`` the kernel
     backend (default ``$REPRO_KERNELS`` or ``auto``);
@@ -28,6 +34,11 @@ Commands
     bit-identically to the uninterrupted run.
 ``machines``
     Print the calibrated machine models.
+``tune [--config NAME] [--blocks by,bx] [--quick] [--out PATH]``
+    Benchmark candidate (solver, preconditioner+degree, kernels,
+    engine) combos with real solves, print the ranked table, and
+    persist the winner in the artifact cache keyed by grid +
+    decomposition; later ``repro solve`` runs apply it automatically.
 ``report [--out DIR] [--verification] [--jobs N] [--no-cache]
 [--cache-dir DIR] [--resume] [--step-timeout S] [--retries N]
 [--on-failure MODE]``
@@ -42,7 +53,9 @@ Commands
 ``cache {stats,clear,verify} [--cache-dir DIR] [--repair]``
     Inspect, empty, or integrity-audit the on-disk artifact cache
     (``verify --repair`` quarantines corrupt entries so the next run
-    rebuilds them).
+    rebuilds them).  ``stats`` always reports the quarantined-entry
+    count and the hit/miss ratio, including rebuilds of quarantined
+    entries.
 """
 
 import argparse
@@ -140,19 +153,46 @@ def cmd_solve(args):
     from repro.core.errors import KernelError
     from repro.kernels import resolve_kernels
 
+    config = get_cached_config(args.config, scale=args.scale)
+    print(config.describe())
+
+    by, bx = (int(p) for p in args.blocks.split(","))
+    tuned = None
+    if not args.no_tuned:
+        from repro.core.cache import ArtifactCache, default_cache_dir
+        from repro.tuning import load_tuned_choice
+
+        tuned_cache = ArtifactCache(
+            cache_dir=args.cache_dir or default_cache_dir())
+        tuned_decomp = decompose(config.ny, config.nx, by, bx,
+                                 mask=config.mask)
+        tuned = load_tuned_choice(config, tuned_decomp,
+                                  cache=tuned_cache)
+
+    # Explicit flags always win; unset ones fall back to the persisted
+    # tuned choice (when one exists for this grid + decomposition), and
+    # then to the historical defaults.
+    solver_name = args.solver or (tuned and tuned.get("solver")) or "pcsi"
+    precond_kind = args.precond or (tuned and tuned.get("precond")) \
+        or "evp"
+    engine = args.engine or (tuned and tuned.get("engine")) or "serial"
+    kernels_choice = args.kernels or (tuned and tuned.get("kernels"))
+    if tuned is not None and None in (args.solver, args.precond,
+                                      args.engine, args.kernels):
+        print(f"applying tuned choice: solver={solver_name} "
+              f"precond={precond_kind} kernels={kernels_choice} "
+              f"engine={engine} (from repro tune; --no-tuned to "
+              f"disable)")
+
     try:
-        kernels = resolve_kernels(args.kernels)
+        kernels = resolve_kernels(kernels_choice)
     except KernelError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
     print(f"kernel backend: {kernels.describe()}")
 
-    config = get_cached_config(args.config, scale=args.scale)
-    print(config.describe())
-
     faults = [parse_fault_spec(spec) for spec in args.inject_fault]
     vm_faults = [f for f in faults if f.kind != "nan_rhs"]
-    engine = args.engine
     if vm_faults and engine == "serial":
         # Halo / reduction / eigenbound faults live in the virtual
         # machine, which the serial context bypasses.
@@ -160,35 +200,45 @@ def cmd_solve(args):
               "switching to --engine perrank")
         engine = "perrank"
 
+    precond_kwargs = {}
+    base_kind = precond_kind.split(":", 1)[0].lower()
+    if base_kind in ("cheby", "chebyshev", "ncheby", "newton-cheby",
+                     "newtoncheby", "newton"):
+        if args.precond_degree is not None:
+            precond_kwargs["degree"] = args.precond_degree
+        if args.newton_steps is not None and base_kind not in (
+                "cheby", "chebyshev"):
+            precond_kwargs["steps"] = args.newton_steps
+
     decomp = None
     if engine == "serial":
-        if args.precond == "evp":
+        if precond_kind == "evp":
             pre = evp_for_config(config, kernels=kernels)
         else:
-            pre = make_preconditioner(args.precond, config.stencil,
-                                      kernels=kernels)
+            pre = make_preconditioner(precond_kind, config.stencil,
+                                      kernels=kernels, **precond_kwargs)
         ctx = SerialContext(config.stencil, pre, kernels=kernels)
     else:
-        by, bx = (int(p) for p in args.blocks.split(","))
         decomp = decompose(config.ny, config.nx, by, bx, mask=config.mask)
         vm = VirtualMachine(decomp, mask=config.mask, engine=engine,
                             faults=vm_faults)
-        if args.precond == "evp":
+        if precond_kind == "evp":
             pre = evp_for_config(config, decomp=decomp, kernels=kernels)
         else:
-            pre = make_preconditioner(args.precond, config.stencil,
-                                      decomp=decomp, kernels=kernels)
+            pre = make_preconditioner(precond_kind, config.stencil,
+                                      decomp=decomp, kernels=kernels,
+                                      **precond_kwargs)
         ctx = DistributedContext(config.stencil, pre, vm, kernels=kernels)
     for fault in faults:
         print(f"injecting fault: {fault.describe()}")
 
     extra_kwargs = {}
-    if args.solver.lower() in ("pcsi", "csi", "capcg"):
+    if solver_name.lower() in ("pcsi", "csi", "capcg"):
         extra_kwargs["max_recoveries"] = args.max_recoveries
         extra_kwargs["fallback"] = args.fallback
-    if args.solver.lower() == "capcg":
+    if solver_name.lower() == "capcg":
         extra_kwargs["sstep"] = args.sstep
-    solver = make_solver(args.solver, ctx, tol=args.tol, **extra_kwargs)
+    solver = make_solver(solver_name, ctx, tol=args.tol, **extra_kwargs)
     rng = np.random.default_rng(args.seed)
     nrhs = max(1, int(args.nrhs))
     columns = []
@@ -294,6 +344,51 @@ def cmd_solve(args):
     return 0
 
 
+def cmd_tune(args):
+    import json
+
+    from repro.core.cache import configure_cache, default_cache_dir
+    from repro.experiments.common import get_cached_config
+    from repro.tuning import render_table, tune
+
+    cache = configure_cache(
+        cache_dir=args.cache_dir or default_cache_dir())
+    config = get_cached_config(args.config, scale=args.scale)
+    print(config.describe())
+    blocks = tuple(int(p) for p in args.blocks.split(","))
+
+    def progress(entry):
+        status = (f"{entry['iterations']} iters, "
+                  f"{entry['wall_time'] * 1e3:.1f} ms"
+                  if entry["converged"]
+                  else f"FAILED: {entry['error']}")
+        print(f"  {entry['solver']}/{entry['precond']}"
+              f"/{entry['kernels']}/{entry['engine']}: {status}")
+
+    print(f"tuning {args.config} on a {blocks[0]}x{blocks[1]} "
+          f"decomposition (tol {args.tol:g}"
+          + (", quick matrix" if args.quick else "") + ") ...")
+    report = tune(config, blocks=blocks, quick=args.quick, tol=args.tol,
+                  machine=args.machine, cache=cache, progress=progress)
+    print()
+    for line in render_table(report):
+        print(line)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"ranked table written to {args.out}")
+    if report["choice"] is None:
+        print("no candidate converged; nothing persisted")
+        return 1
+    c = report["choice"]
+    print(f"persisted tuned choice: solver={c['solver']} "
+          f"precond={c['precond']} kernels={c['kernels']} "
+          f"engine={c['engine']} (key {report['key'][:12]}..., cache "
+          f"{cache.cache_dir}); later 'repro solve' runs on this grid + "
+          f"decomposition apply it automatically")
+    return 0
+
+
 def cmd_report(args):
     from repro.core.cache import configure_cache, default_cache_dir
     from repro.reporting import FailurePolicy, run_all
@@ -383,8 +478,14 @@ def cmd_cache(args):
     print(f"cache directory: {stats['cache_dir']}")
     print(f"entries: {stats['disk_entries']}")
     print(f"size: {stats['disk_bytes'] / 1e6:.2f} MB")
-    if stats.get("quarantine_entries"):
-        print(f"quarantined entries: {stats['quarantine_entries']}")
+    # Quarantine count and hit/miss ratio print unconditionally: after
+    # a `verify --repair` + rebuild cycle the interesting value is
+    # often exactly 0, and hiding it made the output inconsistent
+    # between healthy and healed stores.
+    print(f"quarantined entries: {stats['quarantine_entries']}")
+    print(f"lookups: {stats['hits']} hits / {stats['misses']} misses "
+          f"(hit ratio {stats['hit_ratio']:.2f}, "
+          f"{stats['rebuilds']} rebuilds)")
     return 0
 
 
@@ -415,8 +516,26 @@ def build_parser():
     p_solve.add_argument("--config", default="pop_1deg",
                          choices=["pop_1deg", "pop_0.1deg", "test"])
     p_solve.add_argument("--scale", type=float, default=1.0)
-    p_solve.add_argument("--solver", default="pcsi")
-    p_solve.add_argument("--precond", default="evp")
+    p_solve.add_argument("--solver", default=None,
+                         help="solver name (default: the persisted "
+                              "tuned choice if any, else pcsi)")
+    p_solve.add_argument("--precond", default=None,
+                         help="preconditioner kind, e.g. evp, diagonal, "
+                              "cheby:4, ncheby:2:1 (default: the "
+                              "persisted tuned choice if any, else evp)")
+    p_solve.add_argument("--precond-degree", type=int, default=None,
+                         help="polynomial degree for cheby/ncheby "
+                              "(overrides the kind's :D suffix)")
+    p_solve.add_argument("--newton-steps", type=int, default=None,
+                         help="Newton refinement sweeps for ncheby "
+                              "(overrides the kind's :D:K suffix)")
+    p_solve.add_argument("--no-tuned", action="store_true",
+                         help="ignore any persisted 'repro tune' choice "
+                              "for this grid + decomposition")
+    p_solve.add_argument("--cache-dir", default=None,
+                         help="artifact cache directory holding tuned "
+                              "choices (default: $REPRO_CACHE_DIR or "
+                              "~/.cache/repro-artifacts)")
     p_solve.add_argument("--tol", type=float, default=1e-13)
     p_solve.add_argument("--nrhs", type=int, default=1,
                          help="solve this many random right-hand sides "
@@ -426,10 +545,11 @@ def build_parser():
     p_solve.add_argument("--machine", default="yellowstone")
     p_solve.add_argument("--cores", type=int, nargs="*",
                          default=[470, 16875])
-    p_solve.add_argument("--engine", default="serial",
+    p_solve.add_argument("--engine", default=None,
                          choices=["serial", "perrank", "batched"],
-                         help="serial context (default) or a virtual-"
-                              "machine execution engine")
+                         help="serial context or a virtual-machine "
+                              "execution engine (default: the persisted "
+                              "tuned choice if any, else serial)")
     p_solve.add_argument("--kernels", default=None,
                          help="kernel backend: auto, numpy, fused or "
                               "numba (default: $REPRO_KERNELS or auto)")
@@ -468,6 +588,32 @@ def build_parser():
                               "(bit-identical to the uninterrupted run)")
 
     sub.add_parser("machines", help="print machine models")
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="benchmark solver/preconditioner/kernels/engine combos and "
+             "persist the winner for this grid + decomposition")
+    p_tune.add_argument("--config", default="pop_1deg",
+                        choices=["pop_1deg", "pop_0.1deg", "test"])
+    p_tune.add_argument("--scale", type=float, default=1.0)
+    p_tune.add_argument("--blocks", default="4,4",
+                        help="block grid 'by,bx' the choice is keyed "
+                             "under (default: 4,4)")
+    p_tune.add_argument("--tol", type=float, default=1e-12,
+                        help="convergence tolerance every candidate "
+                             "solves to (default: 1e-12)")
+    p_tune.add_argument("--quick", action="store_true",
+                        help="reduced candidate matrix for smoke runs "
+                             "(fewer solvers/preconds, one backend)")
+    p_tune.add_argument("--machine", default="yellowstone",
+                        help="machine model for the modeled-time column")
+    p_tune.add_argument("--cache-dir", default=None,
+                        help="artifact cache directory the choice is "
+                             "persisted in (default: $REPRO_CACHE_DIR "
+                             "or ~/.cache/repro-artifacts)")
+    p_tune.add_argument("--out", default=None,
+                        help="also write the full ranked report as JSON "
+                             "to this path")
 
     p_report = sub.add_parser(
         "report", help="run the evaluation plan + paper comparison")
@@ -521,6 +667,7 @@ def main(argv=None):
         "run": cmd_run,
         "solve": cmd_solve,
         "machines": cmd_machines,
+        "tune": cmd_tune,
         "report": cmd_report,
         "cache": cmd_cache,
     }[args.command]

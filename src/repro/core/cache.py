@@ -179,7 +179,9 @@ class ArtifactCache:
     lookups per tier; ``misses`` counts lookups that found nothing in
     either tier (a disk lookup is only issued after a memory miss, so
     the sum is consistent); ``writes`` counts disk stores;
-    ``quarantined`` counts damaged entries moved aside.
+    ``quarantined`` counts damaged entries moved aside; ``rebuilds``
+    counts stores that replaced a previously quarantined entry (the
+    self-healing path after ``verify --repair`` or a damaged read).
     """
 
     def __init__(self, cache_dir=None, memory=True):
@@ -190,6 +192,7 @@ class ArtifactCache:
         self.misses = 0
         self.writes = 0
         self.quarantined = 0
+        self.rebuilds = 0
 
     # ------------------------------------------------------------------
     # memory tier
@@ -325,6 +328,11 @@ class ArtifactCache:
         if self.cache_dir is None:
             return None
         os.makedirs(self.cache_dir, exist_ok=True)
+        qdir = self.quarantine_dir()
+        rebuilding = bool(
+            qdir
+            and os.path.exists(os.path.join(
+                qdir, os.path.basename(self._path(category, key)))))
         user_meta = meta if meta is not None else {}
         payload = dict(arrays or {})
         envelope = {
@@ -349,6 +357,8 @@ class ArtifactCache:
                 pass
             return None
         self.writes += 1
+        if rebuilding:
+            self.rebuilds += 1
         return path
 
     def verify(self, repair=False):
@@ -409,6 +419,17 @@ class ArtifactCache:
         """Total successful lookups across both tiers."""
         return self.memory_hits + self.disk_hits
 
+    @property
+    def hit_ratio(self):
+        """Hits over total lookups (0.0 when nothing was looked up).
+
+        Quarantined reads already count as misses (never as hits), so
+        the ratio stays consistent through damage, ``verify --repair``
+        and the rebuilds that follow.
+        """
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
     def counters(self):
         """Snapshot of the lookup counters (plain dict)."""
         return {
@@ -416,8 +437,10 @@ class ArtifactCache:
             "disk_hits": self.disk_hits,
             "hits": self.hits,
             "misses": self.misses,
+            "hit_ratio": self.hit_ratio,
             "writes": self.writes,
             "quarantined": self.quarantined,
+            "rebuilds": self.rebuilds,
         }
 
     def _quarantine_entries(self):

@@ -72,6 +72,7 @@ __all__ = [
     "get_backend",
     "resolve_kernels",
     "resolve_array_module",
+    "reset_warned_array_modules",
 ]
 
 #: Environment variable consulted when no explicit backend is given.
@@ -92,6 +93,19 @@ _ARRAY_MODULE_IMPORTS = {"cupy": "cupy", "jax": "jax.numpy"}
 #: Names we already warned about, so the degradation message is emitted
 #: exactly once per process however many resolutions happen.
 _WARNED_ARRAY_MODULES = set()
+
+
+def reset_warned_array_modules():
+    """Forget which array-module fallback warnings were already emitted.
+
+    The warn-once set is process-global state: once a fallback warning
+    for (say) ``cupy`` fires, every later resolution in the process --
+    including unrelated test cases -- stays silent.  Test suites (and
+    long-lived services that want to re-surface the degradation after a
+    reconfiguration) call this to re-arm the warning; it never touches
+    backend singletons or their scratch caches.
+    """
+    _WARNED_ARRAY_MODULES.clear()
 
 
 def resolve_array_module(name=None):

@@ -540,6 +540,8 @@ class IterativeSolver(abc.ABC):
             "scalars": sanitize_meta(scalars),
             "extra": sanitize_meta(state.get("extra", {})),
             "solver_state": sanitize_meta(self._snapshot_solver_meta()),
+            "precond_state": sanitize_meta(
+                ctx.preconditioner.snapshot_meta()),
             "history": [[int(i), float(r)] for i, r in history],
             "loop": sanitize_meta(loop),
             "setup_events": _events_to_meta(self._setup_events(acct)),
@@ -580,6 +582,7 @@ class IterativeSolver(abc.ABC):
         state.update(meta.get("scalars", {}))
         state["extra"] = dict(meta.get("extra", {}))
         self._restore_solver_meta(meta.get("solver_state", {}))
+        ctx.preconditioner.restore_meta(meta.get("precond_state") or {})
         history = [(int(i), float(r)) for i, r in meta.get("history", [])]
         loop = dict(meta["loop"])
         acct = {
@@ -1037,6 +1040,8 @@ class IterativeSolver(abc.ABC):
             "scalars": sanitize_meta(scalars),
             "extra": sanitize_meta(state.get("extra", {})),
             "solver_state": sanitize_meta(self._snapshot_solver_meta()),
+            "precond_state": sanitize_meta(
+                ctx.preconditioner.snapshot_meta()),
             "history": [[int(i), float(r)] for i, r in history],
             "per_history": [[[int(i), float(r)] for i, r in h]
                             for h in per_hist],
@@ -1088,6 +1093,7 @@ class IterativeSolver(abc.ABC):
         state.update(meta.get("scalars", {}))
         state["extra"] = dict(meta.get("extra", {}))
         self._restore_solver_meta(meta.get("solver_state", {}))
+        ctx.preconditioner.restore_meta(meta.get("precond_state") or {})
         loop = {
             "iterations": int(meta["loop"]["iterations"]),
             "checked_at": int(meta["loop"]["checked_at"]),

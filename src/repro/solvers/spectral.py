@@ -112,6 +112,17 @@ class SpectralBoundedSolver(IterativeSolver):
         self.mu_backoff = float(mu_backoff)
         self.fallback = fallback
         self._lanczos_max_steps = 60
+        # The as-configured recovery knobs.  _widen_interval mutates the
+        # live attributes while a recovery is in flight; solve() resets
+        # them from this snapshot when it returns, so the *next* solve
+        # on the same instance starts from the configured interval
+        # policy instead of the widened one.
+        self._configured_recovery = {
+            "nu_safety": self.nu_safety,
+            "mu_safety": self.mu_safety,
+            "lanczos_steps": self.lanczos_steps,
+            "lanczos_max_steps": self._lanczos_max_steps,
+        }
 
     @staticmethod
     def _check_bounds(nu, mu):
@@ -172,6 +183,27 @@ class SpectralBoundedSolver(IterativeSolver):
         diagnoses = []
         recovery_counts = EventCounts()
         attempt = 0
+        try:
+            return self._solve_with_recovery(
+                b, x0, checkpoint, resume_from, ledger, diagnoses,
+                recovery_counts, attempt)
+        finally:
+            # Recovery widening must not leak into the next solve on
+            # this instance: the widened *bounds* are kept (POP reuses
+            # them, they are the cure), but the safety factors and
+            # Lanczos budget go back to their configured values.
+            self._reset_recovery_config()
+
+    def _reset_recovery_config(self):
+        """Restore the configured safety factors and Lanczos budget."""
+        cfg = self._configured_recovery
+        self.nu_safety = cfg["nu_safety"]
+        self.mu_safety = cfg["mu_safety"]
+        self.lanczos_steps = cfg["lanczos_steps"]
+        self._lanczos_max_steps = cfg["lanczos_max_steps"]
+
+    def _solve_with_recovery(self, b, x0, checkpoint, resume_from,
+                             ledger, diagnoses, recovery_counts, attempt):
         while True:
             snapshot = ledger.snapshot()
             error = None

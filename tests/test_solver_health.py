@@ -205,6 +205,50 @@ class TestDivergenceDetector:
         assert result.extra["recoveries"] >= 1
         assert solver.eig_bounds[1] > 0.9  # widened in place
 
+    def test_recovery_restores_configured_safety_factors(self, config):
+        """A recovered solve must not leak widened safety factors into
+        the next solve: the backoff multipliers are per-solve state,
+        only the widened *bounds* persist (POP reuses them)."""
+        ctx = _context("serial", config, None)
+        solver = PCSISolver(ctx, eig_bounds=(0.05, 0.9),
+                            max_recoveries=4, mu_backoff=2.0, tol=1e-10,
+                            max_iterations=5000)
+        first = solver.solve(_rhs(config))
+        assert first.converged
+        assert first.extra["recoveries"] >= 1
+        # The knobs are back at their configured values ...
+        assert solver.nu_safety == 0.5
+        assert solver.mu_safety == 1.05
+        assert solver.lanczos_steps is None
+        assert solver._lanczos_max_steps == 60
+        # ... while the widened interval is deliberately kept.
+        widened = solver.eig_bounds
+        assert widened[1] > 0.9
+
+        # Second solve: no recovery needed, and bit-identical to a
+        # fresh solver configured with the already-widened interval.
+        second = solver.solve(_rhs(config))
+        assert second.converged
+        assert second.extra.get("recoveries", 0) == 0
+        fresh = PCSISolver(ctx, eig_bounds=widened, max_recoveries=4,
+                           mu_backoff=2.0, tol=1e-10,
+                           max_iterations=5000)
+        reference = fresh.solve(_rhs(config))
+        assert second.iterations == reference.iterations
+        assert np.array_equal(second.x, reference.x)
+
+    def test_recovery_reset_also_runs_on_failure(self, config):
+        """Even an exhausted-recoveries failure restores the knobs."""
+        ctx = _context("serial", config, None)
+        solver = PCSISolver(ctx, eig_bounds=(0.05, 0.1),
+                            max_recoveries=1, mu_backoff=1.01,
+                            tol=1e-13, max_iterations=200)
+        with pytest.raises(ConvergenceError):
+            solver.solve(_rhs(config))
+        assert solver.nu_safety == 0.5
+        assert solver.mu_safety == 1.05
+        assert solver._lanczos_max_steps == 60
+
     def test_divergence_factor_zero_disables(self, config):
         ctx = _context("serial", config, None)
         solver = PCSISolver(ctx, eig_bounds=(0.05, 0.3),

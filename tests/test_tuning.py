@@ -1,0 +1,286 @@
+"""Auto-tuner + cache-stats regressions.
+
+Covers the ``repro tune`` contract (benchmark -> rank -> persist ->
+auto-apply with ``--no-tuned`` opt-out), the quarantine -> repair ->
+stats accounting the tuned choices depend on, and the
+solver-recovery-state and warn-once satellite fixes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.cache import ArtifactCache
+from repro.grid import test_config as make_test_config
+from repro.parallel import decompose
+from repro.tuning import (
+    candidate_list,
+    load_tuned_choice,
+    render_table,
+    tune,
+    tuned_choice_key,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return make_test_config(24, 32, seed=9)
+
+
+@pytest.fixture(scope="module")
+def quick_report(cfg, tmp_path_factory):
+    """One shared quick tune run (real solves are not free)."""
+    cache_dir = str(tmp_path_factory.mktemp("tune-cache"))
+    cache = ArtifactCache(cache_dir=cache_dir)
+    report = tune(cfg, blocks=(2, 2), quick=True, tol=1e-10,
+                  cache=cache)
+    return {"report": report, "cache_dir": cache_dir, "cfg": cfg}
+
+
+class TestCandidateMatrix:
+    def test_full_matrix_spans_all_axes(self):
+        cands = candidate_list(kernels=("numpy",))
+        solvers = {c["solver"] for c in cands}
+        preconds = {c["precond"] for c in cands}
+        assert {"chrongear", "pcsi", "capcg"} <= solvers
+        assert "cheby:2" in preconds and "ncheby:2:1" in preconds
+        assert "evp" in preconds and "diagonal" in preconds
+
+    def test_quick_matrix_is_smaller(self):
+        quick = candidate_list(quick=True, kernels=("numpy",))
+        full = candidate_list(kernels=("numpy",))
+        assert 0 < len(quick) < len(full)
+
+    def test_key_depends_on_grid_and_blocks(self, cfg):
+        d22 = decompose(cfg.ny, cfg.nx, 2, 2, mask=cfg.mask)
+        d24 = decompose(cfg.ny, cfg.nx, 2, 4, mask=cfg.mask)
+        other = make_test_config(32, 48, seed=7)
+        d_other = decompose(other.ny, other.nx, 2, 2, mask=other.mask)
+        keys = {tuned_choice_key(cfg, d22), tuned_choice_key(cfg, d24),
+                tuned_choice_key(other, d_other)}
+        assert len(keys) == 3
+
+
+class TestTunePersistRoundTrip:
+    def test_every_candidate_ran(self, quick_report):
+        report = quick_report["report"]
+        assert len(report["entries"]) == len(
+            candidate_list(quick=True))
+        assert report["ranked"], "no quick candidate converged"
+
+    def test_ranked_by_wall_time(self, quick_report):
+        walls = [e["wall_time"]
+                 for e in quick_report["report"]["ranked"]]
+        assert walls == sorted(walls)
+
+    def test_choice_is_the_winner(self, quick_report):
+        report = quick_report["report"]
+        best = report["ranked"][0]
+        for field in ("solver", "precond", "kernels", "engine"):
+            assert report["choice"][field] == best[field]
+
+    def test_reload_from_fresh_cache(self, quick_report):
+        """The persisted choice survives a process restart (disk tier)
+        and is promoted into the fresh cache's memory tier."""
+        cfg = quick_report["cfg"]
+        fresh = ArtifactCache(cache_dir=quick_report["cache_dir"])
+        decomp = decompose(cfg.ny, cfg.nx, 2, 2, mask=cfg.mask)
+        choice = load_tuned_choice(cfg, decomp, cache=fresh)
+        assert choice is not None
+        assert choice["solver"] == \
+            quick_report["report"]["choice"]["solver"]
+        assert fresh.disk_hits == 1
+        # Second lookup: memory tier.
+        assert load_tuned_choice(cfg, decomp, cache=fresh) == choice
+        assert fresh.memory_hits == 1
+
+    def test_no_choice_for_other_decomposition(self, quick_report):
+        cfg = quick_report["cfg"]
+        fresh = ArtifactCache(cache_dir=quick_report["cache_dir"])
+        other = decompose(cfg.ny, cfg.nx, 4, 4, mask=cfg.mask)
+        assert load_tuned_choice(cfg, other, cache=fresh) is None
+
+    def test_render_table_lists_every_entry(self, quick_report):
+        report = quick_report["report"]
+        lines = render_table(report)
+        assert len(lines) == 1 + len(report["entries"])
+        assert "solver" in lines[0] and "wall" in lines[0]
+
+
+class TestCliTunedResolution:
+    """``repro solve`` applies the persisted choice; flags beat it."""
+
+    def _tune(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        rc = main(["tune", "--config", "test", "--quick",
+                   "--blocks", "2,2", "--tol", "1e-8",
+                   "--cache-dir", cache_dir])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "persisted tuned choice" in out
+        return cache_dir, out
+
+    def test_tune_then_solve_applies_choice(self, tmp_path, capsys):
+        cache_dir, _ = self._tune(tmp_path, capsys)
+        rc = main(["solve", "--config", "test", "--blocks", "2,2",
+                   "--cache-dir", cache_dir, "--tol", "1e-8",
+                   "--cores", "16"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "applying tuned choice:" in out
+        assert "converged" in out
+
+    def test_no_tuned_opts_out(self, tmp_path, capsys):
+        cache_dir, _ = self._tune(tmp_path, capsys)
+        rc = main(["solve", "--config", "test", "--blocks", "2,2",
+                   "--cache-dir", cache_dir, "--no-tuned",
+                   "--tol", "1e-8", "--cores", "16"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "applying tuned choice:" not in out
+        # Historical defaults hold without a tuned choice.
+        assert "pcsi+evp" in out
+
+    def test_explicit_flags_beat_the_choice(self, tmp_path, capsys):
+        cache_dir, _ = self._tune(tmp_path, capsys)
+        rc = main(["solve", "--config", "test", "--blocks", "2,2",
+                   "--cache-dir", cache_dir, "--solver", "chrongear",
+                   "--precond", "diagonal", "--engine", "serial",
+                   "--kernels", "numpy", "--tol", "1e-8",
+                   "--cores", "16"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        # All four axes explicit -> nothing inherited, no banner.
+        assert "applying tuned choice:" not in out
+        assert "chrongear+diagonal" in out
+
+    def test_solve_without_choice_uses_defaults(self, tmp_path, capsys):
+        rc = main(["solve", "--config", "test",
+                   "--cache-dir", str(tmp_path / "empty"),
+                   "--tol", "1e-8", "--cores", "16"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "applying tuned choice:" not in out
+        assert "pcsi+evp" in out
+
+    def test_polynomial_degree_flags(self, tmp_path, capsys):
+        rc = main(["solve", "--config", "test",
+                   "--cache-dir", str(tmp_path / "empty"),
+                   "--solver", "pcsi", "--precond", "cheby:2",
+                   "--precond-degree", "5", "--tol", "1e-8",
+                   "--cores", "16"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pcsi+cheby" in out and "converged" in out
+
+
+class TestCacheStatsRegression:
+    """quarantine -> repair -> stats keeps every counter consistent."""
+
+    def _store_entries(self, cache, n=3):
+        for i in range(n):
+            cache.store("demo", f"key{i}",
+                        arrays={"x": np.arange(4.0) + i},
+                        meta={"i": i})
+
+    def test_rebuild_counter_after_repair(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cache = ArtifactCache(cache_dir=cache_dir)
+        self._store_entries(cache)
+        # Corrupt one entry on disk.
+        victim = cache._path("demo", "key1")
+        with open(victim, "r+b") as handle:
+            handle.seek(30)
+            handle.write(b"\xde\xad\xbe\xef")
+
+        report = cache.verify(repair=True)
+        assert len(report["corrupt"]) == 1
+        assert report["quarantined"] == 1
+        stats = cache.stats()
+        assert stats["quarantine_entries"] == 1
+        assert stats["rebuilds"] == 0
+
+        # The next lookup misses, the rebuild store heals the slot --
+        # and is counted as a rebuild, not a plain write.
+        assert cache.load("demo", "key1") is None
+        cache.store("demo", "key1", arrays={"x": np.arange(4.0) + 1},
+                    meta={"i": 1})
+        stats = cache.stats()
+        assert stats["rebuilds"] == 1
+        assert stats["quarantine_entries"] == 1  # evidence is kept
+        loaded = cache.load("demo", "key1")
+        assert loaded is not None and loaded[1] == {"i": 1}
+
+    def test_hit_ratio_counts_quarantined_reads_as_misses(self,
+                                                          tmp_path):
+        cache = ArtifactCache(cache_dir=str(tmp_path / "cache"),
+                              memory=False)
+        assert cache.hit_ratio == 0.0
+        self._store_entries(cache, n=2)
+        assert cache.load("demo", "key0") is not None
+        assert cache.load("demo", "nope") is None
+        assert cache.hit_ratio == 0.5
+        victim = cache._path("demo", "key1")
+        with open(victim, "r+b") as handle:
+            handle.seek(30)
+            handle.write(b"\xde\xad\xbe\xef")
+        assert cache.load("demo", "key1") is None  # quarantined: a miss
+        assert cache.hit_ratio == pytest.approx(1.0 / 3.0)
+        counters = cache.counters()
+        assert counters["hit_ratio"] == cache.hit_ratio
+        assert counters["rebuilds"] == 0
+
+    def test_cli_stats_reports_quarantine_and_ratio(self, tmp_path,
+                                                    capsys):
+        cache_dir = str(tmp_path / "cache")
+        cache = ArtifactCache(cache_dir=cache_dir)
+        self._store_entries(cache)
+        victim = cache._path("demo", "key2")
+        with open(victim, "r+b") as handle:
+            handle.seek(30)
+            handle.write(b"\xde\xad\xbe\xef")
+        assert main(["cache", "verify", "--repair",
+                     "--cache-dir", cache_dir]) == 1
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        # Both lines print unconditionally, healthy or healed.
+        assert "quarantined entries: 1" in out
+        assert "hit ratio" in out and "rebuilds" in out
+
+
+class TestWarnOnceReset:
+    """The documented reset hook re-arms array-module fallbacks."""
+
+    def test_reset_rearms_the_warning(self):
+        import warnings
+
+        from repro.kernels import (
+            resolve_array_module,
+            reset_warned_array_modules,
+        )
+
+        try:
+            import cupy  # noqa: F401
+            pytest.skip("cupy installed; fallback never fires")
+        except ImportError:
+            pass
+
+        reset_warned_array_modules()
+        with warnings.catch_warnings(record=True) as first:
+            warnings.simplefilter("always")
+            assert resolve_array_module("cupy") is np
+        assert any("cupy" in str(w.message) for w in first)
+
+        # Warn-once: silent on the second resolution ...
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_array_module("cupy") is np
+
+        # ... until the suite resets the process-global set.
+        reset_warned_array_modules()
+        with warnings.catch_warnings(record=True) as again:
+            warnings.simplefilter("always")
+            assert resolve_array_module("cupy") is np
+        assert any("cupy" in str(w.message) for w in again)
+        reset_warned_array_modules()
