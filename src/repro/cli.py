@@ -449,10 +449,27 @@ def cmd_report(args):
     return 1 if report.get("failures") else 0
 
 
+def cmd_serve(args):
+    from repro.core.cache import configure_cache, default_cache_dir
+    from repro.service import serve
+
+    by, bx = (int(v) for v in args.blocks.split(","))
+    configure_cache(cache_dir=args.cache_dir or default_cache_dir(),
+                    shards=args.shards,
+                    max_bytes=args.cache_max_bytes)
+    serve(host=args.host, port=args.port, jobs=args.jobs,
+          max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+          blocks=(by, bx), engine=args.engine, tuned=not args.no_tuned,
+          retries=args.retries, job_timeout=args.job_timeout)
+    return 0
+
+
 def cmd_cache(args):
     from repro.core.cache import ArtifactCache, default_cache_dir
 
-    cache = ArtifactCache(cache_dir=args.cache_dir or default_cache_dir())
+    cache = ArtifactCache(cache_dir=args.cache_dir or default_cache_dir(),
+                          shards=args.shards,
+                          max_bytes=args.max_bytes)
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached artifacts from {cache.cache_dir}")
@@ -486,6 +503,13 @@ def cmd_cache(args):
     print(f"lookups: {stats['hits']} hits / {stats['misses']} misses "
           f"(hit ratio {stats['hit_ratio']:.2f}, "
           f"{stats['rebuilds']} rebuilds)")
+    if stats.get("max_bytes"):
+        print(f"byte budget: {stats['max_bytes'] / 1e6:.2f} MB "
+              f"({stats['evictions']} evictions this process)")
+    for row in stats.get("per_shard", []):
+        print(f"  shard {row['shard']:02d}: {row['entries']} entries, "
+              f"{row['bytes'] / 1e6:.2f} MB, {row['hits']} hits / "
+              f"{row['misses']} misses, {row['evictions']} evictions")
     return 0
 
 
@@ -657,6 +681,64 @@ def build_parser():
     p_cache.add_argument("--repair", action="store_true",
                          help="with verify: quarantine corrupt entries "
                               "so the next run rebuilds them")
+    p_cache.add_argument("--shards", type=int, default=None,
+                         help="inspect a sharded layout: entries hash "
+                              "across this many shard-NN subdirectories")
+    p_cache.add_argument("--max-bytes", type=int, default=None,
+                         help="byte budget the stats report against "
+                              "(enables the per-shard eviction view)")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the solver service: JSON-over-HTTP with dynamic "
+             "multi-RHS request coalescing and an async job API")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8723,
+                         help="listen port (0 = pick a free one; the "
+                              "bound port is announced on stdout)")
+    p_serve.add_argument("--jobs", type=int, default=0,
+                         help="worker processes for solves (default 0 "
+                              "= one in-process solver thread)")
+    p_serve.add_argument("--max-batch", type=int, default=8,
+                         help="coalesce at most this many compatible "
+                              "requests into one multi-RHS solve "
+                              "(1 disables coalescing; default: 8)")
+    p_serve.add_argument("--max-wait-ms", type=float, default=25.0,
+                         help="batching window: a request waits at most "
+                              "this long for companions (default: 25)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="artifact cache directory shared by the "
+                              "service and its workers (default: "
+                              "$REPRO_CACHE_DIR or "
+                              "~/.cache/repro-artifacts)")
+    p_serve.add_argument("--shards", type=int, default=None,
+                         help="shard the cache across this many "
+                              "lock-protected subdirectories")
+    p_serve.add_argument("--cache-max-bytes", type=int, default=None,
+                         help="LRU-evict cache entries beyond this "
+                              "byte budget")
+    p_serve.add_argument("--blocks", default="4,4",
+                         help="decomposition 'by,bx' tuned choices are "
+                              "looked up under, and the default "
+                              "decomposition for engine solves "
+                              "(default: 4,4)")
+    p_serve.add_argument("--engine", default=None,
+                         choices=("serial", "perrank", "batched"),
+                         help="default execution engine for requests "
+                              "that omit one ('batched' amortizes "
+                              "coalesced multi-RHS solves; default: "
+                              "classic serial context)")
+    p_serve.add_argument("--no-tuned", action="store_true",
+                         help="do not auto-apply persisted 'repro tune' "
+                              "winners to requests omitting "
+                              "solver/precond")
+    p_serve.add_argument("--retries", type=int, default=2,
+                         help="extra attempts per solve after a worker "
+                              "crash or timeout (default: 2)")
+    p_serve.add_argument("--job-timeout", type=float, default=None,
+                         metavar="S",
+                         help="wall-clock budget per solve attempt in "
+                              "seconds (default: none)")
     return parser
 
 
@@ -670,6 +752,7 @@ def main(argv=None):
         "tune": cmd_tune,
         "report": cmd_report,
         "cache": cmd_cache,
+        "serve": cmd_serve,
     }[args.command]
     return handler(args)
 

@@ -34,8 +34,23 @@ The global cache used by the experiment layer defaults to memory-only;
 the disk tier activates when ``REPRO_CACHE_DIR`` is set, when the CLI
 passes ``--cache-dir`` (or its default), or when
 :func:`configure_cache` is called explicitly.
+
+Sharding
+--------
+With ``shards=N`` the disk tier spreads entries across ``N``
+``shard-XX/`` subdirectories by key prefix, each protected by its own
+advisory file lock, so many concurrent writers (service workers,
+pipeline processes) never serialize on one directory.  Readers take the
+shard lock *shared* for the duration of a read, writers and the LRU
+evictor take it *exclusive* -- an entry currently being read can never
+be evicted or replaced mid-read.  ``max_bytes`` activates
+byte-accounted least-recently-used eviction (access times are bumped on
+every hit); eviction counts persist per shard so ``repro cache stats``
+reports them across processes.  Entries written before sharding was
+enabled remain readable: lookups fall back to the flat legacy layout.
 """
 
+import contextlib
 import hashlib
 import json
 import os
@@ -44,6 +59,11 @@ import tempfile
 import zipfile
 
 import numpy as np
+
+try:  # pragma: no cover - fcntl is stdlib on every POSIX platform
+    import fcntl
+except ImportError:  # pragma: no cover - Windows: locks degrade to no-ops
+    fcntl = None
 
 #: Bump when the on-disk payload layout or key semantics change; every
 #: caller folds this into its digest so stale entries simply miss.
@@ -68,6 +88,38 @@ _META_KEY = "__meta__"
 
 #: Subdirectory (inside the cache dir) receiving damaged entries.
 QUARANTINE_DIRNAME = "quarantine"
+
+#: Prefix of the per-shard subdirectories (``shard-00`` ... ``shard-NN``).
+SHARD_DIR_PREFIX = "shard-"
+
+#: Name of the advisory lock file inside each shard directory.
+_SHARD_LOCK_NAME = ".shard.lock"
+
+#: Name of the persisted per-shard counter file (eviction totals
+#: survive across processes; hits/misses stay per-process).
+_SHARD_STATS_NAME = "shard-stats.json"
+
+
+@contextlib.contextmanager
+def _file_lock(lock_path, exclusive):
+    """Advisory ``flock`` on ``lock_path`` (no-op where unsupported).
+
+    Shared mode lets any number of readers proceed together; exclusive
+    mode (writers, the evictor) waits for all of them to finish.  The
+    lock file itself is tiny and never contains data.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+        yield
+    finally:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
 
 
 # ----------------------------------------------------------------------
@@ -174,6 +226,16 @@ class ArtifactCache:
         (memory tier only).  Created on first write.
     memory:
         Keep a process-local object tier (default True).
+    shards:
+        Spread disk entries across this many ``shard-XX/``
+        subdirectories by key prefix, each with its own advisory file
+        lock (see the module docstring).  ``None``/``0``/``1`` keeps
+        the flat single-directory layout, bit-compatible with every
+        earlier format.
+    max_bytes:
+        Total on-disk byte budget; when set, each store triggers
+        least-recently-used eviction in its shard down to the shard's
+        share of the budget.  ``None`` (default) never evicts.
 
     Lookup counters: ``memory_hits`` / ``disk_hits`` count successful
     lookups per tier; ``misses`` counts lookups that found nothing in
@@ -181,18 +243,26 @@ class ArtifactCache:
     the sum is consistent); ``writes`` counts disk stores;
     ``quarantined`` counts damaged entries moved aside; ``rebuilds``
     counts stores that replaced a previously quarantined entry (the
-    self-healing path after ``verify --repair`` or a damaged read).
+    self-healing path after ``verify --repair`` or a damaged read);
+    ``evictions`` counts entries removed by the LRU policy.
     """
 
-    def __init__(self, cache_dir=None, memory=True):
+    def __init__(self, cache_dir=None, memory=True, shards=None,
+                 max_bytes=None):
         self.cache_dir = os.path.abspath(cache_dir) if cache_dir else None
         self._memory = {} if memory else None
+        shards = int(shards) if shards else 0
+        self.shards = shards if shards > 1 else 0
+        self.max_bytes = int(max_bytes) if max_bytes else None
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
         self.writes = 0
         self.quarantined = 0
         self.rebuilds = 0
+        self.evictions = 0
+        #: Per-shard in-process lookup counters: index -> dict.
+        self._shard_counters = {}
 
     # ------------------------------------------------------------------
     # memory tier
@@ -215,9 +285,62 @@ class ArtifactCache:
     # ------------------------------------------------------------------
     # disk tier
     # ------------------------------------------------------------------
+    def _entry_name(self, category, key):
+        return f"{_FILE_PREFIX}{category}-{key}.npz"
+
+    def shard_index(self, key):
+        """Shard owning ``key`` (0 when sharding is disabled).
+
+        Keys are SHA-256 hex digests, so the leading prefix is already
+        uniformly distributed; non-hex keys fall back to hashing.
+        """
+        if not self.shards:
+            return 0
+        text = str(key)
+        try:
+            prefix = int(text[:8], 16)
+        except ValueError:
+            prefix = int(hashlib.sha256(text.encode()).hexdigest()[:8], 16)
+        return prefix % self.shards
+
+    def _shard_dir(self, index):
+        if not self.shards:
+            return self.cache_dir
+        return os.path.join(self.cache_dir, f"{SHARD_DIR_PREFIX}{index:02d}")
+
+    def _shard_dirs(self):
+        """Every possible shard directory (existing or not)."""
+        if self.cache_dir is None:
+            return []
+        if not self.shards:
+            return [self.cache_dir]
+        return [self._shard_dir(i) for i in range(self.shards)]
+
     def _path(self, category, key):
-        return os.path.join(self.cache_dir,
-                            f"{_FILE_PREFIX}{category}-{key}.npz")
+        return os.path.join(self._shard_dir(self.shard_index(key)),
+                            self._entry_name(category, key))
+
+    def _legacy_path(self, category, key):
+        """Flat-layout path (pre-sharding), used as a read fallback."""
+        return os.path.join(self.cache_dir, self._entry_name(category, key))
+
+    @property
+    def _locking(self):
+        """Whether shard locks are engaged (sharded or evicting)."""
+        return bool(self.shards or self.max_bytes)
+
+    def _lock(self, shard_dir, exclusive):
+        """Advisory lock on one shard (no-op in flat unlocked mode)."""
+        if not self._locking:
+            return contextlib.nullcontext()
+        os.makedirs(shard_dir, exist_ok=True)
+        return _file_lock(os.path.join(shard_dir, _SHARD_LOCK_NAME),
+                          exclusive)
+
+    def _count_shard(self, index, field):
+        entry = self._shard_counters.setdefault(
+            index, {"hits": 0, "misses": 0, "evictions": 0})
+        entry[field] += 1
 
     def quarantine_dir(self):
         """Directory receiving damaged entries (inside the cache dir)."""
@@ -302,17 +425,41 @@ class ArtifactCache:
         if self.cache_dir is None:
             self.misses += 1
             return None
+        index = self.shard_index(key)
         path = self._path(category, key)
+        shard_dir = os.path.dirname(path)
+        if not os.path.exists(path) and self.shards:
+            # Entries written before sharding was enabled live in the
+            # flat root; read them from there rather than rebuilding.
+            legacy = self._legacy_path(category, key)
+            if os.path.exists(legacy):
+                path, shard_dir = legacy, self.cache_dir
         if not os.path.exists(path):
             self.misses += 1
+            self._count_shard(index, "misses")
             return None
         try:
-            arrays, meta = self._read_entry(path)
+            # Readers hold the shard lock *shared* for the whole read:
+            # the exclusive-locked LRU evictor (and concurrent writers)
+            # can never remove or replace an entry mid-read.
+            with self._lock(shard_dir, exclusive=False):
+                arrays, meta = self._read_entry(path)
+                if self.max_bytes:
+                    try:  # LRU recency: a hit makes the entry young
+                        os.utime(path)
+                    except OSError:
+                        pass
         except CacheEntryDamaged as exc:
-            self._quarantine(path, str(exc))
+            # A file that vanished under us (evicted/cleared by another
+            # process between the existence check and the read) is a
+            # plain miss, not damage to quarantine.
+            if os.path.exists(path):
+                self._quarantine(path, str(exc))
             self.misses += 1
+            self._count_shard(index, "misses")
             return None
         self.disk_hits += 1
+        self._count_shard(index, "hits")
         return arrays, meta
 
     def store(self, category, key, arrays=None, meta=None):
@@ -327,12 +474,14 @@ class ArtifactCache:
         """
         if self.cache_dir is None:
             return None
-        os.makedirs(self.cache_dir, exist_ok=True)
+        path = self._path(category, key)
+        shard_dir = os.path.dirname(path)
+        os.makedirs(shard_dir, exist_ok=True)
         qdir = self.quarantine_dir()
         rebuilding = bool(
             qdir
             and os.path.exists(os.path.join(
-                qdir, os.path.basename(self._path(category, key)))))
+                qdir, os.path.basename(path))))
         user_meta = meta if meta is not None else {}
         payload = dict(arrays or {})
         envelope = {
@@ -341,15 +490,21 @@ class ArtifactCache:
             "meta": user_meta,
         }
         payload[_META_KEY] = np.array(json.dumps(envelope))
-        path = self._path(category, key)
+        # The npz is fully written (and fsynced) *outside* the shard
+        # lock; only the final rename and the eviction scan hold it.
         fd, tmp = tempfile.mkstemp(prefix=f"{_FILE_PREFIX}tmp-",
-                                   dir=self.cache_dir)
+                                   dir=shard_dir)
         try:
             with os.fdopen(fd, "wb") as handle:
                 np.savez(handle, **payload)
                 handle.flush()
                 os.fsync(handle.fileno())
-            os.replace(tmp, path)
+            with self._lock(shard_dir, exclusive=True):
+                os.replace(tmp, path)
+                if self.max_bytes:
+                    self._evict_shard(shard_dir,
+                                      self.shard_index(key),
+                                      protect=path)
         except OSError:
             try:
                 os.remove(tmp)
@@ -360,6 +515,88 @@ class ArtifactCache:
         if rebuilding:
             self.rebuilds += 1
         return path
+
+    # ------------------------------------------------------------------
+    # LRU eviction
+    # ------------------------------------------------------------------
+    def _shard_budget(self):
+        """Byte budget of one shard (the total split evenly)."""
+        return self.max_bytes // max(1, self.shards or 1)
+
+    def _evict_shard(self, shard_dir, index, protect=None):
+        """Drop least-recently-used entries until the shard fits.
+
+        Runs under the shard's *exclusive* lock: no reader holds the
+        shared lock, so an entry currently being read can never be
+        evicted.  The just-written entry (``protect``) is never evicted
+        even when it alone exceeds the budget.  Cumulative eviction
+        counts persist in the shard's stats file so a fresh process
+        (``repro cache stats``) still reports them.
+        """
+        entries = []
+        try:
+            names = os.listdir(shard_dir)
+        except OSError:
+            return 0
+        for name in names:
+            if not (name.startswith(_FILE_PREFIX) and name.endswith(".npz")):
+                continue
+            path = os.path.join(shard_dir, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        budget = self._shard_budget()
+        evicted = 0
+        entries.sort()  # oldest access first
+        for _, size, path in entries:
+            if total <= budget:
+                break
+            if path == protect:
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        if evicted:
+            self.evictions += evicted
+            for _ in range(evicted):
+                self._count_shard(index, "evictions")
+            self._bump_persisted_evictions(shard_dir, evicted)
+        return evicted
+
+    def _shard_stats_path(self, shard_dir):
+        return os.path.join(shard_dir, _SHARD_STATS_NAME)
+
+    def _bump_persisted_evictions(self, shard_dir, count):
+        """Add ``count`` to the shard's persisted eviction total.
+
+        Called under the shard's exclusive lock, so the read-modify-
+        write cannot race another evictor.
+        """
+        path = self._shard_stats_path(shard_dir)
+        doc = self._read_persisted_stats(shard_dir)
+        doc["evictions"] = int(doc.get("evictions", 0)) + int(count)
+        try:
+            fd, tmp = tempfile.mkstemp(prefix=".stats-tmp-", dir=shard_dir)
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle)
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    def _read_persisted_stats(self, shard_dir):
+        try:
+            with open(self._shard_stats_path(shard_dir),
+                      encoding="utf-8") as handle:
+                doc = json.load(handle)
+            return doc if isinstance(doc, dict) else {}
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return {}
 
     def verify(self, repair=False):
         """Audit every disk entry; returns a summary dict.
@@ -405,13 +642,24 @@ class ArtifactCache:
     # ------------------------------------------------------------------
     # accounting + maintenance
     # ------------------------------------------------------------------
-    def _disk_entries(self):
-        if self.cache_dir is None or not os.path.isdir(self.cache_dir):
+    def _disk_entries(self, directory=None):
+        """Entry paths under ``directory`` (default: the whole tier).
+
+        Sharded caches are walked shard by shard *plus* the flat root,
+        so stats/clear/verify keep covering pre-sharding entries.
+        """
+        if self.cache_dir is None:
             return []
+        dirs = ([directory] if directory is not None
+                else [self.cache_dir] + ([] if not self.shards
+                                         else self._shard_dirs()))
         out = []
-        for name in os.listdir(self.cache_dir):
-            if name.startswith(_FILE_PREFIX) and name.endswith(".npz"):
-                out.append(os.path.join(self.cache_dir, name))
+        for base in dirs:
+            if not os.path.isdir(base):
+                continue
+            for name in os.listdir(base):
+                if name.startswith(_FILE_PREFIX) and name.endswith(".npz"):
+                    out.append(os.path.join(base, name))
         return out
 
     @property
@@ -441,7 +689,39 @@ class ArtifactCache:
             "writes": self.writes,
             "quarantined": self.quarantined,
             "rebuilds": self.rebuilds,
+            "evictions": self.evictions,
         }
+
+    def shard_stats(self):
+        """Per-shard entry counts, bytes and counters (list of dicts).
+
+        ``hits``/``misses`` are this process's lookups; ``evictions``
+        reads the persisted per-shard totals, so a fresh ``repro cache
+        stats`` process still reports evictions performed earlier by
+        the service or the pipeline.
+        """
+        out = []
+        for index, shard_dir in enumerate(self._shard_dirs()):
+            entries = self._disk_entries(shard_dir)
+            size = 0
+            for path in entries:
+                try:
+                    size += os.path.getsize(path)
+                except OSError:
+                    pass
+            local = self._shard_counters.get(
+                index, {"hits": 0, "misses": 0, "evictions": 0})
+            persisted = self._read_persisted_stats(shard_dir)
+            out.append({
+                "shard": index,
+                "dir": shard_dir,
+                "entries": len(entries),
+                "bytes": size,
+                "hits": local["hits"],
+                "misses": local["misses"],
+                "evictions": int(persisted.get("evictions", 0)),
+            })
+        return out
 
     def _quarantine_entries(self):
         qdir = self.quarantine_dir()
@@ -466,8 +746,12 @@ class ArtifactCache:
             "memory_entries": (0 if self._memory is None
                                else len(self._memory)),
             "quarantine_entries": len(self._quarantine_entries()),
+            "shards": self.shards,
+            "max_bytes": self.max_bytes,
         }
         out.update(self.counters())
+        if self.shards:
+            out["per_shard"] = self.shard_stats()
         return out
 
     def clear(self):
@@ -505,17 +789,31 @@ def default_cache_dir():
     return os.path.join(base, "repro-artifacts")
 
 
+def _env_int(name):
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
 def get_cache():
     """The process-global cache (memory-only unless configured).
 
     The disk tier starts enabled only when ``REPRO_CACHE_DIR`` is set in
     the environment; the CLI and the pipeline enable it explicitly via
-    :func:`configure_cache`.
+    :func:`configure_cache`.  ``REPRO_CACHE_SHARDS`` and
+    ``REPRO_CACHE_MAX_BYTES`` opt the environment-configured cache into
+    sharding and byte-budgeted LRU eviction.
     """
     global _GLOBAL_CACHE
     if _GLOBAL_CACHE is None:
         _GLOBAL_CACHE = ArtifactCache(
-            cache_dir=os.environ.get("REPRO_CACHE_DIR") or None)
+            cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+            shards=_env_int("REPRO_CACHE_SHARDS"),
+            max_bytes=_env_int("REPRO_CACHE_MAX_BYTES"))
     return _GLOBAL_CACHE
 
 
@@ -527,7 +825,9 @@ def set_cache(cache):
     return old
 
 
-def configure_cache(cache_dir=None, memory=True):
+def configure_cache(cache_dir=None, memory=True, shards=None,
+                    max_bytes=None):
     """Install (and return) a fresh global cache with the given tiers."""
-    set_cache(ArtifactCache(cache_dir=cache_dir, memory=memory))
+    set_cache(ArtifactCache(cache_dir=cache_dir, memory=memory,
+                            shards=shards, max_bytes=max_bytes))
     return get_cache()

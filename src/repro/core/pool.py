@@ -1,0 +1,175 @@
+"""Rebuildable process pool + failure policy, shared by pipeline and
+service.
+
+A died worker breaks the whole ``ProcessPoolExecutor`` (every pending
+future raises ``BrokenProcessPool``), and a wedged worker holds its
+slot forever.  :class:`PoolHandle` wraps the executor so its owner can
+throw a broken pool away and continue on a fresh one -- the entire
+trick behind surviving crashes and timeouts, first built for the
+parallel evaluation pipeline (``repro.reporting.runner``) and reused
+verbatim by the solver service (``repro.service``).
+
+:class:`FailurePolicy` decides what a failed unit of work does to the
+rest of the run: abort, record-and-continue, or retry with exponential
+backoff and deterministic jitter.  :func:`await_future` translates
+infrastructure death (broken pool, wall-clock overrun) into the typed
+errors the retry loop understands, leaving the handle ready to build a
+fresh pool for the next attempt.
+"""
+
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.core.cache import ArtifactCache, set_cache
+from repro.core.errors import ConfigurationError, ReproError
+from repro.core.rng import make_rng
+from repro.parallel.faults import WorkerCrashError
+
+
+class StepTimeoutError(ReproError):
+    """A unit of work exceeded its per-attempt wall-clock budget."""
+
+
+@dataclass
+class FailurePolicy:
+    """What a failed unit of work does to the rest of the run.
+
+    Parameters
+    ----------
+    mode:
+        ``"fail_fast"`` aborts the run on the first failure,
+        ``"continue"`` records the failure and keeps going,
+        ``"retry"`` re-dispatches the work up to ``retries`` more
+        times before recording it as failed.
+    retries:
+        Extra attempts per unit under ``"retry"`` (ignored otherwise).
+    backoff:
+        Base delay in seconds before attempt ``n+1``; the actual delay
+        is ``backoff * 2**(n-1)`` plus a deterministic jitter in
+        ``[0, backoff)`` derived from ``seed`` and the step index, so
+        two retrying steps never thundering-herd the same moment twice.
+    seed:
+        Drives the jitter via :func:`~repro.core.rng.make_rng`.
+    """
+
+    MODES = ("fail_fast", "continue", "retry")
+
+    mode: str = "retry"
+    retries: int = 2
+    backoff: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.mode not in self.MODES:
+            raise ConfigurationError(
+                f"failure policy mode {self.mode!r} not in {self.MODES}")
+        if self.retries < 0:
+            raise ConfigurationError(
+                f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0:
+            raise ConfigurationError(
+                f"backoff must be >= 0, got {self.backoff}")
+
+    def attempts(self):
+        """Total dispatches allowed per unit of work."""
+        return 1 + (self.retries if self.mode == "retry" else 0)
+
+    def delay(self, step_index, attempt):
+        """Seconds to wait before dispatching ``attempt`` (>= 2)."""
+        if self.backoff <= 0:
+            return 0.0
+        jitter = float(make_rng([self.seed, step_index, attempt])
+                       .uniform(0.0, self.backoff))
+        return self.backoff * 2.0 ** (attempt - 2) + jitter
+
+
+def worker_init(cache_dir, shards=None, max_bytes=None):
+    """Pool initializer: point the worker's global cache at the shared
+    disk directory (fresh memory tier, fresh counters)."""
+    set_cache(ArtifactCache(cache_dir=cache_dir, shards=shards,
+                            max_bytes=max_bytes))
+
+
+def make_pool(jobs, cache_dir, shards=None, max_bytes=None):
+    """A ``ProcessPoolExecutor`` whose workers share one disk cache."""
+    import multiprocessing
+
+    try:
+        # fork shares the parent's warmed memory tier for free and skips
+        # re-import; unavailable on some platforms.
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:
+        mp_context = multiprocessing.get_context()
+    return ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context,
+                               initializer=worker_init,
+                               initargs=(cache_dir, shards, max_bytes))
+
+
+class PoolHandle:
+    """A rebuildable process pool.
+
+    ``get()`` lazily builds the executor; ``rebuild()`` discards it
+    (optionally killing wedged workers first) so the next ``get``
+    starts fresh.  ``rebuilds`` counts how often that happened.
+    """
+
+    def __init__(self, jobs, cache_dir, shards=None, max_bytes=None):
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.shards = shards
+        self.max_bytes = max_bytes
+        self.pool = None
+        self.rebuilds = 0
+
+    def get(self):
+        if self.pool is None:
+            self.pool = make_pool(self.jobs, self.cache_dir,
+                                  shards=self.shards,
+                                  max_bytes=self.max_bytes)
+        return self.pool
+
+    def rebuild(self, kill=False):
+        """Discard the current pool; the next ``get`` makes a new one."""
+        if self.pool is not None:
+            if kill:
+                # A timed-out worker never returns on its own; reap it
+                # hard.  ``_processes`` is private but there is no
+                # public way to kill a pool's members.
+                for proc in list((self.pool._processes or {}).values()):
+                    try:
+                        proc.kill()
+                    except (OSError, AttributeError):
+                        pass
+            self.pool.shutdown(wait=not kill, cancel_futures=True)
+            self.pool = None
+            self.rebuilds += 1
+
+    def shutdown(self):
+        if self.pool is not None:
+            self.pool.shutdown()
+            self.pool = None
+
+
+def await_future(future, handle, what, timeout=None):
+    """Await one dispatched attempt, translating infrastructure death.
+
+    A pool broken by a worker crash (or a future cancelled by a pool
+    rebuild) becomes :class:`WorkerCrashError`; an attempt past
+    ``timeout`` seconds becomes :class:`StepTimeoutError` after the
+    wedged workers are killed.  Both leave ``handle`` ready to build a
+    fresh pool for the retry.  ``what`` names the unit of work in the
+    error message.
+    """
+    try:
+        return future.result(timeout=timeout)
+    except FutureTimeoutError:
+        handle.rebuild(kill=True)
+        raise StepTimeoutError(
+            f"{what} exceeded its {timeout}s wall-clock budget") \
+            from None
+    except (BrokenProcessPool, CancelledError):
+        handle.rebuild()
+        raise WorkerCrashError(
+            f"a worker process died while executing {what}") from None

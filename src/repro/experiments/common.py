@@ -220,46 +220,146 @@ def result_from_payload(arrays, meta):
     )
 
 
+# ----------------------------------------------------------------------
+# memoized RHS content digests
+# ----------------------------------------------------------------------
+# ``solve_key`` used to re-hash the full RHS batch -- megabytes for a
+# wide multi-RHS batch -- on *every* cache lookup, which dominates a
+# warm hit.  The digest is content-addressed, so it can be memoized on
+# the array object itself under a freeze protocol: memoizing marks the
+# array read-only (``writeable=False``) and the cached digest is only
+# trusted while that flag stays down.  Mutating the array requires
+# flipping ``writeable`` back on first, which invalidates the memo --
+# the next digest call sees a writeable array and re-hashes.  Only
+# arrays owning their data participate (a view's base can change under
+# a frozen view); everything else hashes fresh each call.
+
+_RHS_DIGEST_MEMO = {}  # id(arr) -> digest, pruned by weakref.finalize
+
+
+def rhs_digest(rhs):
+    """Content digest of a right-hand side, memoized on the array.
+
+    Returns the digest of ``("solve-rhs", shape, float64 content)``.
+    The memo freezes ``rhs`` (``flags.writeable = False``); callers that
+    need to mutate it afterwards must re-enable ``writeable``, which
+    invalidates the cached digest.
+    """
+    import weakref
+
+    b = np.asarray(rhs, dtype=np.float64)
+    memoizable = (b is rhs and isinstance(rhs, np.ndarray)
+                  and rhs.base is None)
+    if memoizable and not b.flags.writeable:
+        cached = _RHS_DIGEST_MEMO.get(id(b))
+        if cached is not None:
+            return cached
+    digest = digest_of("solve-rhs", b.shape, b)
+    if memoizable:
+        try:
+            b.flags.writeable = False
+        except ValueError:
+            return digest
+        if id(b) not in _RHS_DIGEST_MEMO:
+            weakref.finalize(b, _RHS_DIGEST_MEMO.pop, id(b), None)
+        _RHS_DIGEST_MEMO[id(b)] = digest
+    return digest
+
+
 def solve_key(config, solver, precond, tol, check_freq, max_iterations,
-              rhs=None, **solver_kwargs):
+              rhs=None, engine=None, blocks=None, **solver_kwargs):
     """Artifact-cache key for one measured solve (content-addressed).
 
     ``rhs`` is the right-hand side actually solved when it differs from
     the default :func:`reference_rhs`; its **full content** -- every
     column of a ``(ny, nx, nrhs)`` multi-RHS batch -- enters the digest,
     so two batches sharing some columns but differing in any other can
-    never collide onto one cache entry.
+    never collide onto one cache entry.  The content digest is memoized
+    on the array via :func:`rhs_digest`, so repeated lookups against
+    the same batch hash it once.
+
+    ``engine``/``blocks`` select a decomposed execution context (see
+    :func:`measure_solver`); they only enter the key when set, so every
+    pre-existing serial-context key is unchanged.
     """
     parts = [CACHE_FORMAT_VERSION, "solve",
              config.content_digest(), solver, precond,
              float(tol), int(check_freq), int(max_iterations),
              dict(solver_kwargs)]
+    if engine is not None:
+        parts.append(("engine", str(engine),
+                      tuple(int(v) for v in blocks)))
     if rhs is not None:
-        b = np.asarray(rhs, dtype=np.float64)
-        parts.append(digest_of("solve-rhs", b.shape, b))
+        parts.append(rhs_digest(rhs))
     return digest_of(*parts)
+
+
+#: Preconditioner kinds that accept a ``bounds_cache=`` keyword.
+_POLY_PREFIXES = ("cheby", "chebyshev", "ncheby", "newton")
+
+
+def _decomposed_context(config, precond, engine, blocks, cache):
+    """Build the execution context for a decomposed measured solve.
+
+    ``engine == "serial"`` runs the per-block serial loop over the
+    decomposition; ``"perrank"``/``"batched"`` run the virtual-machine
+    engines (the batched engine amortizes per-iteration fixed costs --
+    halo exchanges, block-loop dispatch -- across multi-RHS columns,
+    which is what the service's coalescer banks on).  The iterates are
+    bit-identical across contexts (context-equivalence), so results
+    remain comparable with serial-context measurements.
+    """
+    from repro.parallel import VirtualMachine
+    from repro.solvers import DistributedContext
+
+    by, bx = (int(v) for v in blocks)
+    decomp = decompose(config.ny, config.nx, by, bx, mask=config.mask)
+    if precond == "evp":
+        pre = evp_for_config(config, decomp=decomp, cache=cache)
+    else:
+        pkw = {}
+        if str(precond).split(":", 1)[0] in _POLY_PREFIXES:
+            pkw["bounds_cache"] = cache
+        pre = make_preconditioner(precond, config.stencil,
+                                  decomp=decomp, **pkw)
+    if engine == "serial":
+        return SerialContext(config.stencil, pre, decomp=decomp)
+    vm = VirtualMachine(decomp, mask=config.mask, engine=engine)
+    return DistributedContext(config.stencil, pre, vm)
 
 
 def measure_solver(config, solver="chrongear", precond="diagonal",
                    tol=1.0e-13, check_freq=10, max_iterations=60000,
-                   cache=None, rhs=None, **solver_kwargs):
+                   cache=None, rhs=None, engine=None, blocks=None,
+                   **solver_kwargs):
     """Solve once and cache the :class:`SolveResult` (with events).
 
-    The context carries no decomposition: recorded flops correspond to a
-    single rank owning the whole grid and are rescaled per core count by
-    :func:`rescale_events`.  The full result -- solution, residual
-    history and the per-phase event streams every timing experiment is
-    priced from -- is memoized in the artifact cache's memory tier and
-    persisted to its disk tier, so warm processes skip the solve
-    entirely and still observe identical measurements.
+    By default the context carries no decomposition: recorded flops
+    correspond to a single rank owning the whole grid and are rescaled
+    per core count by :func:`rescale_events`.  The full result --
+    solution, residual history and the per-phase event streams every
+    timing experiment is priced from -- is memoized in the artifact
+    cache's memory tier and persisted to its disk tier, so warm
+    processes skip the solve entirely and still observe identical
+    measurements.
 
     ``rhs`` overrides the default :func:`reference_rhs` -- a ``(ny, nx)``
     field or a ``(ny, nx, nrhs)`` multi-RHS batch.  The cache key digests
     its full content (see :func:`solve_key`).
+
+    ``engine`` (``"serial"``/``"perrank"``/``"batched"``) with
+    ``blocks=(by, bx)`` selects a decomposed context instead (see
+    :func:`_decomposed_context`); the solver service uses the batched
+    engine so coalesced multi-RHS batches amortize per-iteration fixed
+    costs.  Iterates are bit-identical across contexts.
     """
     cache = cache if cache is not None else get_cache()
+    if engine is not None and blocks is None:
+        raise ConfigurationError(
+            "measure_solver: engine requires blocks=(by, bx)")
     key = solve_key(config, solver, precond, tol, check_freq,
-                    max_iterations, rhs=rhs, **solver_kwargs)
+                    max_iterations, rhs=rhs, engine=engine,
+                    blocks=blocks, **solver_kwargs)
     result = cache.get_object("solve", key)
     if result is not None:
         return result
@@ -271,8 +371,11 @@ def measure_solver(config, solver="chrongear", precond="diagonal",
             result = None
         if result is not None:
             return cache.put_object("solve", key, result)
-    pre = get_cached_preconditioner(config, precond, cache=cache)
-    ctx = SerialContext(config.stencil, pre)
+    if engine is None:
+        pre = get_cached_preconditioner(config, precond, cache=cache)
+        ctx = SerialContext(config.stencil, pre)
+    else:
+        ctx = _decomposed_context(config, precond, engine, blocks, cache)
     cls = {"chrongear": ChronGearSolver, "pcsi": PCSISolver,
            "pcg": PCGSolver, "pipecg": PipeCGSolver,
            "capcg": CAPCGSolver}[solver]

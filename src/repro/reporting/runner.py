@@ -54,14 +54,18 @@ import os
 import shutil
 import tempfile
 import time
-from concurrent.futures import CancelledError, ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import CancelledError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
 
-from repro.core.cache import ArtifactCache, get_cache, set_cache
+from repro.core.cache import get_cache
 from repro.core.errors import ConfigurationError, ConvergenceError, ReproError
-from repro.core.rng import make_rng
+from repro.core.pool import (
+    FailurePolicy,
+    PoolHandle,
+    StepTimeoutError,
+    await_future,
+    worker_init,
+)
 from repro.parallel.faults import WorkerCrashError
 from repro.reporting.compare import comparison_table, render_comparison
 from repro.reporting.serialize import load_result, save_result
@@ -202,61 +206,9 @@ VERIFICATION_PLAN = [
 # ----------------------------------------------------------------------
 # failure policy + manifest
 # ----------------------------------------------------------------------
-class StepTimeoutError(ReproError):
-    """A plan step exceeded its per-attempt wall-clock budget."""
-
-
-@dataclass
-class FailurePolicy:
-    """What a failed plan step does to the rest of the evaluation.
-
-    Parameters
-    ----------
-    mode:
-        ``"fail_fast"`` aborts the run on the first failure,
-        ``"continue"`` records the failure and keeps going,
-        ``"retry"`` re-dispatches the step up to ``retries`` more
-        times before recording it as failed.
-    retries:
-        Extra attempts per step under ``"retry"`` (ignored otherwise).
-    backoff:
-        Base delay in seconds before attempt ``n+1``; the actual delay
-        is ``backoff * 2**(n-1)`` plus a deterministic jitter in
-        ``[0, backoff)`` derived from ``seed`` and the step index, so
-        two retrying steps never thundering-herd the same moment twice.
-    seed:
-        Drives the jitter via :func:`~repro.core.rng.make_rng`.
-    """
-
-    MODES = ("fail_fast", "continue", "retry")
-
-    mode: str = "retry"
-    retries: int = 2
-    backoff: float = 0.25
-    seed: int = 0
-
-    def __post_init__(self):
-        if self.mode not in self.MODES:
-            raise ConfigurationError(
-                f"failure policy mode {self.mode!r} not in {self.MODES}")
-        if self.retries < 0:
-            raise ConfigurationError(
-                f"retries must be >= 0, got {self.retries}")
-        if self.backoff < 0:
-            raise ConfigurationError(
-                f"backoff must be >= 0, got {self.backoff}")
-
-    def attempts(self):
-        """Total dispatches allowed per step."""
-        return 1 + (self.retries if self.mode == "retry" else 0)
-
-    def delay(self, step_index, attempt):
-        """Seconds to wait before dispatching ``attempt`` (>= 2)."""
-        if self.backoff <= 0:
-            return 0.0
-        jitter = float(make_rng([self.seed, step_index, attempt])
-                       .uniform(0.0, self.backoff))
-        return self.backoff * 2.0 ** (attempt - 2) + jitter
+# StepTimeoutError and FailurePolicy moved to repro.core.pool (shared
+# with the solver service); re-exported here for compatibility.
+__all__ = ["FailurePolicy", "StepTimeoutError", "RunManifest", "run_all"]
 
 
 #: Bump when the manifest schema changes; old manifests are ignored
@@ -372,10 +324,9 @@ def _execute_step(module_path, kwargs, directive=None, inline=False):
     return result, seconds, delta
 
 
-def _worker_init(cache_dir):
-    """Pool initializer: point the worker's global cache at the shared
-    disk directory (fresh memory tier, fresh counters)."""
-    set_cache(ArtifactCache(cache_dir=cache_dir))
+# Pool initializer shared with repro.core.pool (kept under the old
+# private name so forked workers resolve it identically).
+_worker_init = worker_init
 
 
 def _run_warmup_task(task):
@@ -404,61 +355,9 @@ def _gather_warmup_tasks(steps):
     return tasks
 
 
-def _make_pool(jobs, cache_dir):
-    import multiprocessing
-
-    try:
-        # fork shares the parent's warmed memory tier for free and skips
-        # re-import; unavailable on some platforms.
-        mp_context = multiprocessing.get_context("fork")
-    except ValueError:
-        mp_context = multiprocessing.get_context()
-    return ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context,
-                               initializer=_worker_init,
-                               initargs=(cache_dir,))
-
-
-class _PoolHandle:
-    """A rebuildable process pool.
-
-    A died worker breaks the whole ``ProcessPoolExecutor`` (every
-    pending future raises ``BrokenProcessPool``), and a wedged worker
-    holds its slot forever.  This wrapper lets the runner throw the
-    broken pool away and continue on a fresh one, which is the entire
-    trick behind surviving crashes and timeouts.
-    """
-
-    def __init__(self, jobs, cache_dir):
-        self.jobs = jobs
-        self.cache_dir = cache_dir
-        self.pool = None
-        self.rebuilds = 0
-
-    def get(self):
-        if self.pool is None:
-            self.pool = _make_pool(self.jobs, self.cache_dir)
-        return self.pool
-
-    def rebuild(self, kill=False):
-        """Discard the current pool; the next ``get`` makes a new one."""
-        if self.pool is not None:
-            if kill:
-                # A timed-out worker never returns on its own; reap it
-                # hard.  ``_processes`` is private but there is no
-                # public way to kill a pool's members.
-                for proc in list((self.pool._processes or {}).values()):
-                    try:
-                        proc.kill()
-                    except (OSError, AttributeError):
-                        pass
-            self.pool.shutdown(wait=not kill, cancel_futures=True)
-            self.pool = None
-            self.rebuilds += 1
-
-    def shutdown(self):
-        if self.pool is not None:
-            self.pool.shutdown()
-            self.pool = None
+# The rebuildable pool lives in repro.core.pool now; the old private
+# name keeps external references working.
+_PoolHandle = PoolHandle
 
 
 def _dispatch_attempt(handle, module_path, kwargs, directive,
@@ -472,18 +371,8 @@ def _dispatch_attempt(handle, module_path, kwargs, directive,
     """
     future = handle.get().submit(_execute_step, module_path, kwargs,
                                  directive)
-    try:
-        return future.result(timeout=step_timeout)
-    except FutureTimeoutError:
-        handle.rebuild(kill=True)
-        raise StepTimeoutError(
-            f"step {module_path} exceeded its {step_timeout}s "
-            f"wall-clock budget") from None
-    except BrokenProcessPool:
-        handle.rebuild()
-        raise WorkerCrashError(
-            f"a worker process died while executing {module_path}") \
-            from None
+    return await_future(future, handle, f"step {module_path}",
+                        timeout=step_timeout)
 
 
 def _plan_directive(pipeline_faults, step_index, module_path, attempt):
@@ -504,18 +393,8 @@ def _collect(future, handle, module_path, step_timeout):
     wedged workers are killed.  Both leave the handle ready to build a
     fresh pool for the retry.
     """
-    try:
-        return future.result(timeout=step_timeout)
-    except FutureTimeoutError:
-        handle.rebuild(kill=True)
-        raise StepTimeoutError(
-            f"step {module_path} exceeded its {step_timeout}s "
-            f"wall-clock budget") from None
-    except (BrokenProcessPool, CancelledError):
-        handle.rebuild()
-        raise WorkerCrashError(
-            f"a worker process died while executing {module_path}") \
-            from None
+    return await_future(future, handle, f"step {module_path}",
+                        timeout=step_timeout)
 
 
 def run_all(output_dir=None, plan=None, include_verification=False,

@@ -1,11 +1,20 @@
-"""JSON round-tripping of experiment results.
+"""JSON round-tripping of experiment and solve results.
 
 Keeps regenerated figures on disk so reruns can be compared across
-code versions without re-executing the sweeps.
+code versions without re-executing the sweeps, and gives the solver
+service (``repro.service``) a wire format for
+:class:`~repro.solvers.result.SolveResult`: the solution array rides
+as base64-encoded raw bytes (bit-exact, dtype + shape recorded), the
+scalar fields reuse the cache payload encoding, and an attached
+:class:`~repro.solvers.health.SolverDiagnosis` survives the trip via
+``to_dict``/``from_dict``.
 """
 
+import base64
 import json
 import os
+
+import numpy as np
 
 from repro.core.errors import ConfigurationError
 from repro.experiments.common import ExperimentResult, Series
@@ -57,6 +66,78 @@ def result_from_json(text):
         series=series,
         notes=dict(payload.get("notes", {})),
     )
+
+
+# ----------------------------------------------------------------------
+# SolveResult wire format (used by the solver service)
+# ----------------------------------------------------------------------
+def encode_array(arr):
+    """A JSON-able, bit-exact encoding of one numpy array."""
+    arr = np.ascontiguousarray(arr)
+    return {
+        "dtype": arr.dtype.str,
+        "shape": list(arr.shape),
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(doc):
+    """Inverse of :func:`encode_array` (bit-exact)."""
+    raw = base64.b64decode(doc["data"].encode("ascii"))
+    arr = np.frombuffer(raw, dtype=np.dtype(doc["dtype"]))
+    return arr.reshape([int(n) for n in doc["shape"]]).copy()
+
+
+def solve_result_to_doc(result):
+    """A :class:`~repro.solvers.result.SolveResult` as a JSON-able dict.
+
+    Reuses the artifact-cache payload encoding for the scalar fields
+    and event ledgers (floats survive exactly -- JSON emits shortest
+    round-trip reprs), encodes the solution array as base64 raw bytes,
+    and carries a non-``None`` diagnosis as its ``to_dict`` form.
+    NaN/Inf in ``residual_norm`` (a diagnosed solve) use JSON's
+    non-strict literals, which :func:`solve_result_from_doc` accepts.
+    """
+    from repro.experiments.common import result_to_payload
+
+    arrays, meta = result_to_payload(result)
+    payload = dict(meta)
+    payload["x"] = encode_array(arrays["x"])
+    payload["diagnosis"] = (None if result.diagnosis is None
+                            else result.diagnosis.to_dict())
+    return payload
+
+
+def solve_result_from_doc(payload):
+    """Inverse of :func:`solve_result_to_doc` (bit-exact)."""
+    from repro.experiments.common import result_from_payload
+    from repro.solvers.health import SolverDiagnosis
+
+    try:
+        x = decode_array(payload["x"])
+        result = result_from_payload({"x": x}, payload)
+        doc = payload.get("diagnosis")
+        if doc is not None:
+            result.diagnosis = SolverDiagnosis.from_dict(doc)
+    except (KeyError, TypeError, ValueError) as err:
+        raise ConfigurationError(
+            f"malformed solve-result document: {err!r}") from None
+    return result
+
+
+def solve_result_to_json(result):
+    """Serialize a :class:`~repro.solvers.result.SolveResult`."""
+    return json.dumps(solve_result_to_doc(result), sort_keys=True)
+
+
+def solve_result_from_json(text):
+    """Deserialize :func:`solve_result_to_json` output (bit-exact)."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise ConfigurationError(
+            f"invalid solve-result JSON: {err}") from None
+    return solve_result_from_doc(payload)
 
 
 def save_result(result, directory, filename=None):

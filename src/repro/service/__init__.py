@@ -1,0 +1,35 @@
+"""Solver-as-a-service: async job engine with dynamic multi-RHS
+batching over the content-addressed artifact cache.
+
+See :mod:`repro.service.server` for the endpoint map and the
+architecture overview; ``repro serve`` is the CLI entry point.
+"""
+
+from repro.service.batching import Coalescer
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.executor import ServiceExecutor
+from repro.service.jobs import JobTable
+from repro.service.protocol import (
+    ProtocolError,
+    bucket_key,
+    normalize_request,
+    request_content_key,
+    split_result,
+)
+from repro.service.server import READY_PREFIX, SolverService, serve
+
+__all__ = [
+    "Coalescer",
+    "JobTable",
+    "ProtocolError",
+    "READY_PREFIX",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceExecutor",
+    "SolverService",
+    "bucket_key",
+    "normalize_request",
+    "request_content_key",
+    "serve",
+    "split_result",
+]

@@ -1,0 +1,164 @@
+"""Dynamic request coalescing.
+
+The :class:`Coalescer` groups submissions that share a bucket key into
+one batch, bounded two ways: a batch dispatches as soon as it holds
+``max_batch`` items, or ``max_wait_ms`` after its first item arrived,
+whichever comes first.  A lone request therefore pays at most the
+window; a burst of compatible requests pays (almost) one solve.
+
+Batching is **load-adaptive**: when a bucket's window expires while an
+earlier batch of the same key is still solving, the bucket is *held*
+open instead of dispatched -- arrivals keep accumulating and the batch
+goes out the moment the running one finishes (or immediately on
+filling to ``max_batch``).  Under saturation the batch size therefore
+grows toward ``max_batch`` instead of the scheduler queueing a string
+of window-sized slivers behind a busy executor; an idle service still
+dispatches within one window.
+
+The runner callback receives ``(key, items)`` and must return one
+result per item, in order; its exceptions propagate to every waiter of
+that batch.  ``drain()`` dispatches everything still waiting and
+awaits all in-flight runs -- the graceful-shutdown half of the
+scheduler.
+"""
+
+import asyncio
+
+
+class _Bucket:
+    __slots__ = ("items", "futures", "timer", "held")
+
+    def __init__(self):
+        self.items = []
+        self.futures = []
+        self.timer = None
+        self.held = False
+
+
+class Coalescer:
+    """Batch compatible submissions through one async runner.
+
+    Parameters
+    ----------
+    runner:
+        ``async (key, items) -> [result, ...]`` executing one batch.
+    max_batch:
+        Dispatch threshold; 1 disables coalescing (every submission
+        runs alone, the no-coalescing baseline of the benchmark).
+    max_wait_ms:
+        Longest a submission waits for companions before its batch
+        dispatches anyway.
+    """
+
+    def __init__(self, runner, max_batch=8, max_wait_ms=25.0):
+        self.runner = runner
+        self.max_batch = max(1, int(max_batch))
+        self.max_wait = max(0.0, float(max_wait_ms)) / 1000.0
+        self._buckets = {}
+        self._running = set()
+        self._inflight = {}  # key -> running batch count
+        self.batch_sizes = {}  # size -> dispatch count
+        self.submitted = 0
+        self.held_windows = 0
+
+    async def submit(self, key, item):
+        """Enqueue ``item`` under ``key``; returns its batch result."""
+        self.submitted += 1
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        if self.max_batch == 1:
+            self._dispatch_now(key, [item], [future])
+            return await future
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = _Bucket()
+            bucket.timer = loop.call_later(
+                self.max_wait, self._window_expired, key, bucket)
+        bucket.items.append(item)
+        bucket.futures.append(future)
+        if len(bucket.items) >= self.max_batch:
+            self._flush(key, bucket)
+        return await future
+
+    def _window_expired(self, key, bucket):
+        """Timer callback: dispatch, or hold while the key is busy."""
+        bucket.timer = None
+        if self._inflight.get(key):
+            # An earlier batch of this bucket is still solving -- keep
+            # the window open so arrivals pile into one fat batch that
+            # dispatches the moment the running batch completes.
+            bucket.held = True
+            self.held_windows += 1
+            return
+        self._flush(key, bucket)
+
+    def _flush(self, key, bucket):
+        """Dispatch a bucket (window expired, filled, or released)."""
+        if self._buckets.get(key) is bucket:
+            del self._buckets[key]
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+            bucket.timer = None
+        if bucket.items:
+            self._dispatch_now(key, bucket.items, bucket.futures)
+
+    def _dispatch_now(self, key, items, futures):
+        self.batch_sizes[len(items)] = \
+            self.batch_sizes.get(len(items), 0) + 1
+        self._inflight[key] = self._inflight.get(key, 0) + 1
+        task = asyncio.ensure_future(self._run(key, items, futures))
+        self._running.add(task)
+        task.add_done_callback(self._running.discard)
+
+    async def _run(self, key, items, futures):
+        try:
+            results = await self.runner(key, items)
+            if len(results) != len(items):
+                raise RuntimeError(
+                    f"batch runner returned {len(results)} results "
+                    f"for {len(items)} items")
+        except BaseException as exc:  # noqa: BLE001 - fan the error out
+            for future in futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        finally:
+            self._release(key)
+        for future, result in zip(futures, results):
+            if not future.done():
+                future.set_result(result)
+
+    def _release(self, key):
+        """A batch of ``key`` finished; dispatch its held bucket."""
+        left = self._inflight.get(key, 1) - 1
+        if left > 0:
+            self._inflight[key] = left
+            return
+        self._inflight.pop(key, None)
+        bucket = self._buckets.get(key)
+        if bucket is not None and bucket.held:
+            self._flush(key, bucket)
+
+    async def drain(self):
+        """Dispatch all waiting buckets and await in-flight batches."""
+        for key, bucket in list(self._buckets.items()):
+            self._flush(key, bucket)
+        while self._running:
+            await asyncio.gather(*list(self._running),
+                                 return_exceptions=True)
+
+    def stats(self):
+        """Dispatch histogram + derived coalescing summary."""
+        dispatched = sum(self.batch_sizes.values())
+        batched = sum(size * n for size, n in self.batch_sizes.items())
+        return {
+            "submitted": self.submitted,
+            "dispatched_batches": dispatched,
+            "batched_requests": batched,
+            "held_windows": self.held_windows,
+            "batch_size_histogram": {
+                str(size): n
+                for size, n in sorted(self.batch_sizes.items())},
+            "mean_batch_size": (batched / dispatched if dispatched
+                                else 0.0),
+        }

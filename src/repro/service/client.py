@@ -1,0 +1,97 @@
+"""A small blocking client for the solver service (stdlib urllib).
+
+Used by the benchmark load generator, the tests, and anyone scripting
+against a running ``repro serve`` -- one class, one method per
+endpoint, JSON in / JSON out.  :meth:`ServiceClient.solve_result`
+decodes a response's ``result`` document back into a bit-exact
+:class:`~repro.solvers.result.SolveResult`.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.core.errors import ReproError
+from repro.reporting.serialize import encode_array, solve_result_from_doc
+
+
+class ServiceError(ReproError):
+    """The service answered with an error status."""
+
+    def __init__(self, status, doc):
+        super().__init__(f"HTTP {status}: {doc.get('error', doc)}")
+        self.status = status
+        self.doc = doc
+
+
+class ServiceClient:
+    """Talk to one solver-service instance."""
+
+    def __init__(self, host="127.0.0.1", port=8723, timeout=120.0):
+        self.base = f"http://{host}:{int(port)}"
+        self.timeout = timeout
+
+    def _request(self, method, path, doc=None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if doc is not None:
+            data = json.dumps(doc).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(self.base + path, data=data,
+                                     headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as err:
+            body = err.read().decode("utf-8", "replace")
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError:
+                payload = {"error": body}
+            raise ServiceError(err.code, payload) from None
+
+    # -- endpoints -----------------------------------------------------
+    def healthz(self):
+        return self._request("GET", "/healthz")
+
+    def stats(self):
+        return self._request("GET", "/stats")
+
+    def solve(self, request):
+        """Synchronous solve; returns the response document."""
+        return self._request("POST", "/solve", request)
+
+    def submit(self, request):
+        """Submit an async job; returns the job document."""
+        return self._request("POST", "/jobs", request)
+
+    def job_status(self, job_id):
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def job_result(self, job_id):
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def stream(self, job_id):
+        """Yield the job's NDJSON lifecycle events as dicts."""
+        req = urllib.request.Request(
+            f"{self.base}/jobs/{job_id}/stream", method="GET")
+        with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+
+    # -- helpers -------------------------------------------------------
+    @staticmethod
+    def solve_result(response):
+        """The response's ``result`` as a :class:`SolveResult`."""
+        return solve_result_from_doc(response["result"])
+
+    @staticmethod
+    def make_request(config="test", rhs=None, **fields):
+        """Assemble a request document (encodes a numpy ``rhs``)."""
+        doc = {"config": config}
+        if rhs is not None:
+            doc["rhs"] = encode_array(rhs)
+        doc.update(fields)
+        return doc

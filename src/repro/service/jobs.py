@@ -1,0 +1,136 @@
+"""Async job table: submit / status / result / stream.
+
+A job is one solve request executed asynchronously: ``POST /jobs``
+returns an id immediately, the solve runs through the same coalescer
+as synchronous requests, and clients either poll
+``GET /jobs/<id>`` / ``GET /jobs/<id>/result`` or follow
+``GET /jobs/<id>/stream`` -- an NDJSON feed of the job's lifecycle
+events (``queued``, ``running``, ``done``/``failed``) that ends when
+the job reaches a terminal state.
+
+Jobs survive until explicitly pruned (bounded by ``keep``, oldest
+finished jobs dropped first), so a client may fetch a result long
+after completion.  ``drain()`` awaits every unfinished job -- the
+graceful-shutdown contract: SIGTERM stops *accepting* work but every
+accepted job still completes and remains fetchable until the process
+exits.
+"""
+
+import asyncio
+import itertools
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+TERMINAL = (DONE, FAILED)
+
+
+class Job:
+    """One asynchronous solve and its observable lifecycle."""
+
+    def __init__(self, job_id):
+        self.id = job_id
+        self.status = QUEUED
+        self.events = []
+        self.response = None
+        self.error = None
+        self.task = None
+        self._changed = asyncio.Event()
+        self.add_event(QUEUED)
+
+    def add_event(self, event, **fields):
+        entry = {"seq": len(self.events), "job": self.id,
+                 "event": event, "status": self.status}
+        entry.update(fields)
+        self.events.append(entry)
+        self._changed.set()
+        self._changed = asyncio.Event()
+
+    def describe(self):
+        doc = {"job": self.id, "status": self.status,
+               "events": len(self.events)}
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+    async def wait_changed(self):
+        await self._changed.wait()
+
+
+class JobTable:
+    """All jobs of one service process."""
+
+    def __init__(self, keep=1024):
+        self.keep = int(keep)
+        self.jobs = {}
+        self._ids = itertools.count(1)
+
+    def submit(self, coro_factory):
+        """Create a job running ``coro_factory(job)``; returns the job.
+
+        The factory receives the job (to mark it running) and must
+        return the response document for a successful solve.
+        """
+        job = Job(f"job-{next(self._ids)}")
+        self.jobs[job.id] = job
+        job.task = asyncio.ensure_future(self._run(job, coro_factory))
+        self._prune()
+        return job
+
+    async def _run(self, job, coro_factory):
+        try:
+            job.status = RUNNING
+            job.add_event(RUNNING)
+            job.response = await coro_factory(job)
+            job.status = DONE
+            job.add_event(DONE)
+        except asyncio.CancelledError:
+            job.status = FAILED
+            job.error = "cancelled"
+            job.add_event(FAILED, error=job.error)
+            raise
+        except Exception as exc:  # noqa: BLE001 - job boundary
+            job.status = FAILED
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.add_event(FAILED, error=job.error)
+
+    def get(self, job_id):
+        return self.jobs.get(job_id)
+
+    async def stream(self, job):
+        """Yield the job's events as they happen, then stop.
+
+        Replays history first, so a late subscriber still sees the
+        full lifecycle.
+        """
+        cursor = 0
+        while True:
+            while cursor < len(job.events):
+                yield job.events[cursor]
+                cursor += 1
+            if job.status in TERMINAL:
+                return
+            await job.wait_changed()
+
+    async def drain(self):
+        """Await every unfinished job (graceful shutdown)."""
+        pending = [job.task for job in self.jobs.values()
+                   if job.task is not None and not job.task.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    def _prune(self):
+        if len(self.jobs) <= self.keep:
+            return
+        finished = [job_id for job_id, job in self.jobs.items()
+                    if job.status in TERMINAL]
+        for job_id in finished[:len(self.jobs) - self.keep]:
+            del self.jobs[job_id]
+
+    def stats(self):
+        counts = {}
+        for job in self.jobs.values():
+            counts[job.status] = counts.get(job.status, 0) + 1
+        return {"jobs": len(self.jobs), "by_status": counts}

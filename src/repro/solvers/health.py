@@ -113,6 +113,31 @@ class SolverDiagnosis:
             "data": {str(k): _json_value(v) for k, v in self.data.items()},
         }
 
+    @classmethod
+    def from_dict(cls, doc):
+        """Rebuild a diagnosis from :meth:`to_dict` output.
+
+        The inverse of the JSON-safe encoding: ``'nan'``/``'inf'``
+        strings parse back into the floats they stood for.
+        ``recoverable`` is derived, so a stored value is ignored.
+        Raises ``KeyError``/``TypeError``/``ValueError`` on malformed
+        documents.
+        """
+        return cls(
+            kind=str(doc["kind"]),
+            solver=str(doc["solver"]),
+            message=str(doc["message"]),
+            iteration=int(doc["iteration"]),
+            residual_norm=_parse_float(doc["residual_norm"]),
+            b_norm=_parse_float(doc["b_norm"]),
+            data=dict(doc.get("data", {})),
+        )
+
+
+def _parse_float(value):
+    """Undo :func:`_json_float`: repr strings become floats again."""
+    return float(value)
+
 
 def _json_float(value):
     value = float(value)

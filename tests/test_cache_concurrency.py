@@ -1,0 +1,147 @@
+"""Multi-process contention tests for the sharded artifact cache.
+
+Real processes (fork), one shared cache directory: concurrent writers
+of the same key, concurrent writers of different keys in one shard
+(with the LRU evictor running under them), and checksum-quarantine
+healing under contention.  Every load must observe either a miss or a
+complete, checksum-valid entry -- never a torn write.
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.cache import ArtifactCache, digest_of
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="fork-based contention tests")
+
+_ROUNDS = 12
+
+
+def _payload(tag):
+    return {"x": np.full(256, float(tag))}, {"tag": int(tag)}
+
+
+def _same_key_worker(args):
+    cache_dir, shards, key = args
+    cache = ArtifactCache(cache_dir=cache_dir, shards=shards,
+                          memory=False)
+    arrays, meta = _payload(7)
+    good = 0
+    for _ in range(_ROUNDS):
+        cache.store("t", key, arrays, meta)
+        loaded = cache.load("t", key)
+        if loaded is None:
+            continue
+        got_arrays, got_meta = loaded
+        assert np.array_equal(got_arrays["x"], arrays["x"])
+        assert got_meta == meta
+        good += 1
+    return good
+
+
+def _same_shard_worker(args):
+    cache_dir, shards, max_bytes, keys, tag = args
+    cache = ArtifactCache(cache_dir=cache_dir, shards=shards,
+                          max_bytes=max_bytes, memory=False)
+    arrays, meta = _payload(tag)
+    for _ in range(_ROUNDS):
+        for key in keys:
+            cache.store("t", key, arrays, meta)
+            loaded = cache.load("t", key)
+            if loaded is not None:
+                # either our write or a sibling's -- must be complete
+                assert loaded[0]["x"].shape == (256,)
+                assert "tag" in loaded[1]
+    return cache.quarantined
+
+
+def _heal_worker(args):
+    cache_dir, shards, key = args
+    cache = ArtifactCache(cache_dir=cache_dir, shards=shards,
+                          memory=False)
+    arrays, meta = _payload(3)
+    for _ in range(_ROUNDS):
+        if cache.load("t", key) is None:
+            cache.store("t", key, arrays, meta)
+    final = cache.load("t", key)
+    assert final is not None
+    assert np.array_equal(final[0]["x"], arrays["x"])
+    return cache.quarantined
+
+
+def _run_pool(worker, jobs):
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(len(jobs)) as pool:
+        return pool.map(worker, jobs)
+
+
+class TestSameKey:
+    def test_concurrent_writers_no_torn_reads(self, tmp_path):
+        key = digest_of("contended")
+        jobs = [(str(tmp_path), 4, key)] * 4
+        good = _run_pool(_same_key_worker, jobs)
+        # every read that found the entry saw it complete
+        assert sum(good) == 4 * _ROUNDS
+        cache = ArtifactCache(cache_dir=str(tmp_path), shards=4)
+        assert cache.load("t", key) is not None
+        assert len(cache._quarantine_entries()) == 0
+
+
+class TestSameShard:
+    def test_distinct_keys_one_shard_with_eviction(self, tmp_path):
+        probe = ArtifactCache(cache_dir=str(tmp_path / "probe"))
+        size = os.path.getsize(
+            probe.store("t", digest_of("probe"), *_payload(0)))
+        cache = ArtifactCache(cache_dir=str(tmp_path), shards=2)
+        keys, i = [], 0
+        while len(keys) < 6:
+            key = digest_of("shardmate", i)
+            if cache.shard_index(key) == 0:
+                keys.append(key)
+            i += 1
+        max_bytes = 2 * 4 * size  # per-shard budget: ~4 entries of 6
+        jobs = [(str(tmp_path), 2, max_bytes, keys, tag)
+                for tag in range(4)]
+        quarantined = _run_pool(_same_shard_worker, jobs)
+        assert sum(quarantined) == 0  # eviction never tears a read
+        final = ArtifactCache(cache_dir=str(tmp_path), shards=2,
+                              max_bytes=max_bytes)
+        shard_dir = final._shard_dir(0)
+        total = sum(
+            os.path.getsize(os.path.join(shard_dir, name))
+            for name in os.listdir(shard_dir) if name.endswith(".npz"))
+        # within budget plus at most one protected oversized entry
+        assert total <= final._shard_budget() + size
+
+
+class TestQuarantineHeals:
+    def test_corrupt_entry_heals_under_contention(self, tmp_path):
+        cache = ArtifactCache(cache_dir=str(tmp_path), shards=4,
+                              memory=False)
+        key = digest_of("healme")
+        path = cache.store("t", key, *_payload(3))
+        with open(path, "r+b") as handle:
+            # flip bytes in the middle of the array payload: the
+            # entry stays a readable zip but fails its checksum
+            handle.seek(os.path.getsize(path) // 2)
+            handle.write(b"\xff\xfe\xfd\xfc" * 4)
+        assert cache.load("t", key) is None  # sanity: damage detected
+        assert cache.quarantined == 1
+        os.replace(os.path.join(cache.quarantine_dir(),
+                                os.path.basename(path)), path)
+        jobs = [(str(tmp_path), 4, key)] * 4
+        quarantined = _run_pool(_heal_worker, jobs)
+        # at least one process quarantined the damaged entry (two
+        # concurrent readers may both witness the damage); the slot
+        # was rebuilt and every process converged on a valid entry
+        assert sum(quarantined) >= 1
+        healed = ArtifactCache(cache_dir=str(tmp_path), shards=4)
+        loaded = healed.load("t", key)
+        assert loaded is not None
+        assert np.array_equal(loaded[0]["x"], np.full(256, 3.0))
+        qdir = healed.quarantine_dir()
+        assert os.path.exists(os.path.join(qdir, os.path.basename(path)))

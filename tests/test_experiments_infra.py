@@ -123,3 +123,74 @@ class TestVerificationCommon:
         a = run_case(1, days_per_month=2, perturb_seed=1)
         b = run_case(1, days_per_month=2, perturb_seed=2)
         assert not np.array_equal(a[0], b[0])
+
+
+class TestRhsDigestMemo:
+    """The RHS content digest is memoized under the freeze protocol."""
+
+    def _setup(self):
+        from repro.core.cache import ArtifactCache, set_cache
+
+        set_cache(ArtifactCache(cache_dir=None))
+        return get_cached_config("test", scale=0.5)
+
+    def test_digest_memoized_on_owning_array(self):
+        from repro.experiments.common import _RHS_DIGEST_MEMO, rhs_digest
+
+        rng = np.random.default_rng(4)
+        rhs = rng.standard_normal((8, 8))
+        first = rhs_digest(rhs)
+        assert not rhs.flags.writeable  # frozen by the memo
+        assert _RHS_DIGEST_MEMO[id(rhs)] == first
+        assert rhs_digest(rhs) == first
+
+    def test_mutation_invalidates_digest(self):
+        from repro.experiments.common import rhs_digest
+
+        rng = np.random.default_rng(5)
+        rhs = rng.standard_normal((8, 8))
+        before = rhs_digest(rhs)
+        # mutating requires thawing, which invalidates the memo ...
+        rhs.flags.writeable = True
+        rhs[3, 4] += 1.0
+        after = rhs_digest(rhs)
+        # ... so the digest reflects the new content, not the stale memo
+        assert after != before
+        fresh = rng.standard_normal((8, 8))
+        fresh[:] = rhs
+        assert rhs_digest(np.array(rhs)) == after
+
+    def test_views_and_lists_never_memoized(self):
+        from repro.experiments.common import rhs_digest
+
+        base = np.arange(64.0).reshape(8, 8)
+        view = base[:4]
+        rhs_digest(view)
+        assert base.flags.writeable  # a view is hashed fresh each call
+        assert view.flags.writeable
+        as_list = [[1.0, 2.0], [3.0, 4.0]]
+        assert rhs_digest(as_list) == rhs_digest(np.array(as_list))
+
+    def test_solve_key_tracks_rhs_content(self):
+        from repro.experiments.common import solve_key
+
+        config = self._setup()
+        rhs = np.ones(config.shape)
+        k1 = solve_key(config, "pcsi", "diagonal", 1e-8, 10, 100, rhs=rhs)
+        assert solve_key(config, "pcsi", "diagonal", 1e-8, 10, 100,
+                         rhs=np.ones(config.shape)) == k1
+        rhs.flags.writeable = True
+        rhs[0, 0] = 2.0
+        assert solve_key(config, "pcsi", "diagonal", 1e-8, 10, 100,
+                         rhs=rhs) != k1
+
+    def test_engine_and_blocks_salt_the_key(self):
+        from repro.experiments.common import solve_key
+
+        config = self._setup()
+        base = solve_key(config, "pcsi", "diagonal", 1e-8, 10, 100)
+        batched = solve_key(config, "pcsi", "diagonal", 1e-8, 10, 100,
+                            engine="batched", blocks=(4, 4))
+        other = solve_key(config, "pcsi", "diagonal", 1e-8, 10, 100,
+                          engine="batched", blocks=(2, 2))
+        assert len({base, batched, other}) == 3

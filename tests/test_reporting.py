@@ -142,3 +142,95 @@ class TestRunner:
         assert (tmp_path / "fig05.json").exists()
         assert len(report["comparisons"]) == 1
         assert "summary:" in report["rendered"]
+
+
+class TestSolveResultWire:
+    """JSON round-trip of SolveResult (the service wire format)."""
+
+    def _solved(self):
+        from repro.core.cache import ArtifactCache, get_cache, set_cache
+        from repro.experiments.common import get_cached_config, measure_solver
+
+        saved = get_cache()
+        set_cache(ArtifactCache(cache_dir=None))
+        try:
+            config = get_cached_config("test", scale=0.5)
+            return measure_solver(config, "chrongear", "diagonal",
+                                  tol=1e-6, max_iterations=500)
+        finally:
+            set_cache(saved)
+
+    def test_roundtrip_bit_exact_with_ledgers(self):
+        import numpy as np
+
+        from repro.reporting.serialize import (
+            solve_result_from_json,
+            solve_result_to_json,
+        )
+
+        result = self._solved()
+        back = solve_result_from_json(solve_result_to_json(result))
+        assert back.x.tobytes() == np.asarray(result.x).tobytes()
+        assert back.x.dtype == np.asarray(result.x).dtype
+        assert back.iterations == result.iterations
+        assert back.converged == result.converged
+        assert back.residual_norm == result.residual_norm
+        assert back.b_norm == result.b_norm
+        assert back.residual_history == list(result.residual_history)
+        assert back.solver == result.solver
+        assert back.preconditioner == result.preconditioner
+        # the event ledgers survive the trip exactly (the payload
+        # encoding drops all-zero phases, same as the artifact cache)
+        def nonzero(events):
+            return {k: dict(vars(v)) for k, v in events.items()
+                    if any(vars(v).values())}
+
+        assert nonzero(result.events), "solve recorded no events?"
+        assert nonzero(back.events) == nonzero(result.events)
+        assert nonzero(back.setup_events) == nonzero(result.setup_events)
+        assert back.extra == result.extra
+        assert back.diagnosis is None
+
+    def test_diagnosis_survives_including_nan(self):
+        import math
+
+        from repro.reporting.serialize import (
+            solve_result_from_json,
+            solve_result_to_json,
+        )
+        from repro.solvers.health import SolverDiagnosis
+
+        result = self._solved()
+        result.diagnosis = SolverDiagnosis(
+            kind="breakdown", solver="pcsi", message="test went boom",
+            iteration=17, residual_norm=float("nan"),
+            b_norm=float("inf"), data={"threshold": 1e30})
+        back = solve_result_from_json(solve_result_to_json(result))
+        assert back.diagnosis is not None
+        assert back.diagnosis.kind == "breakdown"
+        assert back.diagnosis.iteration == 17
+        assert math.isnan(back.diagnosis.residual_norm)
+        assert math.isinf(back.diagnosis.b_norm)
+        assert back.diagnosis.data == {"threshold": 1e30}
+
+    def test_malformed_document_raises(self):
+        from repro.reporting.serialize import solve_result_from_json
+
+        with pytest.raises(ConfigurationError):
+            solve_result_from_json("{not json")
+        with pytest.raises(ConfigurationError):
+            solve_result_from_json("{}")
+
+    def test_encode_decode_array_bit_exact(self):
+        import numpy as np
+
+        from repro.reporting.serialize import decode_array, encode_array
+
+        rng = np.random.default_rng(11)
+        for arr in (rng.standard_normal((5, 7)),
+                    rng.standard_normal((3, 4, 2)),
+                    np.arange(6, dtype=np.int64).reshape(2, 3)):
+            back = decode_array(encode_array(arr))
+            assert back.dtype == arr.dtype
+            assert back.shape == arr.shape
+            assert back.tobytes() == arr.tobytes()
