@@ -16,8 +16,19 @@ story end to end, the way an unlucky operator would live it:
 4. **verify** -- resumed measurements must equal a clean reference
    run's, and a final read-only ``verify()`` must find nothing corrupt.
 
-Writes a JSON report plus the run's ``manifest.json`` and quarantine
-listing (uploaded as CI artifacts) and exits non-zero if any stage
+Two further stages take the chaos *inside* a running solve
+(the in-solve resilience layer):
+
+5. **rank-death** -- a rank's block state is wiped mid-solve; the
+   buddy replica restores it and the solve re-converges to the
+   undisturbed run's exact bits;
+6. **bitflip** -- a flipped exponent bit corrupts the iterate; the
+   ABFT checks detect it, the loop rolls back to the last verified
+   replica and re-converges, again bit-identically.
+
+Writes a JSON report plus the run's ``manifest.json``, quarantine
+listing, and the in-solve runs' resilience ledgers and recovery
+diagnoses (uploaded as CI artifacts) and exits non-zero if any stage
 breaks the contract.
 
 Usage::
@@ -29,13 +40,92 @@ import argparse
 import json
 import shutil
 import sys
+import warnings
 from pathlib import Path
+
+import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.cache import ArtifactCache, get_cache, set_cache  # noqa: E402
-from repro.parallel import CacheCorruptFault, WorkerCrashFault  # noqa: E402
+from repro.grid import test_config as make_test_config  # noqa: E402
+from repro.operators import apply_stencil  # noqa: E402
+from repro.parallel import (  # noqa: E402
+    CacheCorruptFault,
+    VirtualMachine,
+    WorkerCrashFault,
+    decompose,
+    make_fault,
+)
+from repro.precond import make_preconditioner  # noqa: E402
 from repro.reporting import MANIFEST_NAME, FailurePolicy, run_all  # noqa: E402
+from repro.solvers import ChronGearSolver, DistributedContext  # noqa: E402
+
+
+def _in_solve_chaos(out_dir):
+    """Stages 5+6: chaos inside the solve loop, per fault class.
+
+    Returns ``{stage_name: fields}``; writes the resilience ledgers
+    and recovery diagnoses next to the report for the CI upload.
+    """
+    config = make_test_config(32, 48, seed=7)
+    decomp = decompose(config.ny, config.nx, 4, 4, mask=config.mask)
+    rng = np.random.default_rng(1)
+    b = apply_stencil(config.stencil,
+                      rng.standard_normal(config.shape) * config.mask)
+
+    def build(faults):
+        vm = VirtualMachine(decomp, mask=config.mask, engine="perrank",
+                            faults=faults)
+        pre = make_preconditioner("diagonal", config.stencil,
+                                  decomp=decomp)
+        ctx = DistributedContext(config.stencil, pre, vm)
+        return ChronGearSolver(ctx, tol=1e-10, max_iterations=3000)
+
+    reference = build([]).solve(b)
+    stages = {}
+    ledgers = {}
+    diagnoses = {}
+    for stage_name, kind, params in [
+            ("rank-death", "rank_death", {"rank": 5, "at": 9}),
+            ("bitflip", "bitflip",
+             {"target": "iterate", "rank": 2, "at": 16})]:
+        fault = make_fault(kind, **params)
+        with warnings.catch_warnings():
+            # flipped exponent bits breed overflows on their way to
+            # the ABFT check that kills them -- part of the scenario
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = build([fault]).solve(b, resilience=True)
+        summary = result.extra["resilience"]
+        identical = bool(np.array_equal(np.asarray(result.x),
+                                        np.asarray(reference.x)))
+        ledgers[stage_name] = {
+            "summary": summary,
+            "events": {phase: vars(counts)
+                       for phase, counts in result.events.items()},
+        }
+        diagnoses[stage_name] = summary["recoveries"]
+        violation = None
+        if not result.converged:
+            violation = "resilient solve did not converge"
+        elif summary["counters"]["rollbacks"] < 1:
+            violation = "fault fired but no rollback recorded"
+        elif not identical:
+            violation = ("recovered solution differs from the "
+                         "undisturbed solve")
+        stages[stage_name] = {
+            "fault": fault.describe(),
+            "rollbacks": summary["counters"]["rollbacks"],
+            "recovered_kinds": [doc["kind"]
+                                for doc in summary["recoveries"]],
+            "bit_identical": identical,
+            "violation": violation,
+        }
+    (out_dir / "resilience_ledger.json").write_text(
+        json.dumps(ledgers, indent=2, sort_keys=True))
+    (out_dir / "resilience_diagnoses.json").write_text(
+        json.dumps(diagnoses, indent=2, sort_keys=True))
+    return stages
 
 #: The staged plan: small enough for CI, big enough to exercise the
 #: warmup wave, the shared cache and multi-step resume.
@@ -131,6 +221,13 @@ def main(argv=None):
                          and not final_audit["corrupt"] else
                          "resumed measurements or cache integrity "
                          "diverged from the clean reference"))
+
+        # Stages 5+6: chaos *inside* the solve loop -- rank death and
+        # a bitflip, each recovered bit-identically by the in-solve
+        # resilience layer.
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for stage_name, fields in _in_solve_chaos(out_dir).items():
+            stage(stage_name, **fields)
     finally:
         set_cache(saved_cache)
 
@@ -152,7 +249,7 @@ def main(argv=None):
             print(f"  {stage_name}: {text}")
         return 1
     print("chaos survived: crash resumed, corruption quarantined, "
-          "numbers identical")
+          "rank death and bitflip recovered in-solve, numbers identical")
     return 0
 
 

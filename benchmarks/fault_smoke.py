@@ -8,8 +8,15 @@ skew with recovery enabled, as a converged solve whose retry cost sits
 in the ``"recovery"`` phase) -- never a silent wrong answer, never an
 unhandled exception.
 
-Two further sections extend the contract to the resilience layer:
+Further sections extend the contract to the resilience layer:
 
+* **in-solve resilience** -- the chaos injectors (``rank_death``,
+  ``bitflip``) run against solves armed with a
+  :class:`~repro.parallel.resilience.ResiliencePolicy`, which must
+  recover *bit-identically* to an undisturbed solve on both engines;
+* **replication_overhead** -- buddy replication at the default
+  interval on a 16x16-block P-CSI+EVP solve must cost < 5 % of the
+  solve wall clock (self-timed by the runtime);
 * **pipeline** -- the infrastructure injectors (``worker_crash``,
   ``slow_rank``, ``cache_corrupt``) run against a live ``run_all``
   pipeline, which must complete with zero failed steps (retry, pool
@@ -191,6 +198,134 @@ def _run_scenario(config, decomp, engine, solver_key, fault_spec,
     if expected == "recovered" and record["outcome"] == "diagnosed" \
             and "violation" not in record:
         record["violation"] = "expected recovery, got failure"
+    return record
+
+
+#: In-solve resilience matrix: each chaos fault must be survived
+#: bit-identically under the default policy, on both engines.
+RESILIENCE_SCENARIOS = [
+    ("resilience-rank-death", ("rank_death", {"rank": 5, "at": 9})),
+    ("resilience-bitflip-halo",
+     ("bitflip", {"target": "halo", "rank": 1, "at": 9})),
+    ("resilience-bitflip-iterate",
+     ("bitflip", {"target": "iterate", "rank": 2, "at": 16})),
+]
+
+
+def _run_resilient_scenario(config, decomp, engine, fault_spec):
+    """A chaos fault under the default policy: detect, roll back,
+    re-converge to the undisturbed solve's exact bits."""
+    kind, params = fault_spec
+
+    def build(faults):
+        vm = VirtualMachine(decomp, mask=config.mask, engine=engine,
+                            faults=faults)
+        pre = make_preconditioner("diagonal", config.stencil,
+                                  decomp=decomp)
+        ctx = DistributedContext(config.stencil, pre, vm)
+        return ChronGearSolver(ctx, tol=1e-10, max_iterations=3000)
+
+    rng = np.random.default_rng(1)
+    b = apply_stencil(config.stencil,
+                      rng.standard_normal(config.shape) * config.mask)
+    reference = build([]).solve(b)
+    fault = make_fault(kind, **params)
+    record = {"fault": fault.describe(), "expected": "resilient"}
+    try:
+        result = build([fault]).solve(b, resilience=True)
+    except Exception as exc:  # noqa: BLE001 -- the contract under test
+        record["outcome"] = "unhandled_exception"
+        record["violation"] = f"{type(exc).__name__}: {exc}"
+        record["traceback"] = traceback.format_exc()
+        return record
+    summary = result.extra.get("resilience", {})
+    record["outcome"] = "recovered" if summary.get("recoveries") \
+        else "converged"
+    record["iterations"] = result.iterations
+    record["counters"] = summary.get("counters")
+    record["recoveries"] = summary.get("recoveries")
+    if not result.converged:
+        record["violation"] = "resilient solve did not converge"
+    elif fault.fired < 1:
+        record["violation"] = "fault never fired"
+    elif summary.get("counters", {}).get("rollbacks", 0) < 1:
+        record["violation"] = "fault fired but no rollback recorded"
+    elif not np.array_equal(np.asarray(result.x),
+                            np.asarray(reference.x)):
+        record["violation"] = (
+            "recovered solution differs from the undisturbed solve")
+    return record
+
+
+#: Replication + ABFT may cost at most this fraction of solve wall
+#: clock at the default knobs (the tentpole's overhead budget).
+REPLICATION_BUDGET = 0.05
+
+
+def _replication_overhead(config):
+    """Measure resilience cost on the 16x16-block P-CSI+EVP solve.
+
+    Two self-timed fractions, both held under ``REPLICATION_BUDGET``:
+    replication alone (``abft: False`` -- deep copies of the loop
+    state every ``replicate_every`` iterations) and the full default
+    policy (replication + halo checksums + row-sum matvec checks +
+    residual cross-checks).  The runtime self-times its own work, so
+    the fraction does not compare two noisy wall clocks; each policy
+    still runs twice and keeps the lower fraction to damp scheduler
+    jitter in the denominator.
+    """
+    decomp = decompose(config.ny, config.nx, 16, 16, mask=config.mask)
+    rng = np.random.default_rng(1)
+    b = apply_stencil(config.stencil,
+                      rng.standard_normal(config.shape) * config.mask)
+
+    def run(resilience):
+        vm = VirtualMachine(decomp, mask=config.mask, engine="perrank")
+        pre = evp_for_config(config, decomp=decomp)
+        ctx = DistributedContext(config.stencil, pre, vm)
+        solver = PCSISolver(ctx, tol=1e-12, max_iterations=3000)
+        start = time.perf_counter()
+        result = solver.solve(b, resilience=resilience)
+        return result, time.perf_counter() - start
+
+    def best_of_two(resilience):
+        best = None
+        for _ in range(2):
+            result, total = run(resilience)
+            summary = result.extra["resilience"]
+            frac = (summary["seconds"] / total
+                    if total > 0 else float("inf"))
+            if best is None or frac < best[2]:
+                best = (result, summary, frac, total)
+        return best
+
+    result, summary, overhead, total = best_of_two({"abft": False})
+    abft_result, abft_summary, abft_overhead, _ = best_of_two(True)
+    record = {
+        "engine": "perrank",
+        "blocks": "16x16",
+        "iterations": result.iterations,
+        "replications": summary["counters"]["replications"],
+        "solve_seconds": total,
+        "resilience_seconds": summary["seconds"],
+        "overhead": overhead,
+        "budget": REPLICATION_BUDGET,
+        "abft_overhead": abft_overhead,
+        "abft_counters": dict(abft_summary["counters"]),
+    }
+    if not result.converged or not abft_result.converged:
+        record["violation"] = "replicated solve did not converge"
+    elif summary["counters"]["replications"] < 1:
+        record["violation"] = \
+            "no replica captured at the default interval"
+    elif overhead >= REPLICATION_BUDGET:
+        record["violation"] = (
+            f"replication overhead {overhead:.1%} exceeds the "
+            f"{REPLICATION_BUDGET:.0%} budget")
+    elif abft_overhead >= REPLICATION_BUDGET:
+        record["violation"] = (
+            f"replication+ABFT overhead {abft_overhead:.1%} exceeds "
+            f"the {REPLICATION_BUDGET:.0%} budget")
     return record
 
 
@@ -378,7 +513,29 @@ def main(argv=None):
             if "violation" in record:
                 violations.append((key, record["violation"]))
 
+    for name, fault_spec in RESILIENCE_SCENARIOS:
+        for engine in ENGINES:
+            key = f"{name}[{engine}]"
+            record = _run_resilient_scenario(config, decomp, engine,
+                                             fault_spec)
+            report["scenarios"][key] = record
+            status = record.get("violation") or record["outcome"]
+            print(f"  {key:44s} {status}")
+            if "violation" in record:
+                violations.append((key, record["violation"]))
+
     if not args.solver_only:
+        record = _replication_overhead(config)
+        report["replication_overhead"] = record
+        status = record.get(
+            "violation",
+            f"{record['overhead']:.2%} of solve "
+            f"(abft: {record['abft_overhead']:.2%})")
+        print(f"  {'replication-overhead[perrank]':44s} {status}")
+        if "violation" in record:
+            violations.append(
+                ("replication-overhead", record["violation"]))
+
         for key, runner in PIPELINE_SCENARIOS:
             try:
                 record = runner()

@@ -32,6 +32,11 @@ Commands
     ``--checkpoint-every`` iterations (and on diagnosed failure);
     ``--resume-from PATH`` continues a solve from such a snapshot,
     bit-identically to the uninterrupted run.
+    ``--replicate-every N`` / ``--abft`` enable the in-solve fault
+    tolerance layer (buddy replication for rank-loss recovery, ABFT
+    checksums for silent-data-corruption detection); pair with
+    ``--inject-fault rank_death:...`` or ``bitflip:...`` to watch a
+    solve survive a failure.
 ``machines``
     Print the calibrated machine models.
 ``tune [--config NAME] [--blocks by,bx] [--quick] [--out PATH]``
@@ -200,6 +205,18 @@ def cmd_solve(args):
               "switching to --engine perrank")
         engine = "perrank"
 
+    resilience = None
+    if args.replicate_every is not None or args.abft:
+        resilience = {"abft": bool(args.abft)}
+        if args.replicate_every is not None:
+            resilience["replicate_every"] = args.replicate_every
+        if engine == "serial":
+            # Buddy replication and halo/rowsum checks live in the
+            # virtual machine, like the fault injectors.
+            print("note: resilience requires the virtual machine; "
+                  "switching to --engine perrank")
+            engine = "perrank"
+
     precond_kwargs = {}
     base_kind = precond_kind.split(":", 1)[0].lower()
     if base_kind in ("cheby", "chebyshev", "ncheby", "newton-cheby",
@@ -264,9 +281,14 @@ def cmd_solve(args):
     if args.resume_from:
         print(f"resuming from checkpoint {args.resume_from}")
 
+    if resilience is not None:
+        print(f"resilience: buddy replication every "
+              f"{resilience.get('replicate_every', 10)} iterations, "
+              f"ABFT {'on' if resilience['abft'] else 'off'}")
     try:
         result = solver.solve(b, checkpoint=policy,
-                              resume_from=args.resume_from or None)
+                              resume_from=args.resume_from or None,
+                              resilience=resilience)
     except ConvergenceError as err:
         print(f"solve FAILED: {err.diagnosis.describe()}"
               if err.diagnosis is not None else f"solve FAILED: {err}")
@@ -322,6 +344,24 @@ def cmd_solve(args):
             print(f"    recovery cost: {rec.flops} flops, "
                   f"{rec.halo_exchanges} halo exchanges, "
                   f"{rec.allreduces} reductions")
+    res_summary = result.extra.get("resilience")
+    if res_summary is not None:
+        counters = res_summary["counters"]
+        print(f"  resilience: {counters['replications']} replications, "
+              f"{counters['halo_checks']} halo checks, "
+              f"{counters['rowsum_checks']} row-sum checks, "
+              f"{counters['residual_crosschecks']} residual "
+              f"cross-checks")
+        for rec_doc in res_summary["recoveries"]:
+            print(f"    recovered [{rec_doc['kind']}] @ iteration "
+                  f"{rec_doc['iteration']}: {rec_doc['message']} "
+                  f"(resumed from iteration "
+                  f"{rec_doc['data']['resumed_from_iteration']})")
+        res_events = result.events.get("resilience")
+        if res_events is not None:
+            print(f"    resilience cost: {res_events.flops} flops, "
+                  f"{res_events.halo_exchanges} replica/rollback halo "
+                  f"exchanges, {res_events.allreduces} reductions")
 
     machine = get_machine(args.machine)
     if engine == "serial":
@@ -584,8 +624,24 @@ def build_parser():
                          metavar="SPEC",
                          help="attach a fault injector, e.g. "
                               "'halo:rank=1,at=2', 'reduction:value=nan'"
-                              ", 'eigenbounds:nu_factor=12', 'nan_rhs'; "
+                              ", 'eigenbounds:nu_factor=12', 'nan_rhs', "
+                              "'rank_death:rank=2,at=12', "
+                              "'bitflip:target=halo,rank=1,at=9'; "
                               "repeatable")
+    p_solve.add_argument("--replicate-every", type=int, default=None,
+                         metavar="N",
+                         help="enable in-solve fault tolerance: "
+                              "replicate each rank's block state to its "
+                              "buddy rank at convergence checks at "
+                              "least N iterations apart (recovers "
+                              "rank_death and detected corruption by "
+                              "rollback)")
+    p_solve.add_argument("--abft", action="store_true",
+                         help="enable ABFT silent-data-corruption "
+                              "detection (halo checksums, matvec row-sum "
+                              "checks, residual cross-checks); implies "
+                              "buddy replication at the default cadence "
+                              "unless --replicate-every is given")
     p_solve.add_argument("--max-recoveries", type=int, default=2,
                          help="divergence recovery attempts for the "
                               "spectrally bounded solvers, P-CSI and "

@@ -267,7 +267,8 @@ def rhs_digest(rhs):
 
 
 def solve_key(config, solver, precond, tol, check_freq, max_iterations,
-              rhs=None, engine=None, blocks=None, **solver_kwargs):
+              rhs=None, engine=None, blocks=None, resilience=None,
+              **solver_kwargs):
     """Artifact-cache key for one measured solve (content-addressed).
 
     ``rhs`` is the right-hand side actually solved when it differs from
@@ -289,6 +290,13 @@ def solve_key(config, solver, precond, tol, check_freq, max_iterations,
     if engine is not None:
         parts.append(("engine", str(engine),
                       tuple(int(v) for v in blocks)))
+    if resilience is not None:
+        # A resilient solve records extra ("resilience"-phase) events,
+        # so it must never collide with a plain solve's cache entry.
+        from repro.parallel.resilience import ResiliencePolicy
+        policy = ResiliencePolicy.from_any(resilience)
+        parts.append(("resilience",
+                      tuple(sorted(policy.to_dict().items()))))
     if rhs is not None:
         parts.append(rhs_digest(rhs))
     return digest_of(*parts)
@@ -331,7 +339,7 @@ def _decomposed_context(config, precond, engine, blocks, cache):
 def measure_solver(config, solver="chrongear", precond="diagonal",
                    tol=1.0e-13, check_freq=10, max_iterations=60000,
                    cache=None, rhs=None, engine=None, blocks=None,
-                   **solver_kwargs):
+                   resilience=None, **solver_kwargs):
     """Solve once and cache the :class:`SolveResult` (with events).
 
     By default the context carries no decomposition: recorded flops
@@ -352,14 +360,25 @@ def measure_solver(config, solver="chrongear", precond="diagonal",
     :func:`_decomposed_context`); the solver service uses the batched
     engine so coalesced multi-RHS batches amortize per-iteration fixed
     costs.  Iterates are bit-identical across contexts.
+
+    ``resilience`` (a policy dict, ``True``, or a
+    :class:`~repro.parallel.resilience.ResiliencePolicy`) enables the
+    in-solve fault-tolerance layer; it requires a virtual-machine
+    engine and enters the cache key (a resilient solve records extra
+    ``"resilience"``-phase events).
     """
     cache = cache if cache is not None else get_cache()
     if engine is not None and blocks is None:
         raise ConfigurationError(
             "measure_solver: engine requires blocks=(by, bx)")
+    if resilience is not None and engine in (None, "serial"):
+        raise ConfigurationError(
+            "measure_solver: resilience requires a virtual-machine "
+            "engine ('perrank' or 'batched')")
     key = solve_key(config, solver, precond, tol, check_freq,
                     max_iterations, rhs=rhs, engine=engine,
-                    blocks=blocks, **solver_kwargs)
+                    blocks=blocks, resilience=resilience,
+                    **solver_kwargs)
     result = cache.get_object("solve", key)
     if result is not None:
         return result
@@ -385,7 +404,8 @@ def measure_solver(config, solver="chrongear", precond="diagonal",
     b = reference_rhs(config) if rhs is None else np.asarray(
         rhs, dtype=np.float64)
     result = cls(ctx, tol=tol, check_freq=check_freq,
-                 max_iterations=max_iterations, **extra_kwargs).solve(b)
+                 max_iterations=max_iterations,
+                 **extra_kwargs).solve(b, resilience=resilience)
     result.extra["measured_points"] = config.ny * config.nx
     cache.put_object("solve", key, result)
     cache.store("solve", key, *result_to_payload(result))

@@ -22,7 +22,10 @@ Contents
 * :mod:`repro.parallel.vm` -- the :class:`VirtualMachine` façade
   (scatter / gather / exchange / reduce),
 * :mod:`repro.parallel.faults` -- deterministic fault injectors that
-  exercise the solver guardrails.
+  exercise the solver guardrails,
+* :mod:`repro.parallel.resilience` -- in-solve fault tolerance: buddy
+  replication for rank-loss recovery and ABFT checksum invariants for
+  silent-data-corruption detection.
 """
 
 from repro.parallel.events import EventLedger, EventCounts
@@ -51,6 +54,8 @@ from repro.parallel.faults import (
     ReductionFault,
     EigenboundsFault,
     RHSFault,
+    RankDeathFault,
+    BitflipFault,
     PipelineFault,
     WorkerCrashError,
     WorkerCrashFault,
@@ -59,6 +64,14 @@ from repro.parallel.faults import (
     FAULTS,
     make_fault,
     parse_fault_spec,
+)
+from repro.parallel.resilience import (
+    ResilienceEvent,
+    RankLostError,
+    SDCDetectedError,
+    ResiliencePolicy,
+    ResilienceRuntime,
+    buddy_of,
 )
 
 __all__ = [
@@ -84,6 +97,8 @@ __all__ = [
     "ReductionFault",
     "EigenboundsFault",
     "RHSFault",
+    "RankDeathFault",
+    "BitflipFault",
     "PipelineFault",
     "WorkerCrashError",
     "WorkerCrashFault",
@@ -92,4 +107,10 @@ __all__ = [
     "FAULTS",
     "make_fault",
     "parse_fault_spec",
+    "ResilienceEvent",
+    "RankLostError",
+    "SDCDetectedError",
+    "ResiliencePolicy",
+    "ResilienceRuntime",
+    "buddy_of",
 ]

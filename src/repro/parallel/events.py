@@ -31,12 +31,17 @@ match the paper's cost decomposition (section 2.2):
 * ``"recovery"``      -- work burned by failed solve attempts and the
   re-estimation that follows (see the P-CSI recovery policy); priced as
   a one-time cost by the machine models, like setup.
+* ``"resilience"``    -- the in-solve fault-tolerance layer: buddy
+  replica sends, ABFT checksum verification, and work rolled back
+  after a detected rank loss or silent corruption (see
+  :mod:`repro.parallel.resilience`), so its overhead is measurable.
 """
 
 from dataclasses import dataclass, field
 
 
-PHASES = ("computation", "preconditioning", "boundary", "reduction", "setup")
+PHASES = ("computation", "preconditioning", "boundary", "reduction",
+          "setup", "resilience")
 
 
 @dataclass

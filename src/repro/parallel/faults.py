@@ -151,13 +151,30 @@ class ReductionFault(FaultInjector):
 
     kind = "reduction"
 
-    def __init__(self, rank=0, value=float("nan"), factor=None, **kwargs):
+    def __init__(self, rank=0, value=float("nan"), factor=None,
+                 entry=None, **kwargs):
         super().__init__(**kwargs)
         self.rank = int(rank)
         self.value = None if factor is not None else float(value)
         self.factor = None if factor is None else float(factor)
+        # A fused reduction (dot_pair, capcg's dot_block Gram matrix)
+        # presents several partial lists under ONE reduction count;
+        # ``entry`` selects which of them to poison (0-based call
+        # index within the fused reduction), so a single Gram entry
+        # can be corrupted without touching its siblings.  ``None``
+        # keeps the historical behavior: poison every list.
+        self.entry = None if entry is None else int(entry)
+        self._entry_count = None
+        self._entry_index = 0
 
     def on_reduction(self, partials, count):
+        if count != self._entry_count:
+            self._entry_count = count
+            self._entry_index = 0
+        index = self._entry_index
+        self._entry_index += 1
+        if self.entry is not None and index != self.entry:
+            return
         if not self._fires(count):
             return
         if not (0 <= self.rank < len(partials)):
@@ -172,6 +189,8 @@ class ReductionFault(FaultInjector):
     def describe(self):
         what = (f"factor={self.factor}" if self.factor is not None
                 else f"value={self.value}")
+        if self.entry is not None:
+            what += f", entry={self.entry}"
         return f"reduction(rank={self.rank}, {what}, {super().describe()})"
 
 
@@ -235,6 +254,104 @@ class RHSFault(FaultInjector):
 
     def describe(self):
         return f"nan_rhs(value={self.value}, {super().describe()})"
+
+
+class RankDeathFault(FaultInjector):
+    """Kill one simulated rank mid-iteration (node failure).
+
+    Fires after halo round ``at``: the rank's block data is wiped to
+    NaN (everything the node held is gone) and the virtual machine is
+    notified via :meth:`~repro.parallel.vm.VirtualMachine.notify_rank_death`.
+    With a resilience runtime attached (``solve(resilience=...)``) the
+    notification raises
+    :class:`~repro.parallel.resilience.RankLostError` and the guarded
+    loop rebuilds the block from its buddy replica -- no global
+    restart.  Without one, the NaN propagates and the existing
+    guardrails diagnose the solve as ``nonfinite_residual`` (graceful
+    degradation, never a silent wrong answer).
+    """
+
+    kind = "rank_death"
+
+    def __init__(self, rank=0, **kwargs):
+        super().__init__(**kwargs)
+        self.rank = int(rank)
+
+    def on_exchange(self, field, count, vm):
+        if not self._fires(count):
+            return
+        if not (0 <= self.rank < vm.num_ranks):
+            raise FaultInjectionError(
+                f"rank_death rank {self.rank} out of range "
+                f"(machine has {vm.num_ranks} ranks)")
+        field.local(self.rank)[...] = float("nan")
+        vm.notify_rank_death(self.rank)
+
+    def describe(self):
+        return f"rank_death(rank={self.rank}, {super().describe()})"
+
+
+class BitflipFault(FaultInjector):
+    """Flip one bit of one float64 on one rank (silent data corruption).
+
+    Models a radiation-induced upset or a corrupted message.  The
+    default bit (62, the high exponent bit) turns an ordinary value
+    into an astronomically large -- or non-finite -- one, the classic
+    "loud" SDC; lower mantissa bits model subtle drift.
+
+    ``target="halo"`` flips a cell of the halo ring the stencil reads
+    (a corrupted-in-flight message -- the ABFT halo checksum catches it
+    at delivery); ``target="iterate"`` flips a seeded *ocean* interior
+    cell of the exchanged vector (corrupted resident state -- the
+    periodic residual cross-check catches it at the next replication
+    boundary).
+    """
+
+    kind = "bitflip"
+
+    TARGETS = ("halo", "iterate")
+
+    def __init__(self, target="halo", rank=0, bit=62, **kwargs):
+        super().__init__(**kwargs)
+        if target not in self.TARGETS:
+            raise FaultInjectionError(
+                f"bitflip target must be one of {self.TARGETS}, "
+                f"got {target!r}")
+        self.target = target
+        self.rank = int(rank)
+        self.bit = int(bit)
+        if not (0 <= self.bit <= 63):
+            raise FaultInjectionError(
+                f"bitflip bit must be in [0, 63], got {self.bit}")
+
+    def on_exchange(self, field, count, vm):
+        if not self._fires(count):
+            return
+        if not (0 <= self.rank < vm.num_ranks):
+            raise FaultInjectionError(
+                f"bitflip rank {self.rank} out of range "
+                f"(machine has {vm.num_ranks} ranks)")
+        h = field.decomp.halo_width
+        local = field.local(self.rank)
+        rng = make_rng([self.seed, count])
+        if self.target == "halo":
+            span = local.shape[1] - 2 * h
+            index = (h - 1, h + int(rng.integers(span)))
+        else:
+            ocean = np.argwhere(vm.local_mask(self.rank) > 0)
+            if len(ocean) == 0:
+                return
+            j, i = ocean[int(rng.integers(len(ocean)))]
+            index = (h + int(j), h + int(i))
+        if local.ndim == 3:
+            index = index + (0,)
+        word = np.float64(local[index]).view(np.uint64)
+        word = np.uint64(int(word) ^ (1 << self.bit))
+        local[index] = word.view(np.float64)
+
+    def describe(self):
+        return (f"bitflip(target={self.target}, rank={self.rank}, "
+                f"bit={self.bit}, {super().describe()})")
 
 
 class WorkerCrashError(ReproError):
@@ -387,20 +504,54 @@ FAULTS = {
     ReductionFault.kind: ReductionFault,
     EigenboundsFault.kind: EigenboundsFault,
     RHSFault.kind: RHSFault,
+    RankDeathFault.kind: RankDeathFault,
+    BitflipFault.kind: BitflipFault,
     WorkerCrashFault.kind: WorkerCrashFault,
     SlowRankFault.kind: SlowRankFault,
     CacheCorruptFault.kind: CacheCorruptFault,
 }
 
 
+def _accepted_params(cls):
+    """Keyword parameters an injector class accepts, across its MRO."""
+    import inspect
+
+    names = set()
+    for klass in cls.__mro__:
+        if klass is object:
+            continue
+        try:
+            sig = inspect.signature(klass.__init__)
+        except (TypeError, ValueError):
+            continue
+        for param in sig.parameters.values():
+            if param.name == "self" or param.kind in (
+                    inspect.Parameter.VAR_POSITIONAL,
+                    inspect.Parameter.VAR_KEYWORD):
+                continue
+            names.add(param.name)
+    return names
+
+
 def make_fault(kind, **params):
-    """Instantiate a registered injector by kind name."""
+    """Instantiate a registered injector by kind name.
+
+    Unknown parameter keys are diagnosed by name (with the accepted
+    set) rather than surfacing as a bare ``TypeError`` from whichever
+    ``__init__`` in the injector's MRO finally rejects them.
+    """
     try:
         cls = FAULTS[kind]
     except KeyError:
         raise FaultInjectionError(
             f"unknown fault kind {kind!r}; expected one of "
             f"{sorted(FAULTS)}") from None
+    accepted = _accepted_params(cls)
+    unknown = sorted(set(params) - accepted)
+    if unknown:
+        raise FaultInjectionError(
+            f"unknown parameter(s) {', '.join(map(repr, unknown))} for "
+            f"fault {kind!r}; accepted: {sorted(accepted)}")
     try:
         return cls(**params)
     except TypeError as exc:
@@ -418,8 +569,12 @@ def parse_fault_spec(spec):
         halo
         halo:rank=1,at=2
         reduction:rank=3,factor=1e6,persistent=true
+        reduction:rank=0,at=4,entry=2
         eigenbounds:nu_factor=12
         nan_rhs:seed=42
+        rank_death:rank=2,at=12
+        bitflip:target=halo,rank=1,at=9
+        bitflip:target=iterate,rank=0,bit=62,at=15
     """
     spec = spec.strip()
     if not spec:

@@ -1,0 +1,626 @@
+"""In-solve fault tolerance: buddy replication + ABFT SDC detection.
+
+Running the barotropic solver on tens of thousands of ranks makes two
+failure modes routine that a workstation never sees: a rank dies
+mid-iteration (node failure), and a bit flips silently in a halo
+payload or Krylov vector (silent data corruption, SDC).  This module
+gives the virtual machine a local-failure-local-recovery story for
+both, so neither requires a global restart:
+
+* **Buddy replication** -- at every convergence-check boundary that
+  falls on the replication cadence, each rank's block state (iterate,
+  recurrence vectors, solver scalars) is deep-copied in memory.  The
+  copy models each rank shipping its block to a *buddy rank* --
+  :func:`buddy_of` picks the diametrically opposite rank of the
+  decomposition so a single node loss never takes out a block and its
+  replica together -- and the send is charged to the ``"resilience"``
+  ledger phase.  When a :class:`~repro.parallel.faults.RankDeathFault`
+  kills a rank, the guarded convergence loop restores the lost block
+  (and every survivor's matching snapshot) from the replica and
+  resumes from the captured iteration: no other rank recomputes
+  anything it had not already passed.
+
+* **ABFT checksums** -- three algorithm-based fault-tolerance
+  invariants run alongside the solve: (1) halo-payload checksums
+  computed when an exchange completes and re-verified after the
+  (fault-injectable) delivery step, modelling a sender checksum
+  carried with the message; (2) a weighted row-sum invariant on the
+  operator apply, ``sum(A x) == dot(A 1, x)`` for the symmetric
+  barotropic operator, verified every ``abft_every``-th matvec; and
+  (3) a residual cross-check ``b - A x`` vs the recurrence residual
+  at every replication point, so a replica is only captured after the
+  state it copies has been verified.  Any violation raises
+  :class:`SDCDetectedError`; the loop rolls back to the last verified
+  replica, re-executes, and records the event as a structured
+  recovery diagnosis.
+
+Replicas restore bit-identically (deep copies of the exact float
+state), so a solve that survives an injected fault produces the same
+iterate, byte for byte, as an undisturbed run -- the property
+``tests/test_resilience.py`` pins across both engines.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.errors import SolverError
+
+__all__ = [
+    "ResilienceEvent",
+    "RankLostError",
+    "SDCDetectedError",
+    "ResiliencePolicy",
+    "ResilienceRuntime",
+    "buddy_of",
+]
+
+
+class ResilienceEvent(SolverError):
+    """A detected in-solve fault (rank loss or silent corruption).
+
+    Raised from inside the virtual machine or the ABFT checks; the
+    guarded convergence loop catches it, rolls the solve back to the
+    last verified replica and resumes.  ``rank`` names the failed rank
+    when known; ``detail`` carries structured context for the recovery
+    diagnosis.
+    """
+
+    def __init__(self, message, rank=None, detail=None):
+        super().__init__(message)
+        self.rank = rank
+        self.detail = dict(detail or {})
+
+
+class RankLostError(ResilienceEvent):
+    """A simulated rank died; its block state is gone."""
+
+
+class SDCDetectedError(ResilienceEvent):
+    """An ABFT invariant failed: the state can no longer be trusted."""
+
+
+def buddy_of(rank, num_ranks):
+    """Buddy rank holding ``rank``'s replica.
+
+    The buddy sits half the rank space away, so neighbors in the
+    decomposition (which tend to share hardware) never hold each
+    other's replicas.
+    """
+    if num_ranks <= 1:
+        return 0
+    return (rank + max(1, num_ranks // 2)) % num_ranks
+
+
+class ResiliencePolicy:
+    """Knobs of the in-solve fault-tolerance layer.
+
+    Parameters
+    ----------
+    replicate_every:
+        Minimum iterations between replica captures.  Captures only
+        happen at convergence-check boundaries, so the effective
+        cadence is ``replicate_every`` rounded up to the solver's
+        ``check_freq``; rank loss and detected corruption roll back at
+        most this many iterations.
+    abft:
+        Enable the SDC checks (halo checksums, matvec row sums, the
+        residual cross-check).  Replication alone still recovers rank
+        deaths.
+    abft_every:
+        Verify the matvec row-sum invariant on every Nth operator
+        apply.
+    rowsum_tol:
+        Relative tolerance of the row-sum invariant (scaled by the
+        magnitude of the exact sum).
+    crosscheck_tol:
+        Relative tolerance of the true-vs-recurrence residual
+        cross-check (scaled by ``||b||``); legitimate recurrence drift
+        stays orders of magnitude below it.
+    max_rollbacks:
+        Rollback budget for one solve; once spent, the next event
+        surfaces as a failed solve with a structured diagnosis.
+    """
+
+    def __init__(self, replicate_every=10, abft=True, abft_every=4,
+                 rowsum_tol=1.0e-7, crosscheck_tol=1.0e-6,
+                 max_rollbacks=8):
+        self.replicate_every = int(replicate_every)
+        self.abft = bool(abft)
+        self.abft_every = int(abft_every)
+        self.rowsum_tol = float(rowsum_tol)
+        self.crosscheck_tol = float(crosscheck_tol)
+        self.max_rollbacks = int(max_rollbacks)
+        if self.replicate_every < 1:
+            raise SolverError("resilience: replicate_every must be >= 1")
+        if self.abft_every < 1:
+            raise SolverError("resilience: abft_every must be >= 1")
+        if self.max_rollbacks < 0:
+            raise SolverError("resilience: max_rollbacks must be >= 0")
+        # Non-positive tolerances fail every check and burn the whole
+        # rollback budget replaying healthy state -- reject them here
+        # instead of diagnosing the resulting "corruption" downstream.
+        if not self.rowsum_tol > 0.0:
+            raise SolverError("resilience: rowsum_tol must be > 0")
+        if not self.crosscheck_tol > 0.0:
+            raise SolverError("resilience: crosscheck_tol must be > 0")
+
+    @classmethod
+    def from_any(cls, value):
+        """Coerce ``True``/dict/:class:`ResiliencePolicy` to a policy."""
+        if isinstance(value, ResiliencePolicy):
+            return value
+        if value is True:
+            return cls()
+        if isinstance(value, dict):
+            try:
+                return cls(**value)
+            except TypeError as exc:
+                raise SolverError(
+                    f"bad resilience policy {value!r}: {exc}") from None
+        raise SolverError(
+            f"resilience must be True, a dict of policy fields or a "
+            f"ResiliencePolicy, got {type(value).__name__}")
+
+    def to_dict(self):
+        return {
+            "replicate_every": self.replicate_every,
+            "abft": self.abft,
+            "abft_every": self.abft_every,
+            "rowsum_tol": self.rowsum_tol,
+            "crosscheck_tol": self.crosscheck_tol,
+            "max_rollbacks": self.max_rollbacks,
+        }
+
+
+def _copy_value(value):
+    """Deep-copy one piece of solver state for the replica.
+
+    Understands the shapes solver state dicts are built from: block
+    fields (layout-preserving ``copy``), numpy arrays, containers of
+    either, and immutable scalars.
+    """
+    if hasattr(value, "locals_"):
+        return value.copy()
+    if isinstance(value, np.ndarray):
+        return value.copy()
+    if isinstance(value, dict):
+        return {k: _copy_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_copy_value(v) for v in value]
+    if isinstance(value, tuple):
+        return tuple(_copy_value(v) for v in value)
+    return value
+
+
+def _field_words(value):
+    """Words a piece of state contributes to the buddy-send payload."""
+    if hasattr(value, "locals_"):
+        widths = [int(np.prod(arr.shape)) for arr in value.locals_]
+        return max(widths) if widths else 0
+    if isinstance(value, np.ndarray):
+        return int(value.size)
+    if isinstance(value, dict):
+        return sum(_field_words(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        return sum(_field_words(v) for v in value)
+    return 0
+
+
+class ResilienceRuntime:
+    """Per-solve state of the fault-tolerance layer.
+
+    Built by the guarded convergence loop when ``solve(resilience=...)``
+    is passed, attached to the virtual machine for the duration of the
+    loop (``vm.resilience``), and detached when the solve returns.  It
+    owns the replica, the ABFT checks, the rollback budget, the
+    resilience counters surfaced in ``result.extra["resilience"]``,
+    and the self-timed overhead measurement the fault-smoke benchmark
+    asserts against.
+    """
+
+    def __init__(self, policy, context):
+        vm = getattr(context, "vm", None)
+        if vm is None:
+            raise SolverError(
+                "resilience requires a distributed context over a "
+                "VirtualMachine (engine 'perrank' or 'batched'); the "
+                "serial context has no ranks to replicate")
+        self.policy = policy
+        self.context = context
+        self.vm = vm
+        self.counters = {
+            "replications": 0,
+            "rollbacks": 0,
+            "rank_deaths": 0,
+            "sdc_detected": 0,
+            "halo_checks": 0,
+            "rowsum_checks": 0,
+            "residual_crosschecks": 0,
+        }
+        self.seconds = 0.0
+        self.recoveries = []
+        self._replica = None
+        self._mark = None
+        self._last_capture = None
+        self._matvecs = 0
+        self._rowsum = None
+        self._rowsum_stack = None
+        self._bnorm = None
+        self._state_words = None
+        self._uniform = None
+        self._intercepted = set()
+
+    @classmethod
+    def create(cls, spec, context):
+        return cls(ResiliencePolicy.from_any(spec), context)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def attach(self):
+        """Bind to the virtual machine for the duration of one solve."""
+        self.vm.resilience = self
+
+    def detach(self):
+        if getattr(self.vm, "resilience", None) is self:
+            self.vm.resilience = None
+
+    # ------------------------------------------------------------------
+    # replication
+    # ------------------------------------------------------------------
+    def capture(self, state, meta, history_len, solver_meta=None):
+        """Replicate the verified solver state to the buddy ranks.
+
+        ``meta`` is the loop's checkpoint-style metadata (iteration
+        counters, norms); ``history_len`` pins how much of the residual
+        history the replica covers.  The buddy send is charged to the
+        ``"resilience"`` ledger phase.
+        """
+        t0 = time.perf_counter()
+        self._replica = (
+            _copy_value(state),
+            _copy_value(meta),
+            _copy_value(solver_meta),
+            int(history_len),
+        )
+        self._last_capture = int(meta.get("iterations", 0))
+        self.counters["replications"] += 1
+        ledger = self.vm.ledger
+        if self._state_words is None:
+            # State shapes are fixed for the lifetime of one solve, so
+            # the payload size is computed once, not per capture.
+            self._state_words = _field_words(state)
+        words = self._state_words
+        if words:
+            ledger.record_halo("resilience", words=words, exchanges=1)
+            # The buddy also memcpy's the payload into its replica slot.
+            ledger.record_flops("resilience", words)
+        self._mark = ledger.snapshot()
+        self.seconds += time.perf_counter() - t0
+
+    def capture_due(self, iterations):
+        """Is a replication (and cross-check) due at this boundary?"""
+        if self._last_capture is None:
+            return True
+        return iterations - self._last_capture >= self.policy.replicate_every
+
+    def verify_and_capture(self, state, meta, history_len,
+                           solver_meta=None):
+        """Cross-check the residual, then replicate the verified state.
+
+        Ordering matters: the replica must never copy corrupted state,
+        so the ABFT residual cross-check runs first and a violation
+        (raised as :class:`SDCDetectedError`) leaves the previous
+        replica in place for the rollback.
+        """
+        if self.policy.abft and self._last_capture is not None:
+            # The very first capture sees the freshly initialised state,
+            # where the recurrence residual *is* ``b - A x`` by
+            # construction -- cross-checking it against itself would
+            # spend a matvec to learn nothing.
+            self.crosscheck_residual(state)
+        self.capture(state, meta, history_len, solver_meta=solver_meta)
+
+    # ------------------------------------------------------------------
+    # rollback
+    # ------------------------------------------------------------------
+    def can_rollback(self):
+        return (self._replica is not None
+                and self.counters["rollbacks"] < self.policy.max_rollbacks)
+
+    def intercept(self, reason, iterations):
+        """Should a breakdown/nonfinite at this iteration be treated as
+        suspected SDC and rolled back?
+
+        One-shot per ``(reason, iteration)``: if the same failure
+        recurs after a rollback replayed the exact same state, it is a
+        genuine numerical event and surfaces through the normal
+        diagnosis path instead.
+        """
+        key = (reason, int(iterations))
+        if key in self._intercepted or not self.can_rollback():
+            return False
+        self._intercepted.add(key)
+        return True
+
+    def suspect(self, message, rank=None, detail=None):
+        """Wrap a suspected corruption into an :class:`SDCDetectedError`."""
+        self.counters["sdc_detected"] += 1
+        return SDCDetectedError(message, rank=rank, detail=detail)
+
+    def on_rank_death(self, rank):
+        """Called by the vm when an injected rank death fires."""
+        self.counters["rank_deaths"] += 1
+        raise RankLostError(
+            f"rank {rank} died mid-iteration; block state lost",
+            rank=rank,
+            detail={"buddy": buddy_of(rank, self.vm.num_ranks)})
+
+    def rollback(self, event, detected_at):
+        """Restore the last verified replica after ``event``.
+
+        Returns ``(state, meta, solver_meta, history_len)`` -- fresh
+        deep copies, so the replica survives further rollbacks -- or
+        ``None`` when the budget is spent (the loop then fails the
+        solve with a structured diagnosis).  Work performed since the
+        replica was captured is re-charged from its original ledger
+        phases to ``"resilience"``, so rolled-back progress shows up
+        as fault-tolerance overhead rather than useful computation.
+        """
+        if not self.can_rollback():
+            return None
+        t0 = time.perf_counter()
+        state, meta, solver_meta, history_len = self._replica
+        restored = (_copy_value(state), _copy_value(meta),
+                    _copy_value(solver_meta), history_len)
+        self.counters["rollbacks"] += 1
+        if self._mark is not None:
+            self.vm.ledger.transfer(self._mark, "resilience")
+            self._mark = self.vm.ledger.snapshot()
+        self.recoveries.append(self._recovery_doc(event, detected_at,
+                                                  meta.get("iterations", 0)))
+        self.seconds += time.perf_counter() - t0
+        return restored
+
+    def _recovery_doc(self, event, detected_at, resumed_from):
+        from repro.solvers.health import RANK_LOST, SDC_DETECTED
+
+        kind = (RANK_LOST if isinstance(event, RankLostError)
+                else SDC_DETECTED)
+        data = dict(event.detail)
+        data["resumed_from_iteration"] = int(resumed_from)
+        if event.rank is not None:
+            data["rank"] = int(event.rank)
+        return {
+            "kind": kind,
+            "message": str(event),
+            "iteration": int(detected_at),
+            "recovered": True,
+            "data": data,
+        }
+
+    def kind_of(self, event):
+        from repro.solvers.health import RANK_LOST, SDC_DETECTED
+
+        return (RANK_LOST if isinstance(event, RankLostError)
+                else SDC_DETECTED)
+
+    # ------------------------------------------------------------------
+    # ABFT checks
+    # ------------------------------------------------------------------
+    def ring_checksums(self, field):
+        """Per-rank checksums of the halo rings of ``field``.
+
+        Exact floating-point sums over the ring cells only -- interior
+        corruption must not trip the *halo* check (the residual
+        cross-check owns that), so the ring is summed piecewise rather
+        than as ``local - interior``.
+        """
+        h = self.vm.decomp.halo_width
+        locals_ = [field.local(rank) for rank in range(self.vm.num_ranks)]
+        if self._uniform is None:
+            # Block-shape uniformity is a property of the decomposition
+            # alone (a field's RHS width is constant across ranks), so
+            # one scan settles it for every field of this solve.
+            shape = locals_[0].shape[:2]
+            self._uniform = all(loc.shape[:2] == shape for loc in locals_)
+        if self._uniform:
+            # Uniform decomposition: one stacked reduction instead of a
+            # python loop over ranks.  Each rank's slice occupies the
+            # same contiguous layout it had standalone, so the per-rank
+            # pairwise summation order -- and hence the checksum -- is
+            # unchanged.  This keeps the halo check O(1) numpy calls at
+            # the 256-rank strong-scaling limit the paper targets.
+            stack = np.stack(locals_)
+            axes = (1, 2)
+            return (stack[:, :h].sum(axis=axes)
+                    + stack[:, -h:].sum(axis=axes)
+                    + stack[:, h:-h, :h].sum(axis=axes)
+                    + stack[:, h:-h, -h:].sum(axis=axes))
+        sums = []
+        for local in locals_:
+            axes = (0, 1)
+            sums.append(local[:h].sum(axis=axes)
+                        + local[-h:].sum(axis=axes)
+                        + local[h:-h, :h].sum(axis=axes)
+                        + local[h:-h, -h:].sum(axis=axes))
+        return np.asarray(sums)
+
+    def pre_exchange(self, field):
+        """Checksum the freshly exchanged halos (the sender's truth)."""
+        if not self.policy.abft:
+            return None
+        t0 = time.perf_counter()
+        sums = self.ring_checksums(field)
+        self.seconds += time.perf_counter() - t0
+        return sums
+
+    def post_exchange(self, field, pre):
+        """Re-verify the halo checksums after (injectable) delivery."""
+        if pre is None:
+            return
+        t0 = time.perf_counter()
+        post = self.ring_checksums(field)
+        self.counters["halo_checks"] += 1
+        self.seconds += time.perf_counter() - t0
+        if np.array_equal(pre, post):
+            return
+        bad = [r for r in range(len(pre))
+               if not np.array_equal(pre[r], post[r])]
+        rank = bad[0] if bad else None
+        raise self.suspect(
+            f"halo payload checksum mismatch on rank(s) {bad}",
+            rank=rank, detail={"check": "halo_checksum", "ranks": bad})
+
+    def on_matvec(self, x, y):
+        """Row-sum ABFT on an operator apply: ``sum(A x) == dot(A 1, x)``.
+
+        The barotropic operator is symmetric, so its column sums equal
+        its row sums and the invariant costs one cached ``A 1`` plus
+        two local sums per check.  It holds whatever ``x`` contains
+        (both sides see the same ``x``), so it guards the *apply*
+        itself; corrupted iterates are the cross-check's job.
+        """
+        if not self.policy.abft:
+            return
+        self._matvecs += 1
+        if self._matvecs % self.policy.abft_every:
+            return
+        t0 = time.perf_counter()
+        rowsum = self._ensure_rowsum()
+        lhs = self._interior_sum(y)
+        rhs = self._weighted_sum(rowsum, x)
+        scale = self._weighted_sum(rowsum, x, absolute=True)
+        self.counters["rowsum_checks"] += 1
+        self.vm.ledger.record_allreduce("resilience", words=2)
+        self.seconds += time.perf_counter() - t0
+        err = np.abs(np.asarray(lhs) - np.asarray(rhs))
+        bound = self.policy.rowsum_tol * (np.asarray(scale) + 1.0)
+        bad = ~np.isfinite(err) | (err > bound)
+        if np.any(bad):
+            raise self.suspect(
+                "matvec row-sum checksum violated "
+                f"(|sum(Ax) - dot(A1, x)| = {np.max(err):.3e})",
+                detail={"check": "matvec_rowsum",
+                        "error": float(np.max(err))})
+
+    def crosscheck_residual(self, state):
+        """Verify the recurrence residual against ``b - A x``.
+
+        A bit flipped into any vector the recurrence is built from
+        breaks the agreement between the recurrence residual and the
+        directly recomputed one.  Runs at replication boundaries only
+        (one extra matvec per capture); its cost is re-charged to the
+        ``"resilience"`` ledger phase.
+        """
+        ctx = self.context
+        ledger = self.vm.ledger
+        t0 = time.perf_counter()
+        snap = ledger.snapshot()
+        true_r = ctx.residual(state["b"], state["x"])
+        stack_true, _ = self._interior_stack(true_r)
+        stack_rec, _ = self._interior_stack(state["r"])
+        if stack_true is not None and stack_rec is not None:
+            # Uniform blocks: one stacked reduction for the drift norm
+            # (both residuals come from the same masked pipeline, so
+            # land cells cancel exactly).  One allreduce on the wire.
+            drift = stack_true - stack_rec
+            dnorm = np.asarray(np.sqrt(np.sum(drift * drift,
+                                              axis=(0, 1, 2))))
+            self.vm.ledger.record_allreduce("resilience", words=1)
+        else:
+            diff = ctx._sub(true_r, state["r"])
+            dnorm = np.asarray(ctx.norm2(diff))
+        if self._bnorm is None:
+            # ``b`` is loop-invariant: one reduction for the whole solve.
+            self._bnorm = np.asarray(ctx.norm2(state["b"]))
+        bnorm = self._bnorm
+        ledger.transfer(snap, "resilience")
+        self.counters["residual_crosschecks"] += 1
+        self.seconds += time.perf_counter() - t0
+        bound = self.policy.crosscheck_tol * (bnorm + 1.0)
+        bad = ~np.isfinite(dnorm) | (dnorm > bound)
+        if np.any(bad):
+            raise self.suspect(
+                "residual cross-check failed: recurrence residual "
+                f"disagrees with b - Ax by {np.max(dnorm):.3e}",
+                detail={"check": "residual_crosscheck",
+                        "drift": float(np.max(dnorm))})
+
+    def _ensure_rowsum(self):
+        """Lazily build and cache ``A 1`` (row sums of the operator)."""
+        if self._rowsum is None:
+            vm = self.vm
+            ones = vm.scatter(np.ones((vm.decomp.ny, vm.decomp.nx)))
+            # Fill interior halos directly (domain boundary stays 0);
+            # the raw exchanger skips the ledger and the fault hooks --
+            # building the checker must not itself be injectable.
+            vm.exchanger.exchange_via_global(ones)
+            out = vm.zeros()
+            self.context.operator.apply(ones, out)
+            self._rowsum = [np.asarray(out.interior(rank)).copy()
+                            for rank in range(vm.num_ranks)]
+            shape = self._rowsum[0].shape
+            if all(w.shape == shape for w in self._rowsum):
+                self._rowsum_stack = np.stack(self._rowsum)
+            self.vm.ledger.record_flops("resilience",
+                                        9 * vm.max_block_points)
+        return self._rowsum
+
+    def _interior_stack(self, field):
+        """Interiors stacked over ranks, or ``None`` when non-uniform."""
+        interiors = [field.interior(rank)
+                     for rank in range(self.vm.num_ranks)]
+        if self._uniform is None:
+            shape = interiors[0].shape[:2]
+            self._uniform = all(a.shape[:2] == shape for a in interiors)
+        if self._uniform:
+            return np.stack(interiors), interiors
+        return None, interiors
+
+    def _interior_sum(self, field):
+        """Sum of all block interiors; per-column for multi-RHS."""
+        stack, interiors = self._interior_stack(field)
+        if stack is not None:
+            return stack.sum(axis=(0, 1, 2))
+        width = field.nrhs
+        total = 0.0 if width is None else np.zeros(width)
+        for a in interiors:
+            total = total + a.sum(axis=(0, 1))
+        return total
+
+    def _weighted_sum(self, rowsum, field, absolute=False):
+        """``dot(A 1, field)`` per column, from the cached row sums."""
+        width = field.nrhs
+        stack, interiors = self._interior_stack(field)
+        if stack is not None and self._rowsum_stack is not None:
+            w = self._rowsum_stack
+            if width is not None:
+                w = w[..., None]
+            prod = w * stack
+            if absolute:
+                prod = np.abs(prod)
+            return prod.sum(axis=(0, 1, 2))
+        total = 0.0 if width is None else np.zeros(width)
+        for rank, a in enumerate(interiors):
+            w = rowsum[rank]
+            if width is not None:
+                w = w[..., None]
+            prod = w * a
+            if absolute:
+                prod = np.abs(prod)
+            total = total + prod.sum(axis=(0, 1))
+        return total
+
+    # ------------------------------------------------------------------
+    def summary(self):
+        """The ``result.extra["resilience"]`` document."""
+        return {
+            "policy": self.policy.to_dict(),
+            "counters": dict(self.counters),
+            "seconds": float(self.seconds),
+            "buddy_stride": max(1, self.vm.num_ranks // 2),
+            "last_capture_iteration": self._last_capture,
+            "recoveries": list(self.recoveries),
+        }

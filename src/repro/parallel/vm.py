@@ -108,6 +108,11 @@ class VirtualMachine:
         self.faults = []
         self._halo_rounds = 0
         self._reductions = 0
+        # In-solve fault-tolerance runtime (buddy replication + ABFT);
+        # attached by the guarded convergence loop for the duration of
+        # a ``solve(resilience=...)`` call, detached afterwards.
+        self.resilience = None
+        self.dead_ranks = []
         for fault in faults or ():
             self.inject(fault)
 
@@ -183,11 +188,33 @@ class VirtualMachine:
             words=width * self.decomp.halo_words_per_exchange(),
             exchanges=1,
         )
+        # ABFT halo checksums: the sums taken here are the sender's
+        # truth (the exchange just completed); the fault hooks below
+        # model in-flight corruption, and the post-verify models the
+        # receiver checking the payload it was handed.
+        resilience = self.resilience
+        checksums = (resilience.pre_exchange(field)
+                     if resilience is not None else None)
         if self.faults:
             self._halo_rounds += 1
             for fault in self.faults:
                 fault.on_exchange(field, self._halo_rounds, self)
+        if resilience is not None:
+            resilience.post_exchange(field, checksums)
         return field
+
+    def notify_rank_death(self, rank):
+        """Record that a simulated rank died (its block data is gone).
+
+        With a resilience runtime attached this raises
+        :class:`~repro.parallel.resilience.RankLostError` so the
+        guarded convergence loop can rebuild the block from its buddy
+        replica; without one, the wiped (NaN) block simply propagates
+        into the existing non-finite guardrails.
+        """
+        self.dead_ranks.append(int(rank))
+        if self.resilience is not None:
+            self.resilience.on_rank_death(int(rank))
 
     def _column_partials(self, a, b, j):
         """Rank-ordered partials of one RHS column of a batched pair.
@@ -217,22 +244,23 @@ class VirtualMachine:
         of reduction latency -- while flops scale with the batch width.
         """
         nrhs = a.nrhs
-        out = np.empty(nrhs)
-        column_partials = []
-        for j in range(nrhs):
-            partials = self._column_partials(a, b, j)
-            column_partials.append(partials)
-            out[j] = masked_global_sum_blocks(partials)
+        column_partials = [self._column_partials(a, b, j)
+                           for j in range(nrhs)]
         self.ledger.record_flops("computation", nrhs * self._max_points)
         self.ledger.record_flops(phase, nrhs * self._max_points)
         self.ledger.record_allreduce(phase, words=nrhs)
         if self.faults:
             # One fused all-reduce = one logical reduction event; every
-            # column's payload passes through at the same count.
+            # column's payload passes through at the same count.  Hooks
+            # run *before* the global sums so a poisoned partial really
+            # poisons the reduced value.
             self._reductions += 1
             for fault in self.faults:
                 for partials in column_partials:
                     fault.on_reduction(partials, self._reductions)
+        out = np.empty(nrhs)
+        for j, partials in enumerate(column_partials):
+            out[j] = masked_global_sum_blocks(partials)
         return out
 
     def global_dot(self, a, b, phase="reduction"):
@@ -296,30 +324,32 @@ class VirtualMachine:
         nrhs = xs[0].nrhs
         w = nrhs or 1
         shape = (len(xs), len(ys)) + (() if nrhs is None else (nrhs,))
-        out = np.empty(shape)
-        all_partials = []
+        entries = []  # (index into out, partials) in reduction order
         for i, a in enumerate(xs):
             for j, b in enumerate(ys):
                 if nrhs is None:
-                    partials = self._pair_partials(a, b)
-                    all_partials.append(partials)
-                    out[i, j] = masked_global_sum_blocks(partials)
+                    entries.append(((i, j), self._pair_partials(a, b)))
                 else:
                     for c in range(nrhs):
-                        partials = self._column_partials(a, b, c)
-                        all_partials.append(partials)
-                        out[i, j, c] = masked_global_sum_blocks(partials)
+                        entries.append(((i, j, c),
+                                        self._column_partials(a, b, c)))
         n_words = len(xs) * len(ys) * w
         self.ledger.record_flops("computation", n_words * self._max_points)
         self.ledger.record_flops(phase, n_words * self._max_points)
         self.ledger.record_allreduce(phase, words=n_words)
         if self.faults:
             # One fused all-reduce = one logical reduction event; every
-            # pair's payload passes through at the same count.
+            # pair's payload passes through at the same count.  Hooks
+            # run *before* the global sums so a poisoned Gram entry
+            # really reaches the reduced matrix (a ReductionFault with
+            # ``entry=k`` poisons exactly the k-th pair here).
             self._reductions += 1
             for fault in self.faults:
-                for partials in all_partials:
+                for _, partials in entries:
                     fault.on_reduction(partials, self._reductions)
+        out = np.empty(shape)
+        for index, partials in entries:
+            out[index] = masked_global_sum_blocks(partials)
         return out
 
     def global_dot_pair(self, a1, b1, a2, b2, phase="reduction"):
@@ -336,21 +366,24 @@ class VirtualMachine:
             out2 = np.empty(nrhs)
             column_partials = []
             for j in range(nrhs):
-                p1 = self._column_partials(a1, b1, j)
-                p2 = self._column_partials(a2, b2, j)
-                column_partials.append((p1, p2))
-                out1[j] = masked_global_sum_blocks(p1)
-                out2[j] = masked_global_sum_blocks(p2)
+                column_partials.append(
+                    (self._column_partials(a1, b1, j),
+                     self._column_partials(a2, b2, j)))
             self.ledger.record_flops("computation",
                                      2 * nrhs * self._max_points)
             self.ledger.record_flops(phase, 2 * nrhs * self._max_points)
             self.ledger.record_allreduce(phase, words=2 * nrhs)
             if self.faults:
+                # Hooks run before the global sums so a poisoned
+                # partial really poisons the reduced values.
                 self._reductions += 1
                 for fault in self.faults:
                     for p1, p2 in column_partials:
                         fault.on_reduction(p1, self._reductions)
                         fault.on_reduction(p2, self._reductions)
+            for j, (p1, p2) in enumerate(column_partials):
+                out1[j] = masked_global_sum_blocks(p1)
+                out2[j] = masked_global_sum_blocks(p2)
             return out1, out2
         if (self.is_batched and a1.is_stacked and b1.is_stacked
                 and a2.is_stacked and b2.is_stacked):

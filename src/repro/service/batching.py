@@ -156,6 +156,9 @@ class Coalescer:
             "dispatched_batches": dispatched,
             "batched_requests": batched,
             "held_windows": self.held_windows,
+            "queue_depth": sum(len(b.items)
+                               for b in self._buckets.values()),
+            "inflight_batches": len(self._running),
             "batch_size_histogram": {
                 str(size): n
                 for size, n in sorted(self.batch_sizes.items())},

@@ -63,6 +63,7 @@ def _execute_task(task, inline):
         rhs=task["rhs"],
         engine=task.get("engine"),
         blocks=task.get("blocks"),
+        resilience=task.get("resilience"),
         raise_on_failure=False,
     )
 

@@ -29,6 +29,13 @@ Request fields
 ``inject``          fault-injection directive (tests only):
                     ``{"crash": N}`` crashes the first N attempts,
                     ``{"sleep": s}`` delays the worker.
+``resilience``      in-solve fault-tolerance policy: ``true`` for the
+                    defaults or an object with any of
+                    ``replicate_every``/``abft``/``abft_every``/
+                    ``rowsum_tol``/``crosscheck_tol``/``max_rollbacks``
+                    (see
+                    :class:`~repro.parallel.resilience.ResiliencePolicy`);
+                    requires a virtual-machine engine.
 """
 
 import numpy as np
@@ -89,6 +96,20 @@ def normalize_request(doc):
     inject = doc.get("inject")
     if inject is not None and not isinstance(inject, dict):
         raise ProtocolError("inject must be an object")
+    resilience = doc.get("resilience")
+    if resilience is not None and resilience is not False:
+        from repro.core.errors import SolverError
+        from repro.parallel.resilience import ResiliencePolicy
+
+        try:
+            # Normalized to the full canonical policy dict so that
+            # equivalent spellings (``true`` vs ``{}``) coalesce.
+            resilience = ResiliencePolicy.from_any(resilience).to_dict()
+        except SolverError as err:
+            raise ProtocolError(
+                f"malformed resilience policy: {err}") from None
+    else:
+        resilience = None
     engine = doc.get("engine")
     if engine is not None:
         engine = str(engine).lower()
@@ -120,6 +141,7 @@ def normalize_request(doc):
             "engine": engine,
             "blocks": blocks,
             "inject": inject,
+            "resilience": resilience,
         }
     except (TypeError, ValueError) as err:
         raise ProtocolError(f"malformed request field: {err}") from None
@@ -139,9 +161,12 @@ def bucket_key(req):
     ``solver``/``precond``/``engine``/``blocks`` must already be
     resolved (tuned choice and server defaults applied) by the caller.
     """
+    resilience = req.get("resilience")
     return (req["config"], req["scale"], req["seed"], req["solver"],
             req["precond"], req["tol"], req["check_freq"],
-            req["max_iterations"], req["engine"], req["blocks"])
+            req["max_iterations"], req["engine"], req["blocks"],
+            None if resilience is None
+            else tuple(sorted(resilience.items())))
 
 
 def request_content_key(req):

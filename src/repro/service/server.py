@@ -98,6 +98,9 @@ class SolverService:
         self.counters = {"requests": 0, "errors": 0,
                          "dedup_inflight": 0, "dedup_memo": 0,
                          "tuned_applied": 0}
+        self.resilience_counters = {
+            "resilient_solves": 0, "replications": 0, "rollbacks": 0,
+            "rank_deaths": 0, "sdc_detected": 0, "recoveries": 0}
 
     # ------------------------------------------------------------------
     # request pipeline: dedup -> coalesce -> execute -> split
@@ -158,8 +161,10 @@ class SolverService:
             "max_iterations": template["max_iterations"],
             "engine": template["engine"], "blocks": template["blocks"],
             "rhs": rhs, "inject": inject,
+            "resilience": template["resilience"],
         }
         batch_result = await self.executor.run(task)
+        self._count_resilience(batch_result)
         if len(reqs) == 1:
             results = [batch_result]
         else:
@@ -180,6 +185,18 @@ class SolverService:
             "coalesced": batch > 1,
             "dedup": False,
         }
+
+    def _count_resilience(self, batch_result):
+        """Fold one solve's resilience summary into the service totals."""
+        summary = (batch_result.extra or {}).get("resilience")
+        if summary is None:
+            return
+        totals = self.resilience_counters
+        totals["resilient_solves"] += 1
+        totals["recoveries"] += len(summary.get("recoveries", []))
+        for name in ("replications", "rollbacks", "rank_deaths",
+                     "sdc_detected"):
+            totals[name] += int(summary["counters"].get(name, 0))
 
     def _memoize(self, content_key, response):
         if content_key not in self._memo:
@@ -243,6 +260,11 @@ class SolverService:
         if req["engine"] is None:
             req["engine"] = ((choice or {}).get("engine")
                              if applied else None) or self.engine
+        if req.get("resilience") is not None \
+                and req["engine"] in (None, "serial"):
+            # Buddy replication and ABFT live in the virtual machine,
+            # which the serial context bypasses.
+            req["engine"] = "perrank"
         if req["engine"] is None:
             req["blocks"] = None
         elif req["blocks"] is None:
@@ -256,12 +278,30 @@ class SolverService:
     # stats
     # ------------------------------------------------------------------
     def stats(self):
+        cache = get_cache()
         return {
             "service": dict(self.counters, draining=self.draining),
             "coalescer": self.coalescer.stats(),
             "executor": self.executor.stats(),
             "jobs": self.jobs.stats(),
-            "cache": get_cache().stats(),
+            "cache": dict(cache.stats(), hit_ratio=cache.hit_ratio),
+            "resilience": dict(self.resilience_counters),
+        }
+
+    def health(self):
+        """Liveness document: worker-pool state + resilience tallies."""
+        executor = self.executor.stats()
+        pool = self.executor.handle
+        workers_ok = True
+        if pool is not None:
+            workers_ok = not getattr(
+                getattr(pool, "pool", None), "_broken", False)
+        return {
+            "ok": bool(workers_ok),
+            "draining": self.draining,
+            "workers": dict(executor, alive=bool(workers_ok)),
+            "queue_depth": self.coalescer.stats()["queue_depth"],
+            "resilience": dict(self.resilience_counters),
         }
 
     # ------------------------------------------------------------------
@@ -346,8 +386,7 @@ class SolverService:
 
     async def _route(self, writer, method, target, body):
         if method == "GET" and target == "/healthz":
-            await _respond(writer, 200,
-                           {"ok": True, "draining": self.draining})
+            await _respond(writer, 200, self.health())
             return
         if method == "GET" and target == "/stats":
             await _respond(writer, 200, self.stats())

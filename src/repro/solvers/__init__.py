@@ -36,6 +36,8 @@ from repro.solvers.health import (
     DIVERGED,
     BREAKDOWN,
     BUDGET_EXHAUSTED,
+    RANK_LOST,
+    SDC_DETECTED,
 )
 from repro.solvers.base import IterativeSolver
 from repro.solvers.pcg import PCGSolver
@@ -68,6 +70,8 @@ __all__ = [
     "DIVERGED",
     "BREAKDOWN",
     "BUDGET_EXHAUSTED",
+    "RANK_LOST",
+    "SDC_DETECTED",
     "make_solver",
     "SOLVER_REGISTRY",
 ]

@@ -68,6 +68,7 @@ from repro.core.constants import (
     DEFAULT_SOLVER_TOLERANCE,
 )
 from repro.core.errors import BreakdownError, ConvergenceError, SolverError
+from repro.parallel.resilience import ResilienceEvent, ResilienceRuntime
 from repro.solvers.health import (
     BREAKDOWN,
     BUDGET_EXHAUSTED,
@@ -147,9 +148,11 @@ class IterativeSolver(abc.ABC):
         self.raise_on_failure = bool(raise_on_failure)
         self.stagnation_checks = int(stagnation_checks)
         self.divergence_factor = float(divergence_factor)
+        self._active_resilience = None
 
     # ------------------------------------------------------------------
-    def solve(self, b, x0=None, checkpoint=None, resume_from=None):
+    def solve(self, b, x0=None, checkpoint=None, resume_from=None,
+              resilience=None):
         """Solve ``A x = b``.
 
         ``b`` and ``x0`` are global ``(ny, nx)`` arrays (``x0`` defaults
@@ -167,19 +170,49 @@ class IterativeSolver(abc.ABC):
         running setup; the resumed run is bit-identical to an
         uninterrupted one (see the module docstring).
 
+        ``resilience`` enables the in-solve fault-tolerance layer
+        (``True``, a dict of :class:`~repro.parallel.resilience.
+        ResiliencePolicy` fields, or a policy object): the loop
+        replicates its state to buddy ranks at the policy's cadence,
+        runs the ABFT corruption checks, and recovers rank deaths and
+        detected corruption by rolling back to the last verified
+        replica instead of failing the solve -- recoveries are recorded
+        in ``result.extra["resilience"]``.  Requires a distributed
+        (virtual-machine) context.
+
         **Multi-RHS batches**: ``b`` may also be a list/tuple of
         ``(ny, nx)`` fields or a single ``(ny, nx, nrhs)`` array -- the
         solve then runs all columns through one batched iteration loop
         (see :meth:`_solve_multi`) and returns a result whose ``x`` is
         ``(ny, nx, nrhs)`` with per-column accounting in ``extra``.
         """
+        runtime = None
+        if resilience is not None:
+            runtime = ResilienceRuntime.create(resilience, self.context)
+        try:
+            return self._solve_guarded(b, x0, checkpoint, resume_from,
+                                       runtime)
+        finally:
+            if runtime is not None:
+                runtime.detach()
+                self._active_resilience = None
+
+    def _attach_resilience(self, runtime, state, meta, history):
+        """Bind the runtime to the vm and capture the initial replica."""
+        runtime.attach()
+        self._active_resilience = runtime
+        runtime.capture(state, meta, len(history),
+                        solver_meta=self._snapshot_solver_meta())
+
+    def _solve_guarded(self, b, x0, checkpoint, resume_from, runtime):
         if isinstance(b, (list, tuple)):
             b = np.stack([np.asarray(col, dtype=np.float64) for col in b],
                          axis=-1)
         b = np.asarray(b)
         if b.ndim == 3:
             return self._solve_multi(b, x0=x0, checkpoint=checkpoint,
-                                     resume_from=resume_from)
+                                     resume_from=resume_from,
+                                     runtime=runtime)
         ctx = self.context
         ledger = ctx.ledger
         mask = ctx.mask
@@ -285,68 +318,124 @@ class IterativeSolver(abc.ABC):
                 "growing_past_limit": growing_past_limit,
             }
 
+        if runtime is not None:
+            self._attach_resilience(runtime, state, loop_meta(), history)
+
         while iterations < self.max_iterations:
             iterations += 1
             try:
-                self._iterate(state, iterations)
-            except BreakdownError as exc:
-                diagnosis = SolverDiagnosis(
-                    kind=BREAKDOWN, solver=self.name,
-                    message=str(exc), iteration=iterations,
-                    residual_norm=res_norm, b_norm=b_norm,
-                )
-                break
-            if iterations % self.check_freq == 0:
-                res_norm = self._residual_norm(state)
-                checked_at = iterations
-                history.append((iterations, res_norm))
-                if not np.isfinite(res_norm):
+                try:
+                    self._iterate(state, iterations)
+                except BreakdownError as exc:
+                    if runtime is not None and runtime.intercept(
+                            "breakdown", iterations):
+                        # A transient corruption often presents as a
+                        # breakdown (non-finite inner products); roll
+                        # back once and replay -- a genuine numerical
+                        # breakdown recurs and takes the normal path.
+                        raise runtime.suspect(
+                            f"breakdown suspected as corruption: {exc}",
+                            detail={"check": "breakdown"}) from exc
                     diagnosis = SolverDiagnosis(
-                        kind=NONFINITE_RESIDUAL, solver=self.name,
-                        message=f"checked residual norm is {res_norm}",
-                        iteration=iterations, residual_norm=res_norm,
-                        b_norm=b_norm,
-                        data={"last_finite_norm": prev_checked},
+                        kind=BREAKDOWN, solver=self.name,
+                        message=str(exc), iteration=iterations,
+                        residual_norm=res_norm, b_norm=b_norm,
                     )
                     break
-                if res_norm <= threshold:
-                    converged = True
-                    break
-                if (res_norm > divergence_limit
-                        and prev_checked is not None
-                        and res_norm > prev_checked):
-                    growing_past_limit += 1
-                    if growing_past_limit >= self.divergence_checks:
+                if iterations % self.check_freq == 0:
+                    res_norm = self._residual_norm(state)
+                    checked_at = iterations
+                    history.append((iterations, res_norm))
+                    if not np.isfinite(res_norm):
+                        if runtime is not None and runtime.intercept(
+                                "nonfinite", iterations):
+                            raise runtime.suspect(
+                                f"checked residual norm is {res_norm}; "
+                                f"suspected corruption",
+                                detail={"check": "nonfinite_residual"})
                         diagnosis = SolverDiagnosis(
-                            kind=DIVERGED, solver=self.name,
-                            message=(
-                                f"|r| = {res_norm:.3e} grew past "
-                                f"{self.divergence_factor:g} * |b| = "
-                                f"{divergence_limit:.3e} over "
-                                f"{growing_past_limit + 1} consecutive "
-                                f"checks"),
+                            kind=NONFINITE_RESIDUAL, solver=self.name,
+                            message=f"checked residual norm is {res_norm}",
                             iteration=iterations, residual_norm=res_norm,
                             b_norm=b_norm,
-                            data={
-                                "divergence_factor": self.divergence_factor,
-                                "limit": divergence_limit,
-                                "history_tail": history[-4:],
-                            },
+                            data={"last_finite_norm": prev_checked},
                         )
                         break
-                else:
-                    growing_past_limit = 0
-                prev_checked = res_norm
-                if res_norm < best_norm * (1.0 - 1e-6):
-                    best_norm = res_norm
-                    checks_without_progress = 0
-                else:
-                    checks_without_progress += 1
-                    if (self.stagnation_checks
-                            and checks_without_progress
-                            >= self.stagnation_checks):
-                        stagnated = True
+                    if res_norm <= threshold:
+                        converged = True
                         break
+                    if (res_norm > divergence_limit
+                            and prev_checked is not None
+                            and res_norm > prev_checked):
+                        growing_past_limit += 1
+                        if growing_past_limit >= self.divergence_checks:
+                            diagnosis = SolverDiagnosis(
+                                kind=DIVERGED, solver=self.name,
+                                message=(
+                                    f"|r| = {res_norm:.3e} grew past "
+                                    f"{self.divergence_factor:g} * |b| = "
+                                    f"{divergence_limit:.3e} over "
+                                    f"{growing_past_limit + 1} consecutive "
+                                    f"checks"),
+                                iteration=iterations,
+                                residual_norm=res_norm,
+                                b_norm=b_norm,
+                                data={
+                                    "divergence_factor":
+                                        self.divergence_factor,
+                                    "limit": divergence_limit,
+                                    "history_tail": history[-4:],
+                                },
+                            )
+                            break
+                    else:
+                        growing_past_limit = 0
+                    prev_checked = res_norm
+                    if res_norm < best_norm * (1.0 - 1e-6):
+                        best_norm = res_norm
+                        checks_without_progress = 0
+                    else:
+                        checks_without_progress += 1
+                        if (self.stagnation_checks
+                                and checks_without_progress
+                                >= self.stagnation_checks):
+                            stagnated = True
+                            break
+                    if runtime is not None and runtime.capture_due(
+                            iterations):
+                        # Verify (residual cross-check), then replicate:
+                        # a replica only ever copies vetted state.
+                        runtime.verify_and_capture(
+                            state, loop_meta(), len(history),
+                            solver_meta=self._snapshot_solver_meta())
+            except ResilienceEvent as event:
+                if runtime is None:
+                    raise
+                restored = runtime.rollback(event, iterations)
+                if restored is None:
+                    diagnosis = SolverDiagnosis(
+                        kind=runtime.kind_of(event), solver=self.name,
+                        message=(
+                            f"{event} (rollback budget of "
+                            f"{runtime.policy.max_rollbacks} exhausted)"),
+                        iteration=iterations, residual_norm=res_norm,
+                        b_norm=b_norm,
+                        data={"rollbacks":
+                              runtime.counters["rollbacks"],
+                              **event.detail},
+                    )
+                    break
+                state, meta, solver_meta, hist_len = restored
+                self._restore_solver_meta(solver_meta or {})
+                del history[hist_len:]
+                iterations = meta["iterations"]
+                res_norm = meta["res_norm"]
+                checked_at = meta["checked_at"]
+                best_norm = meta["best_norm"]
+                checks_without_progress = meta["checks_without_progress"]
+                prev_checked = meta["prev_checked"]
+                growing_past_limit = meta["growing_past_limit"]
+                continue
             if checkpoint is not None and checkpoint.due(iterations):
                 self._write_checkpoint(checkpoint, state, history,
                                        loop_meta(), acct, b_norm)
@@ -482,6 +571,9 @@ class IterativeSolver(abc.ABC):
         extra = dict(state.get("extra", {}))
         if diagnosis is not None:
             extra["diagnosis"] = diagnosis.to_dict()
+        runtime = getattr(self, "_active_resilience", None)
+        if runtime is not None:
+            extra["resilience"] = runtime.summary()
         return SolveResult(
             x=ctx.to_global(state["x"]),
             iterations=iterations,
@@ -597,7 +689,8 @@ class IterativeSolver(abc.ABC):
     # ------------------------------------------------------------------
     # multi-RHS batched solve
     # ------------------------------------------------------------------
-    def _solve_multi(self, b, x0=None, checkpoint=None, resume_from=None):
+    def _solve_multi(self, b, x0=None, checkpoint=None, resume_from=None,
+                     runtime=None):
         """Solve ``A x_j = b_j`` for every column of a ``(ny, nx, nrhs)``
         batch through **one** iteration loop.
 
@@ -768,115 +861,225 @@ class IterativeSolver(abc.ABC):
                 per_iter[col] = iterations
                 per_norm[col] = norm
 
+            def loop_meta_multi():
+                return {
+                    "iterations": iterations,
+                    "checked_at": checked_at,
+                    "active": active,
+                    "b_norms": b_norms,
+                    "thresholds": thresholds,
+                    "div_limits": div_limits,
+                    "res_norms": res_norms,
+                    "best": best,
+                    "cwp": cwp,
+                    "prev": prev,
+                    "growing": growing,
+                    "x_full": x_full,
+                    "per_iter": per_iter,
+                    "per_conv": per_conv,
+                    "per_norm": per_norm,
+                    "per_stag": per_stag,
+                    "per_diag": dict(per_diag),
+                    "per_hist_len": [len(h) for h in per_hist],
+                    "nrhs_active": int(active.size),
+                }
+
+            if runtime is not None:
+                self._attach_resilience(runtime, state, loop_meta_multi(),
+                                        history)
+
             while active.size and iterations < self.max_iterations:
                 iterations += 1
                 try:
-                    self._iterate(state, iterations)
-                except BreakdownError as exc:
-                    # Batch-level verdict: the recurrence broke for the
-                    # whole batch (SPD violation); every still-active
-                    # column fails with its own BREAKDOWN diagnosis.
-                    xg = ctx.to_global(state["x"])
-                    for pos, col in enumerate(active):
-                        col = int(col)
-                        freeze(pos, col, res_norms[pos])
-                        per_diag[col] = SolverDiagnosis(
-                            kind=BREAKDOWN, solver=self.name,
-                            message=str(exc), iteration=iterations,
-                            residual_norm=float(res_norms[pos]),
-                            b_norm=float(b_norms[pos]),
-                            data={"column": col},
-                        )
-                    active = active[:0]
-                    break
-                if iterations % self.check_freq == 0:
-                    res_norms = np.asarray(self._residual_norm(state))
-                    checked_at = iterations
-                    history.append((iterations, float(np.max(res_norms))))
-                    for pos, col in enumerate(active):
-                        per_hist[int(col)].append(
-                            (iterations, float(res_norms[pos])))
-                    # Per-column guardrails -- the exact scalar-loop
-                    # semantics, vectorized over the active columns.
-                    nonfin = ~np.isfinite(res_norms)
-                    conv = ~nonfin & (res_norms <= thresholds)
-                    live = ~nonfin & ~conv
-                    grow = (live & (res_norms > div_limits)
-                            & ~np.isnan(prev) & (res_norms > prev))
-                    growing[grow] += 1
-                    growing[live & ~grow] = 0
-                    div = live & (growing >= self.divergence_checks)
-                    upd = live & ~div
-                    prev[upd] = res_norms[upd]
-                    improved = upd & (res_norms < best * (1.0 - 1e-6))
-                    best[improved] = res_norms[improved]
-                    cwp[improved] = 0
-                    cwp[upd & ~improved] += 1
-                    if self.stagnation_checks:
-                        stag = (upd & ~improved
-                                & (cwp >= self.stagnation_checks))
-                    else:
-                        stag = np.zeros(active.size, dtype=bool)
-                    finished = nonfin | conv | div | stag
-                    if finished.any():
+                    try:
+                        self._iterate(state, iterations)
+                    except BreakdownError as exc:
+                        if runtime is not None and runtime.intercept(
+                                "breakdown", iterations):
+                            raise runtime.suspect(
+                                f"breakdown suspected as corruption: "
+                                f"{exc}",
+                                detail={"check": "breakdown"}) from exc
+                        # Batch-level verdict: the recurrence broke for
+                        # the whole batch (SPD violation); every
+                        # still-active column fails with its own
+                        # BREAKDOWN diagnosis.
                         xg = ctx.to_global(state["x"])
-                        for pos in np.flatnonzero(finished):
-                            col = int(active[pos])
+                        for pos, col in enumerate(active):
+                            col = int(col)
                             freeze(pos, col, res_norms[pos])
-                            per_conv[col] = bool(conv[pos])
-                            per_stag[col] = bool(stag[pos])
-                            if nonfin[pos]:
-                                per_diag[col] = SolverDiagnosis(
-                                    kind=NONFINITE_RESIDUAL,
-                                    solver=self.name,
-                                    message=(
-                                        f"column {col}: checked residual "
-                                        f"norm is {res_norms[pos]}"),
-                                    iteration=iterations,
-                                    residual_norm=float(res_norms[pos]),
-                                    b_norm=float(b_norms[pos]),
-                                    data={
-                                        "column": col,
-                                        "last_finite_norm":
-                                            _last_finite(per_hist[col]),
-                                    },
-                                )
-                            elif div[pos]:
-                                per_diag[col] = SolverDiagnosis(
-                                    kind=DIVERGED, solver=self.name,
-                                    message=(
-                                        f"column {col}: |r| = "
-                                        f"{res_norms[pos]:.3e} grew past "
-                                        f"{self.divergence_factor:g} * "
-                                        f"|b| = {div_limits[pos]:.3e} "
-                                        f"over {int(growing[pos]) + 1} "
-                                        f"consecutive checks"),
-                                    iteration=iterations,
-                                    residual_norm=float(res_norms[pos]),
-                                    b_norm=float(b_norms[pos]),
-                                    data={
-                                        "column": col,
-                                        "divergence_factor":
-                                            self.divergence_factor,
-                                        "limit": float(div_limits[pos]),
-                                        "history_tail":
-                                            per_hist[col][-4:],
-                                    },
-                                )
-                        keep = np.flatnonzero(~finished)
-                        old_width = int(active.size)
-                        active = active[keep]
-                        b_norms = b_norms[keep]
-                        thresholds = thresholds[keep]
-                        div_limits = div_limits[keep]
-                        res_norms = res_norms[keep]
-                        best = best[keep]
-                        cwp = cwp[keep]
-                        prev = prev[keep]
-                        growing = growing[keep]
-                        if active.size:
-                            ctx.nrhs = int(active.size)
-                            self._compact_state(state, keep, old_width)
+                            per_diag[col] = SolverDiagnosis(
+                                kind=BREAKDOWN, solver=self.name,
+                                message=str(exc), iteration=iterations,
+                                residual_norm=float(res_norms[pos]),
+                                b_norm=float(b_norms[pos]),
+                                data={"column": col},
+                            )
+                        active = active[:0]
+                        break
+                    if iterations % self.check_freq == 0:
+                        res_norms = np.asarray(self._residual_norm(state))
+                        checked_at = iterations
+                        history.append(
+                            (iterations, float(np.max(res_norms))))
+                        for pos, col in enumerate(active):
+                            per_hist[int(col)].append(
+                                (iterations, float(res_norms[pos])))
+                        # Per-column guardrails -- the exact scalar-loop
+                        # semantics, vectorized over the active columns.
+                        nonfin = ~np.isfinite(res_norms)
+                        if (runtime is not None and nonfin.any()
+                                and runtime.intercept("nonfinite",
+                                                      iterations)):
+                            raise runtime.suspect(
+                                f"{int(nonfin.sum())} column(s) checked "
+                                f"non-finite; suspected corruption",
+                                detail={"check": "nonfinite_residual"})
+                        conv = ~nonfin & (res_norms <= thresholds)
+                        live = ~nonfin & ~conv
+                        grow = (live & (res_norms > div_limits)
+                                & ~np.isnan(prev) & (res_norms > prev))
+                        growing[grow] += 1
+                        growing[live & ~grow] = 0
+                        div = live & (growing >= self.divergence_checks)
+                        upd = live & ~div
+                        prev[upd] = res_norms[upd]
+                        improved = upd & (res_norms < best * (1.0 - 1e-6))
+                        best[improved] = res_norms[improved]
+                        cwp[improved] = 0
+                        cwp[upd & ~improved] += 1
+                        if self.stagnation_checks:
+                            stag = (upd & ~improved
+                                    & (cwp >= self.stagnation_checks))
+                        else:
+                            stag = np.zeros(active.size, dtype=bool)
+                        finished = nonfin | conv | div | stag
+                        if finished.any():
+                            xg = ctx.to_global(state["x"])
+                            for pos in np.flatnonzero(finished):
+                                col = int(active[pos])
+                                freeze(pos, col, res_norms[pos])
+                                per_conv[col] = bool(conv[pos])
+                                per_stag[col] = bool(stag[pos])
+                                if nonfin[pos]:
+                                    per_diag[col] = SolverDiagnosis(
+                                        kind=NONFINITE_RESIDUAL,
+                                        solver=self.name,
+                                        message=(
+                                            f"column {col}: checked "
+                                            f"residual norm is "
+                                            f"{res_norms[pos]}"),
+                                        iteration=iterations,
+                                        residual_norm=float(
+                                            res_norms[pos]),
+                                        b_norm=float(b_norms[pos]),
+                                        data={
+                                            "column": col,
+                                            "last_finite_norm":
+                                                _last_finite(
+                                                    per_hist[col]),
+                                        },
+                                    )
+                                elif div[pos]:
+                                    per_diag[col] = SolverDiagnosis(
+                                        kind=DIVERGED, solver=self.name,
+                                        message=(
+                                            f"column {col}: |r| = "
+                                            f"{res_norms[pos]:.3e} grew "
+                                            f"past "
+                                            f"{self.divergence_factor:g}"
+                                            f" * |b| = "
+                                            f"{div_limits[pos]:.3e} over "
+                                            f"{int(growing[pos]) + 1} "
+                                            f"consecutive checks"),
+                                        iteration=iterations,
+                                        residual_norm=float(
+                                            res_norms[pos]),
+                                        b_norm=float(b_norms[pos]),
+                                        data={
+                                            "column": col,
+                                            "divergence_factor":
+                                                self.divergence_factor,
+                                            "limit": float(
+                                                div_limits[pos]),
+                                            "history_tail":
+                                                per_hist[col][-4:],
+                                        },
+                                    )
+                            keep = np.flatnonzero(~finished)
+                            old_width = int(active.size)
+                            active = active[keep]
+                            b_norms = b_norms[keep]
+                            thresholds = thresholds[keep]
+                            div_limits = div_limits[keep]
+                            res_norms = res_norms[keep]
+                            best = best[keep]
+                            cwp = cwp[keep]
+                            prev = prev[keep]
+                            growing = growing[keep]
+                            if active.size:
+                                ctx.nrhs = int(active.size)
+                                self._compact_state(state, keep,
+                                                    old_width)
+                        if (runtime is not None and active.size
+                                and runtime.capture_due(iterations)):
+                            runtime.verify_and_capture(
+                                state, loop_meta_multi(), len(history),
+                                solver_meta=self._snapshot_solver_meta())
+                except ResilienceEvent as event:
+                    if runtime is None:
+                        raise
+                    restored = runtime.rollback(event, iterations)
+                    if restored is None:
+                        # Rollback budget exhausted: fail every
+                        # still-active column with a resilience kind.
+                        xg = ctx.to_global(state["x"])
+                        for pos, col in enumerate(active):
+                            col = int(col)
+                            freeze(pos, col, res_norms[pos])
+                            per_diag[col] = SolverDiagnosis(
+                                kind=runtime.kind_of(event),
+                                solver=self.name,
+                                message=(
+                                    f"{event} (rollback budget of "
+                                    f"{runtime.policy.max_rollbacks} "
+                                    f"exhausted)"),
+                                iteration=iterations,
+                                residual_norm=float(res_norms[pos]),
+                                b_norm=float(b_norms[pos]),
+                                data={"column": col,
+                                      "rollbacks":
+                                          runtime.counters["rollbacks"],
+                                      **event.detail},
+                            )
+                        active = active[:0]
+                        break
+                    state, meta, solver_meta, hist_len = restored
+                    self._restore_solver_meta(solver_meta or {})
+                    del history[hist_len:]
+                    iterations = meta["iterations"]
+                    checked_at = meta["checked_at"]
+                    active = meta["active"]
+                    b_norms = meta["b_norms"]
+                    thresholds = meta["thresholds"]
+                    div_limits = meta["div_limits"]
+                    res_norms = meta["res_norms"]
+                    best = meta["best"]
+                    cwp = meta["cwp"]
+                    prev = meta["prev"]
+                    growing = meta["growing"]
+                    x_full = meta["x_full"]
+                    per_iter = meta["per_iter"]
+                    per_conv = meta["per_conv"]
+                    per_norm = meta["per_norm"]
+                    per_stag = meta["per_stag"]
+                    per_diag.clear()
+                    per_diag.update(meta["per_diag"])
+                    for hist, length in zip(per_hist,
+                                            meta["per_hist_len"]):
+                        del hist[length:]
+                    ctx.nrhs = int(meta["nrhs_active"])
+                    continue
                 if (checkpoint is not None and active.size
                         and checkpoint.due(iterations)):
                     self._write_checkpoint_multi(
@@ -931,6 +1134,8 @@ class IterativeSolver(abc.ABC):
             extra = self._multi_extra(
                 dict(state.get("extra", {})), nrhs, per_iter, per_conv,
                 per_norm, per_stag, per_diag, b_norms_all)
+            if runtime is not None:
+                extra["resilience"] = runtime.summary()
             batch_diag = per_diag[min(per_diag)] if per_diag else None
             result = SolveResult(
                 x=x_full, iterations=int(iterations),

@@ -92,6 +92,16 @@ class CAPCGSolver(SpectralBoundedSolver):
         Default 1: replace at every basis rebuild, which costs one
         matvec per ``s`` iterations and keeps the attainable accuracy at
         PCG's level.  ``0`` disables replacement.
+
+    Resilience
+    ----------
+    Under an in-solve resilience policy (``solve(resilience=...)``),
+    buddy replicas are captured at convergence-check boundaries, where
+    :meth:`_residual_norm` has already *materialized* the iterate from
+    the coordinate recurrence (``synced == jj``) -- i.e. at
+    epoch-consistent points of the s-step schedule.  A rollback
+    therefore resumes from the start of a basis epoch, never from a
+    half-advanced coordinate state.
     """
 
     name = "capcg"

@@ -526,6 +526,9 @@ class DistributedContext(SolverContext):
         self.operator.apply(x, out)
         self.ledger.record_flops(phase,
                                  w * MATVEC_FLOPS_PER_POINT * self._critical)
+        resilience = self.vm.resilience
+        if resilience is not None:
+            resilience.on_matvec(x, out)
         return out
 
     def _sub(self, a, b, out=None):

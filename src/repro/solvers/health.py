@@ -45,9 +45,19 @@ BREAKDOWN = "breakdown"
 #: failure, as opposed to the pathological kinds above.
 BUDGET_EXHAUSTED = "budget_exhausted"
 
+#: A simulated rank died mid-solve and the rollback budget of the
+#: resilience layer (buddy replication) was exhausted before the solve
+#: could complete; individual *recovered* rank deaths appear as
+#: recovery records in ``extra["resilience"]``, not as failures.
+RANK_LOST = "rank_lost"
+
+#: An ABFT check (halo checksum, matvec row sum, residual cross-check)
+#: detected silent data corruption and the rollback budget ran out.
+SDC_DETECTED = "sdc_detected"
+
 #: Every kind a diagnosis may carry.
 DIAGNOSIS_KINDS = (NONFINITE_INPUT, NONFINITE_RESIDUAL, DIVERGED,
-                   BREAKDOWN, BUDGET_EXHAUSTED)
+                   BREAKDOWN, BUDGET_EXHAUSTED, RANK_LOST, SDC_DETECTED)
 
 #: Kinds the P-CSI recovery policy retries on: all three are how bad
 #: eigenvalue bounds (or a transient data corruption) present, and all

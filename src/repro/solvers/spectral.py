@@ -173,11 +173,13 @@ class SpectralBoundedSolver(IterativeSolver):
     # ------------------------------------------------------------------
     # recovery policy
     # ------------------------------------------------------------------
-    def solve(self, b, x0=None, checkpoint=None, resume_from=None):
+    def solve(self, b, x0=None, checkpoint=None, resume_from=None,
+              resilience=None):
         """Guarded solve with divergence recovery (module docstring)."""
         if self.max_recoveries == 0 and self.fallback is None:
             return super().solve(b, x0, checkpoint=checkpoint,
-                                 resume_from=resume_from)
+                                 resume_from=resume_from,
+                                 resilience=resilience)
 
         ledger = self.context.ledger
         diagnoses = []
@@ -186,7 +188,7 @@ class SpectralBoundedSolver(IterativeSolver):
         try:
             return self._solve_with_recovery(
                 b, x0, checkpoint, resume_from, ledger, diagnoses,
-                recovery_counts, attempt)
+                recovery_counts, attempt, resilience)
         finally:
             # Recovery widening must not leak into the next solve on
             # this instance: the widened *bounds* are kept (POP reuses
@@ -203,13 +205,15 @@ class SpectralBoundedSolver(IterativeSolver):
         self._lanczos_max_steps = cfg["lanczos_max_steps"]
 
     def _solve_with_recovery(self, b, x0, checkpoint, resume_from,
-                             ledger, diagnoses, recovery_counts, attempt):
+                             ledger, diagnoses, recovery_counts, attempt,
+                             resilience=None):
         while True:
             snapshot = ledger.snapshot()
             error = None
             try:
                 result = super().solve(b, x0, checkpoint=checkpoint,
-                                       resume_from=resume_from)
+                                       resume_from=resume_from,
+                                       resilience=resilience)
             except ConvergenceError as exc:
                 error = exc
                 result = exc.result
@@ -244,7 +248,8 @@ class SpectralBoundedSolver(IterativeSolver):
                     diagnosis.data["recovery_error"] = str(exc)
                     if self.fallback is not None:
                         return self._run_fallback(b, x0, diagnoses,
-                                                  recovery_counts)
+                                                  recovery_counts,
+                                                  resilience)
                     self._attach_recovery(result, diagnoses,
                                           recovery_counts)
                     if error is not None:
@@ -253,7 +258,7 @@ class SpectralBoundedSolver(IterativeSolver):
                 continue
             if self.fallback is not None:
                 return self._run_fallback(b, x0, diagnoses,
-                                          recovery_counts)
+                                          recovery_counts, resilience)
             # Recoveries exhausted: surface the last failure, annotated.
             self._attach_recovery(result, diagnoses, recovery_counts)
             if error is not None:
@@ -303,7 +308,8 @@ class SpectralBoundedSolver(IterativeSolver):
         direct = ledger.since(snapshot).get("recovery", EventCounts())
         return direct + ledger.transfer(snapshot, "recovery")
 
-    def _run_fallback(self, b, x0, diagnoses, recovery_counts):
+    def _run_fallback(self, b, x0, diagnoses, recovery_counts,
+                      resilience=None):
         """Chain to ChronGear on the same context (the POP fallback)."""
         solver = ChronGearSolver(
             self.context, tol=self.tol,
@@ -314,7 +320,7 @@ class SpectralBoundedSolver(IterativeSolver):
             divergence_factor=self.divergence_factor,
         )
         try:
-            result = solver.solve(b, x0)
+            result = solver.solve(b, x0, resilience=resilience)
         except ConvergenceError as exc:
             if exc.result is not None:
                 exc.result.extra["fallback_from"] = self.name

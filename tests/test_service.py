@@ -405,7 +405,11 @@ class TestHttpEndpoints:
         _config, (rhs,) = _rhs_variants(1)
         with live_service(jobs=0, max_batch=4, max_wait_ms=5) as \
                 (service, client):
-            assert client.healthz() == {"ok": True, "draining": False}
+            health = client.healthz()
+            assert health["ok"] and not health["draining"]
+            assert health["workers"]["alive"]
+            assert health["queue_depth"] == 0
+            assert health["resilience"]["resilient_solves"] == 0
             response = client.solve(_request(rhs=rhs))
             assert response["status"] == "ok"
             result = ServiceClient.solve_result(response)
@@ -533,3 +537,51 @@ class TestServeCliDrain:
         assert proc.wait(timeout=30) == 0
         # the accepted request was served to completion, not dropped
         assert box["response"]["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# in-solve resilience through the service
+# ----------------------------------------------------------------------
+class TestServiceResilience:
+    def test_resilience_normalized_and_bucketed(self):
+        req = normalize_request(_request(resilience=True))
+        assert req["resilience"]["abft"] is True
+        assert req["resilience"]["replicate_every"] > 0
+        # equivalent spellings coalesce; armed vs unarmed never do
+        assert normalize_request(
+            _request(resilience={}))["resilience"] == req["resilience"]
+        plain = dict(normalize_request(_request()),
+                     solver="pcsi", engine="perrank", blocks=(4, 4))
+        armed = dict(req, solver="pcsi", engine="perrank",
+                     blocks=(4, 4))
+        assert bucket_key(plain) != bucket_key(armed)
+        with pytest.raises(ProtocolError):
+            normalize_request(_request(resilience={"bogus_knob": 1}))
+        with pytest.raises(ProtocolError):
+            normalize_request(_request(resilience="yes"))
+
+    def test_resilient_solve_counted_in_health_and_stats(
+            self, fresh_cache):
+        async def main():
+            service = SolverService(jobs=0, max_batch=8, max_wait_ms=10,
+                                    blocks=(4, 4))
+            await service.start()
+            out = await service.handle_solve(
+                _request(resilience={"replicate_every": 10}))
+            health = service.health()
+            stats = service.stats()
+            await service.shutdown()
+            return out, health, stats
+
+        out, health, stats = asyncio.run(main())
+        assert out["status"] == "ok"
+        assert out["result"]["converged"]
+        # a serial/default engine request was auto-routed to a VM engine
+        assert out["engine"] in ("perrank", "batched")
+        assert health["ok"] and health["workers"]["alive"]
+        assert health["queue_depth"] == 0
+        assert health["resilience"]["resilient_solves"] == 1
+        assert health["resilience"]["replications"] > 0
+        assert stats["resilience"] == health["resilience"]
+        assert 0.0 <= stats["cache"]["hit_ratio"] <= 1.0
+        assert "queue_depth" in stats["coalescer"]
